@@ -1,0 +1,167 @@
+// Figure 5 reproduction: full round-trip cost comparison, PBIO (with DCG)
+// vs MPICH, with per-component breakdown — the paper's headline result
+// ("PBIO can accomplish a round-trip in 45% of the time required by
+// MPICH" at large sizes).
+//
+// CPU components are measured; network components use the calibrated
+// 100 Mbps model applied to each system's actual wire size.
+#include "baselines/mpilite/pack.h"
+#include "bench_support/harness.h"
+#include "bench_support/workload.h"
+#include "pbio/pbio.h"
+#include "transport/simnet.h"
+#include "vcode/jit_convert.h"
+
+namespace pbio::bench {
+namespace {
+
+struct SystemRoundtrip {
+  double enc_a, dec_b, enc_b, dec_a, net_ab, net_ba;
+  double total() const {
+    return enc_a + net_ab + dec_b + enc_b + net_ba + dec_a;
+  }
+};
+
+int run() {
+  print_header("Figure 5",
+               "Round-trip comparison PBIO-DCG vs MPICH, sparc <-> x86; "
+               "times in ms");
+  const auto net = transport::paper_network();
+  const auto modern = transport::modern_network();
+  Table table("Roundtrip totals (ms), measured CPU + 1999 network",
+              {"size", "MPICH", "PBIO", "PBIO/MPICH", "paper"});
+  Table era("Roundtrip totals (ms), era-scaled CPU + 1999 network",
+            {"size", "MPICH", "PBIO", "PBIO/MPICH", "paper"});
+  Table today("Roundtrip totals (ms), measured CPU + modern 25GbE network",
+              {"size", "MPICH", "PBIO", "PBIO/MPICH"});
+  Table breakdown("PBIO roundtrip breakdown (ms)",
+                  {"size", "sparc_enc", "net", "i86_dec", "i86_enc", "net ",
+                   "sparc_dec"});
+
+  // Paper's Figure 5 ratios (PBIO roundtrip / MPICH roundtrip).
+  const char* paper_ratio[] = {"0.94x", "0.78x", "0.51x", "0.44x"};
+  SystemRoundtrip mpich_all[4]{};
+  SystemRoundtrip pbio_all[4]{};
+  int row = 0;
+
+  Context ctx;
+  NullChannel null_channel;
+  Writer writer(ctx, null_channel);
+
+  for (Size s : all_sizes()) {
+    Workload ab = make_workload(s, arch::abi_sparc_v8(), arch::abi_x86());
+    Workload ba = make_workload(s, arch::abi_x86(), arch::abi_sparc_v8());
+
+    // ---- MPICH ----
+    const auto dt_sparc = datatype_for(ab.src_fmt);
+    const auto dt_x86 = datatype_for(ba.src_fmt);
+    ByteBuffer packed_ab, packed_ba;
+    std::vector<std::uint8_t> x86_native(ba.src_fmt.fixed_size);
+    std::vector<std::uint8_t> sparc_native(ab.src_fmt.fixed_size);
+    SystemRoundtrip mpich;
+    mpich.enc_a = measure_ms([&] {
+      packed_ab.clear();
+      (void)mpilite::pack(dt_sparc, ab.src_image.data(), 1, packed_ab);
+    });
+    mpich.dec_b = measure_ms([&] {
+      (void)mpilite::unpack(dt_x86, packed_ab.view(), x86_native.data(),
+                            x86_native.size(), 1);
+    });
+    mpich.enc_b = measure_ms([&] {
+      packed_ba.clear();
+      (void)mpilite::pack(dt_x86, ba.src_image.data(), 1, packed_ba);
+    });
+    mpich.dec_a = measure_ms([&] {
+      (void)mpilite::unpack(dt_sparc, packed_ba.view(), sparc_native.data(),
+                            sparc_native.size(), 1);
+    });
+    mpich.net_ab = net.transfer_ms(packed_ab.size() + 8);
+    mpich.net_ba = net.transfer_ms(packed_ba.size() + 8);
+
+    // ---- PBIO with DCG ----
+    const auto id_ab = ctx.register_format(ab.src_fmt);
+    const auto id_ba = ctx.register_format(ba.src_fmt);
+    (void)writer.announce(id_ab);
+    (void)writer.announce(id_ba);
+    const vcode::CompiledConvert conv_b(
+        convert::compile_plan(ab.src_fmt, ba.src_fmt));  // sparc wire -> x86
+    const vcode::CompiledConvert conv_a(
+        convert::compile_plan(ba.src_fmt, ab.src_fmt));  // x86 wire -> sparc
+
+    SystemRoundtrip pbio;
+    pbio.enc_a =
+        measure_ms([&] { (void)writer.write_image(id_ab, ab.src_image); });
+    convert::ExecInput in_b;
+    in_b.src = ab.src_image.data();
+    in_b.src_size = ab.src_image.size();
+    in_b.dst = x86_native.data();
+    in_b.dst_size = x86_native.size();
+    pbio.dec_b = measure_ms([&] { (void)conv_b.run(in_b); });
+    pbio.enc_b =
+        measure_ms([&] { (void)writer.write_image(id_ba, ba.src_image); });
+    convert::ExecInput in_a;
+    in_a.src = ba.src_image.data();
+    in_a.src_size = ba.src_image.size();
+    in_a.dst = sparc_native.data();
+    in_a.dst_size = sparc_native.size();
+    pbio.dec_a = measure_ms([&] { (void)conv_a.run(in_a); });
+    pbio.net_ab = net.transfer_ms(ab.src_image.size() + kDataHeaderSize);
+    pbio.net_ba = net.transfer_ms(ba.src_image.size() + kDataHeaderSize);
+
+    table.add_row({label(s), fmt_ms(mpich.total()), fmt_ms(pbio.total()),
+                   fmt_ratio(pbio.total() / mpich.total()),
+                   paper_ratio[row]});
+    breakdown.add_row({label(s), fmt_ms(pbio.enc_a), fmt_ms(pbio.net_ab),
+                       fmt_ms(pbio.dec_b), fmt_ms(pbio.enc_b),
+                       fmt_ms(pbio.net_ba), fmt_ms(pbio.dec_a)});
+
+    mpich_all[row] = mpich;
+    pbio_all[row] = pbio;
+
+    // Era-scaled view: map CPU costs onto the 1999 testbed. The 100 Kb
+    // MPICH sparc encode is the calibration cell (paper: 13.31 ms); it is
+    // measured last, so the scaled table is emitted on the final size.
+    if (s == Size::k100KB) {
+      const double era_scale = 13.31 / mpich.enc_a;
+      auto scaled = [&](const SystemRoundtrip& r) {
+        SystemRoundtrip e = r;
+        e.enc_a *= era_scale;
+        e.dec_a *= era_scale;
+        e.enc_b *= era_scale / 2.0;  // the testbed PC was ~2x the Sparc
+        e.dec_b *= era_scale / 2.0;
+        return e;
+      };
+      // Re-derive every size with the now-known scale.
+      for (int i = 0; i < 4; ++i) {
+        const SystemRoundtrip em = scaled(mpich_all[i]);
+        const SystemRoundtrip ep = scaled(pbio_all[i]);
+        era.add_row({label(all_sizes()[i]), fmt_ms(em.total()),
+                     fmt_ms(ep.total()), fmt_ratio(ep.total() / em.total()),
+                     paper_ratio[i]});
+      }
+    }
+
+    // Modern-network view: measured CPU, 25 GbE.
+    SystemRoundtrip m_mpich = mpich, m_pbio = pbio;
+    m_mpich.net_ab = modern.transfer_ms(packed_ab.size() + 8);
+    m_mpich.net_ba = modern.transfer_ms(packed_ba.size() + 8);
+    m_pbio.net_ab = modern.transfer_ms(ab.src_image.size() + kDataHeaderSize);
+    m_pbio.net_ba = modern.transfer_ms(ba.src_image.size() + kDataHeaderSize);
+    today.add_row({label(s), fmt_ms(m_mpich.total()), fmt_ms(m_pbio.total()),
+                   fmt_ratio(m_pbio.total() / m_mpich.total())});
+    ++row;
+  }
+  table.print();
+  era.print();
+  today.print();
+  std::cout << "\n'paper' column: the ratios implied by the paper's Figure 5 "
+               "roundtrip times\n(0.62/0.66, 0.87/1.11, 4.3/8.43, "
+               "35.27/80.0 ms). Era scaling: CPU mapped onto the 1999\n"
+               "testbed via the paper's 13.31 ms 100Kb MPICH sparc encode.\n";
+  return 0;
+}
+
+}  // namespace
+}  // namespace pbio::bench
+
+int main() { return pbio::bench::run(); }

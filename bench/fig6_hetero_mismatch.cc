@@ -1,0 +1,66 @@
+// Figure 6 reproduction: receiver-side decoding cost with and without an
+// unexpected field, heterogeneous case (x86 wire -> sparc native, DCG).
+//
+// Paper shape to confirm: the curves coincide — when a conversion is
+// happening anyway, ignoring an extra field costs nothing ("the extra
+// field has no effect upon the receive-side performance").
+//
+// The wire format's extra field is inserted *before* all expected fields —
+// the paper's worst case, shifting every expected field's offset.
+#include "bench_support/harness.h"
+#include "bench_support/workload.h"
+#include "vcode/jit_convert.h"
+#include "value/materialize.h"
+
+namespace pbio::bench {
+namespace {
+
+int run() {
+  print_header("Figure 6",
+               "Decode cost with/without unexpected field, heterogeneous "
+               "(DCG); times in ms");
+  Table table("Heterogeneous receive times (ms)",
+              {"size", "matched", "mismatched", "overhead%"});
+
+  for (Size s : all_sizes()) {
+    Workload w = make_workload(s, arch::abi_x86(), arch::abi_sparc_v8());
+
+    // Extended sender: one unexpected double at the *front* of the record.
+    arch::StructSpec ext_spec = mech_spec(s);
+    ext_spec.fields.insert(ext_spec.fields.begin(),
+                           {.name = "surprise", .type = arch::CType::kDouble});
+    const auto ext_fmt = arch::layout_format(ext_spec, arch::abi_x86());
+    value::Record ext_rec = w.record;
+    ext_rec.set("surprise", value::Value(1.0));
+    const auto ext_image = value::materialize(ext_fmt, ext_rec);
+
+    const vcode::CompiledConvert matched(
+        convert::compile_plan(w.src_fmt, w.dst_fmt));
+    const vcode::CompiledConvert mismatched(
+        convert::compile_plan(ext_fmt, w.dst_fmt));
+
+    std::vector<std::uint8_t> out(w.dst_fmt.fixed_size);
+    convert::ExecInput in_m;
+    in_m.src = w.src_image.data();
+    in_m.src_size = w.src_image.size();
+    in_m.dst = out.data();
+    in_m.dst_size = out.size();
+    const double t_matched = measure_ms([&] { (void)matched.run(in_m); });
+
+    convert::ExecInput in_x = in_m;
+    in_x.src = ext_image.data();
+    in_x.src_size = ext_image.size();
+    const double t_mismatched =
+        measure_ms([&] { (void)mismatched.run(in_x); });
+
+    table.add_row({label(s), fmt_ms(t_matched), fmt_ms(t_mismatched),
+                   fmt_ms((t_mismatched / t_matched - 1.0) * 100.0) + "%"});
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace pbio::bench
+
+int main() { return pbio::bench::run(); }

@@ -1,0 +1,196 @@
+// google-benchmark microbenchmarks for the core primitives: conversion
+// engines at each op granularity, plan compilation, DCG codegen, format
+// meta codec, and the XML SAX parser. Complements the figure benches with
+// statistically-managed per-op numbers.
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <map>
+#include <random>
+#include <tuple>
+
+#include "baselines/xmlwire/decode.h"
+#include "baselines/xmlwire/encode.h"
+#include "bench_support/workload.h"
+#include "pbio/pbio.h"
+#include "fmt/meta.h"
+#include "vcode/jit_convert.h"
+
+namespace pbio::bench {
+namespace {
+
+Workload& workload(Size s, const arch::Abi& src, const arch::Abi& dst) {
+  static std::map<std::tuple<Size, const arch::Abi*, const arch::Abi*>,
+                  Workload>
+      cache;
+  auto key = std::make_tuple(s, &src, &dst);
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    it = cache.emplace(key, make_workload(s, src, dst)).first;
+  }
+  return it->second;
+}
+
+void BM_InterpConvert(benchmark::State& state) {
+  const Size s = static_cast<Size>(state.range(0));
+  Workload& w = workload(s, arch::abi_x86(), arch::abi_sparc_v8());
+  const convert::Plan plan = convert::compile_plan(w.src_fmt, w.dst_fmt);
+  std::vector<std::uint8_t> out(w.dst_fmt.fixed_size);
+  convert::ExecInput in;
+  in.src = w.src_image.data();
+  in.src_size = w.src_image.size();
+  in.dst = out.data();
+  in.dst_size = out.size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(convert::run_plan(plan, in));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          w.src_image.size());
+}
+BENCHMARK(BM_InterpConvert)->DenseRange(0, 3);
+
+void BM_DcgConvert(benchmark::State& state) {
+  const Size s = static_cast<Size>(state.range(0));
+  Workload& w = workload(s, arch::abi_x86(), arch::abi_sparc_v8());
+  const vcode::CompiledConvert dcg(
+      convert::compile_plan(w.src_fmt, w.dst_fmt));
+  std::vector<std::uint8_t> out(w.dst_fmt.fixed_size);
+  convert::ExecInput in;
+  in.src = w.src_image.data();
+  in.src_size = w.src_image.size();
+  in.dst = out.data();
+  in.dst_size = out.size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dcg.run(in));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          w.src_image.size());
+}
+BENCHMARK(BM_DcgConvert)->DenseRange(0, 3);
+
+void BM_Memcpy(benchmark::State& state) {
+  const Size s = static_cast<Size>(state.range(0));
+  Workload& w = workload(s, arch::abi_x86_64(), arch::abi_x86_64());
+  std::vector<std::uint8_t> out(w.src_image.size());
+  for (auto _ : state) {
+    std::memcpy(out.data(), w.src_image.data(), w.src_image.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          w.src_image.size());
+}
+BENCHMARK(BM_Memcpy)->DenseRange(0, 3);
+
+void BM_PlanCompile(benchmark::State& state) {
+  const Size s = static_cast<Size>(state.range(0));
+  Workload& w = workload(s, arch::abi_x86(), arch::abi_sparc_v8());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(convert::compile_plan(w.src_fmt, w.dst_fmt));
+  }
+}
+BENCHMARK(BM_PlanCompile)->DenseRange(0, 3);
+
+void BM_DcgCodegen(benchmark::State& state) {
+  const Size s = static_cast<Size>(state.range(0));
+  Workload& w = workload(s, arch::abi_x86(), arch::abi_sparc_v8());
+  const convert::Plan plan = convert::compile_plan(w.src_fmt, w.dst_fmt);
+  for (auto _ : state) {
+    vcode::CompiledConvert cc(plan);
+    benchmark::DoNotOptimize(cc.jitted());
+  }
+}
+BENCHMARK(BM_DcgCodegen)->DenseRange(0, 3);
+
+void BM_InplaceConvert(benchmark::State& state) {
+  // Byte-swap conversion executed inside the receive buffer (no dst
+  // allocation): sparc_v9 wire -> x86-64 native, identical geometry.
+  const Size s = static_cast<Size>(state.range(0));
+  Workload& w = workload(s, arch::abi_sparc_v9(), arch::abi_x86_64());
+  const convert::Plan plan = convert::compile_plan(w.src_fmt, w.dst_fmt);
+  const vcode::CompiledConvert dcg(plan);
+  std::vector<std::uint8_t> buf = w.src_image;
+  convert::ExecInput in;
+  in.src = buf.data();
+  in.src_size = buf.size();
+  in.dst = buf.data();
+  in.dst_size = buf.size();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dcg.run(in));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          buf.size());
+}
+BENCHMARK(BM_InplaceConvert)->DenseRange(0, 3);
+
+void BM_GatherEncode(benchmark::State& state) {
+  // Sender-side gather of a pointer-rich record (string + variable array).
+  struct Ev {
+    unsigned n;
+    char* name;
+    double* vals;
+  };
+  const NativeField fields[] = {
+      PBIO_FIELD(Ev, n, arch::CType::kUInt),
+      PBIO_STRING(Ev, name),
+      PBIO_VARARRAY(Ev, vals, arch::CType::kDouble, "n"),
+  };
+  static Context ctx;
+  const auto id = ctx.register_format(native_format("ev", fields,
+                                                    sizeof(Ev)));
+  const fmt::FormatDesc& f = *ctx.find(id);
+  const auto count = static_cast<unsigned>(state.range(0));
+  std::vector<double> vals(count, 1.5);
+  char name[] = "gather-bench";
+  Ev ev{count, name, vals.data()};
+  ByteBuffer out;
+  for (auto _ : state) {
+    out.clear();
+    benchmark::DoNotOptimize(encode_native(f, &ev, out));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          out.size());
+}
+BENCHMARK(BM_GatherEncode)->Arg(8)->Arg(128)->Arg(1024)->Arg(8192);
+
+void BM_MetaEncodeDecode(benchmark::State& state) {
+  Workload& w =
+      workload(Size::k1KB, arch::abi_sparc_v8(), arch::abi_x86_64());
+  for (auto _ : state) {
+    const auto bytes = fmt::encode_meta(w.src_fmt);
+    auto decoded = fmt::decode_meta(bytes);
+    benchmark::DoNotOptimize(decoded.is_ok());
+  }
+}
+BENCHMARK(BM_MetaEncodeDecode);
+
+void BM_XmlEncode(benchmark::State& state) {
+  const Size s = static_cast<Size>(state.range(0));
+  Workload& w = workload(s, arch::abi_x86_64(), arch::abi_x86_64());
+  std::string xml;
+  for (auto _ : state) {
+    xml.clear();
+    benchmark::DoNotOptimize(xmlwire::encode_xml(w.src_fmt, w.src_image, xml));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          w.src_image.size());
+}
+BENCHMARK(BM_XmlEncode)->DenseRange(0, 3);
+
+void BM_XmlDecode(benchmark::State& state) {
+  const Size s = static_cast<Size>(state.range(0));
+  Workload& w = workload(s, arch::abi_x86_64(), arch::abi_x86_64());
+  std::string xml;
+  (void)xmlwire::encode_xml(w.src_fmt, w.src_image, xml);
+  std::vector<std::uint8_t> out(w.dst_fmt.fixed_size);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xmlwire::decode_xml(w.dst_fmt, xml, out));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          xml.size());
+}
+BENCHMARK(BM_XmlDecode)->DenseRange(0, 3);
+
+}  // namespace
+}  // namespace pbio::bench
+
+BENCHMARK_MAIN();

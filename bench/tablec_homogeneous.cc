@@ -1,0 +1,88 @@
+// Table C (paper §4.3 text): the homogeneous exchange — PBIO's
+// receive-buffer reuse / zero-copy path vs MPICH's canonical-format
+// round trip ("On an exchange between homogeneous architectures, PBIO and
+// MPI would have substantially lower costs" — but MPI still packs into and
+// unpacks out of the canonical format; PBIO does nothing at all).
+//
+// This is also the DESIGN.md ablation for receive-buffer reuse: the
+// "PBIO_copy" column decodes into a separate buffer instead of using the
+// message in place.
+#include <cstring>
+
+#include "baselines/mpilite/pack.h"
+#include "bench_support/harness.h"
+#include "bench_support/workload.h"
+#include "pbio/pbio.h"
+#include "vcode/jit_convert.h"
+
+namespace pbio::bench {
+namespace {
+
+int run() {
+  print_header("Table C",
+               "Homogeneous exchange (x86-64 <-> x86-64): per-side CPU "
+               "costs in ms");
+  Table table("Homogeneous costs (ms)",
+              {"size", "MPICH_enc", "MPICH_dec", "PBIO_enc", "PBIO_zero_copy",
+               "PBIO_inplace", "PBIO_copy", "MPICH_total/PBIO_total"});
+
+  Context ctx;
+  NullChannel null_channel;
+  Writer writer(ctx, null_channel);
+  const auto& abi = arch::abi_x86_64();
+
+  for (Size s : all_sizes()) {
+    Workload w = make_workload(s, abi, abi);
+    const auto dt = datatype_for(w.src_fmt);
+    const auto fmt_id = ctx.register_format(w.src_fmt);
+    (void)writer.announce(fmt_id);
+
+    ByteBuffer packed;
+    const double mpich_enc = measure_ms([&] {
+      packed.clear();
+      (void)mpilite::pack(dt, w.src_image.data(), 1, packed);
+    });
+    std::vector<std::uint8_t> out(w.dst_fmt.fixed_size);
+    const double mpich_dec = measure_ms([&] {
+      (void)mpilite::unpack(dt, packed.view(), out.data(), out.size(), 1);
+    });
+
+    const double pbio_enc =
+        measure_ms([&] { (void)writer.write_image(fmt_id, w.src_image); });
+
+    const vcode::CompiledConvert conv(
+        convert::compile_plan(w.src_fmt, w.dst_fmt));
+    volatile const std::uint8_t* sink = nullptr;
+    const double pbio_zero = measure_ms([&] {
+      if (conv.plan().identity) sink = w.src_image.data();
+    });
+    (void)sink;
+    convert::ExecInput in;
+    in.src = w.src_image.data();
+    in.src_size = w.src_image.size();
+    in.dst = out.data();
+    in.dst_size = out.size();
+    const double pbio_copy = measure_ms([&] { (void)conv.run(in); });
+
+    // Receive-buffer reuse: convert inside the (copied) receive buffer.
+    std::vector<std::uint8_t> inplace_buf = w.src_image;
+    convert::ExecInput ip;
+    ip.src = inplace_buf.data();
+    ip.src_size = inplace_buf.size();
+    ip.dst = inplace_buf.data();
+    ip.dst_size = inplace_buf.size();
+    const double pbio_inplace = measure_ms([&] { (void)conv.run(ip); });
+
+    table.add_row(
+        {label(s), fmt_ms(mpich_enc), fmt_ms(mpich_dec), fmt_ms(pbio_enc),
+         fmt_ms(pbio_zero), fmt_ms(pbio_inplace), fmt_ms(pbio_copy),
+         fmt_ratio((mpich_enc + mpich_dec) / (pbio_enc + pbio_zero))});
+  }
+  table.print();
+  return 0;
+}
+
+}  // namespace
+}  // namespace pbio::bench
+
+int main() { return pbio::bench::run(); }

@@ -1,0 +1,115 @@
+// Online-visualization pipeline — the paper's motivating scenario (§1):
+// a running simulation streams records to a visualization consumer that
+// was deployed earlier and knows an *older* version of the message format.
+//
+// The simulation (v2) has evolved: it added a `pressure` field and
+// reordered fields. PBIO's name-based field matching lets the old consumer
+// keep working without recompilation — the paper's type-extension feature.
+//
+//   $ ./visualization_pipeline
+#include <cstdio>
+#include <thread>
+
+#include "pbio/pbio.h"
+#include "transport/socket.h"
+
+namespace {
+
+// The simulation's current (v2) record: evolved from v1.
+struct FrameV2 {
+  double sim_time;
+  double pressure;  // new in v2
+  int frame;
+  float grid[32];   // reordered relative to v1
+  char region[8];
+};
+
+// The visualization tool still compiled against v1: no pressure, different
+// field order, same names.
+struct FrameV1 {
+  int frame;
+  double sim_time;
+  float grid[32];
+  char region[8];
+};
+
+void run_simulation(pbio::Context& ctx, std::uint16_t port, int frames) {
+  auto ch = pbio::transport::socket_connect(port);
+  if (!ch.is_ok()) return;
+  const pbio::NativeField fields[] = {
+      PBIO_FIELD(FrameV2, sim_time, pbio::arch::CType::kDouble),
+      PBIO_FIELD(FrameV2, pressure, pbio::arch::CType::kDouble),
+      PBIO_FIELD(FrameV2, frame, pbio::arch::CType::kInt),
+      PBIO_ARRAY(FrameV2, grid, pbio::arch::CType::kFloat, 32),
+      PBIO_ARRAY(FrameV2, region, pbio::arch::CType::kChar, 8),
+  };
+  const auto id = ctx.register_format(
+      pbio::native_format("viz_frame", fields, sizeof(FrameV2)));
+  pbio::Writer writer(ctx, *ch.value());
+  for (int i = 0; i < frames; ++i) {
+    FrameV2 f{};
+    f.sim_time = i * 0.01;
+    f.pressure = 101.325 + i;
+    f.frame = i;
+    for (int g = 0; g < 32; ++g) {
+      f.grid[g] = static_cast<float>(g) * 0.5f + static_cast<float>(i);
+    }
+    std::snprintf(f.region, sizeof(f.region), "nozzle");
+    if (!writer.write(id, &f).is_ok()) return;
+  }
+}
+
+}  // namespace
+
+int main() {
+  pbio::Context sim_ctx;   // simulation process state
+  pbio::Context viz_ctx;   // visualization process state (separate!)
+
+  pbio::transport::SocketListener listener;
+  std::thread sim(run_simulation, std::ref(sim_ctx), listener.port(), 5);
+
+  // Visualization consumer: registers only the v1 format it was built with.
+  auto ch = listener.accept();
+  if (!ch.is_ok()) {
+    std::fprintf(stderr, "accept failed\n");
+    sim.join();
+    return 1;
+  }
+  const pbio::NativeField v1_fields[] = {
+      PBIO_FIELD(FrameV1, frame, pbio::arch::CType::kInt),
+      PBIO_FIELD(FrameV1, sim_time, pbio::arch::CType::kDouble),
+      PBIO_ARRAY(FrameV1, grid, pbio::arch::CType::kFloat, 32),
+      PBIO_ARRAY(FrameV1, region, pbio::arch::CType::kChar, 8),
+  };
+  const auto v1_id = viz_ctx.register_format(
+      pbio::native_format("viz_frame", v1_fields, sizeof(FrameV1)));
+  pbio::Reader reader(viz_ctx, *ch.value());
+  reader.expect(v1_id);
+
+  for (int i = 0; i < 5; ++i) {
+    auto msg = reader.next();
+    if (!msg.is_ok()) {
+      std::fprintf(stderr, "recv failed: %s\n",
+                   msg.status().to_string().c_str());
+      sim.join();
+      return 1;
+    }
+    // The v1 consumer decodes the v2 wire format by field name; `pressure`
+    // is silently ignored, reordering is absorbed by the conversion.
+    FrameV1 frame{};
+    if (pbio::Status st = msg.value().decode_into(&frame, sizeof(frame));
+        !st.is_ok()) {
+      std::fprintf(stderr, "decode failed: %s\n", st.to_string().c_str());
+      sim.join();
+      return 1;
+    }
+    std::printf("frame %d  t=%.2f  grid[0]=%.1f  region=%s  "
+                "(wire has %zu fields, consumer knows %zu)\n",
+                frame.frame, frame.sim_time, frame.grid[0], frame.region,
+                msg.value().wire_format().fields.size(),
+                msg.value().native_format()->fields.size());
+  }
+  sim.join();
+  std::printf("v1 visualization consumed v2 frames without recompilation.\n");
+  return 0;
+}

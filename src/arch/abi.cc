@@ -1,0 +1,218 @@
+#include "arch/abi.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace pbio::arch {
+
+const char* to_string(CType t) {
+  switch (t) {
+    case CType::kChar:
+      return "char";
+    case CType::kSChar:
+      return "signed char";
+    case CType::kUChar:
+      return "unsigned char";
+    case CType::kShort:
+      return "short";
+    case CType::kUShort:
+      return "unsigned short";
+    case CType::kInt:
+      return "int";
+    case CType::kUInt:
+      return "unsigned int";
+    case CType::kLong:
+      return "long";
+    case CType::kULong:
+      return "unsigned long";
+    case CType::kLongLong:
+      return "long long";
+    case CType::kULongLong:
+      return "unsigned long long";
+    case CType::kFloat:
+      return "float";
+    case CType::kDouble:
+      return "double";
+    case CType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+std::uint8_t Abi::size_of(CType t) const {
+  switch (t) {
+    case CType::kChar:
+    case CType::kSChar:
+    case CType::kUChar:
+      return 1;
+    case CType::kShort:
+    case CType::kUShort:
+      return sizeof_short;
+    case CType::kInt:
+    case CType::kUInt:
+      return sizeof_int;
+    case CType::kLong:
+    case CType::kULong:
+      return sizeof_long;
+    case CType::kLongLong:
+    case CType::kULongLong:
+      return sizeof_long_long;
+    case CType::kFloat:
+      return 4;
+    case CType::kDouble:
+      return 8;
+    case CType::kString:
+      return sizeof_pointer;
+  }
+  throw PbioError("Abi::size_of: bad CType");
+}
+
+std::uint8_t Abi::align_of(CType t) const {
+  const std::uint8_t size = size_of(t);
+  if (size == 8) {
+    if (is_float(t)) return align_double;
+    return align_int64;
+  }
+  // Natural alignment for everything narrower than 8 bytes on all modelled
+  // ABIs.
+  return size;
+}
+
+bool Abi::is_signed(CType t) {
+  switch (t) {
+    case CType::kSChar:
+    case CType::kShort:
+    case CType::kInt:
+    case CType::kLong:
+    case CType::kLongLong:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool Abi::is_float(CType t) {
+  return t == CType::kFloat || t == CType::kDouble;
+}
+
+namespace {
+
+Abi make_x86() {
+  Abi a;
+  a.name = "x86";
+  a.byte_order = ByteOrder::kLittle;
+  a.sizeof_long = 4;
+  a.sizeof_pointer = 4;
+  a.align_int64 = 4;
+  a.align_double = 4;
+  return a;
+}
+
+Abi make_x86_64() {
+  Abi a;
+  a.name = "x86_64";
+  a.byte_order = ByteOrder::kLittle;
+  return a;
+}
+
+Abi make_sparc_v8() {
+  Abi a;
+  a.name = "sparc_v8";
+  a.byte_order = ByteOrder::kBig;
+  a.sizeof_long = 4;
+  a.sizeof_pointer = 4;
+  return a;
+}
+
+Abi make_sparc_v9() {
+  Abi a;
+  a.name = "sparc_v9";
+  a.byte_order = ByteOrder::kBig;
+  return a;
+}
+
+Abi make_mips_be() {
+  Abi a;
+  a.name = "mips_be";
+  a.byte_order = ByteOrder::kBig;
+  a.sizeof_long = 4;
+  a.sizeof_pointer = 4;
+  return a;
+}
+
+Abi make_alpha() {
+  Abi a;
+  a.name = "alpha";
+  a.byte_order = ByteOrder::kLittle;
+  return a;
+}
+
+Abi make_ppc64() {
+  Abi a;
+  a.name = "ppc64";
+  a.byte_order = ByteOrder::kBig;
+  return a;
+}
+
+Abi make_riscv64() {
+  Abi a;
+  a.name = "riscv64";
+  a.byte_order = ByteOrder::kLittle;
+  return a;
+}
+
+}  // namespace
+
+const Abi& abi_x86() {
+  static const Abi a = make_x86();
+  return a;
+}
+const Abi& abi_x86_64() {
+  static const Abi a = make_x86_64();
+  return a;
+}
+const Abi& abi_sparc_v8() {
+  static const Abi a = make_sparc_v8();
+  return a;
+}
+const Abi& abi_sparc_v9() {
+  static const Abi a = make_sparc_v9();
+  return a;
+}
+const Abi& abi_mips_be() {
+  static const Abi a = make_mips_be();
+  return a;
+}
+const Abi& abi_alpha() {
+  static const Abi a = make_alpha();
+  return a;
+}
+const Abi& abi_ppc64() {
+  static const Abi a = make_ppc64();
+  return a;
+}
+const Abi& abi_riscv64() {
+  static const Abi a = make_riscv64();
+  return a;
+}
+
+const Abi& abi_host() {
+  // We model the host as x86-64; asserted by tests against real sizeofs.
+  return abi_x86_64();
+}
+
+const Abi* find_abi(std::string_view name) {
+  for (const Abi* a : all_abis()) {
+    if (a->name == name) return a;
+  }
+  return nullptr;
+}
+
+std::vector<const Abi*> all_abis() {
+  return {&abi_x86(),      &abi_x86_64(),  &abi_sparc_v8(),
+          &abi_sparc_v9(), &abi_mips_be(), &abi_alpha(),
+          &abi_ppc64(),    &abi_riscv64()};
+}
+
+}  // namespace pbio::arch

@@ -1,0 +1,89 @@
+// Virtual architecture (ABI) models.
+//
+// The paper measures exchanges between a big-endian Sparc and a little-endian
+// x86 PC. We reproduce heterogeneity on a single host by modelling each
+// architecture's ABI — byte order, C type sizes, and struct alignment rules —
+// and computing data layouts against those models. A "sparc sender" is then a
+// byte image laid out by the sparc ABI; converting it to the host layout
+// performs exactly the byte-swapping, field-moving and size-conversion work a
+// real heterogeneous exchange requires.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/endian.h"
+
+namespace pbio::arch {
+
+/// Portable C type vocabulary used in format *specifications*. The concrete
+/// size/alignment of each type is ABI-dependent; see `Abi`.
+enum class CType : std::uint8_t {
+  kChar,       // always 1 byte; unsigned semantics for transport
+  kSChar,      // signed 1 byte
+  kUChar,      // unsigned 1 byte
+  kShort,      // signed, sizeof per ABI (2 everywhere we model)
+  kUShort,
+  kInt,        // signed, 4 everywhere we model
+  kUInt,
+  kLong,       // signed, 4 or 8 depending on ABI — a key paper scenario
+  kULong,
+  kLongLong,   // signed 8
+  kULongLong,
+  kFloat,      // IEEE binary32
+  kDouble,     // IEEE binary64
+  kString,     // char* on the native side, inline bytes on the wire
+};
+
+const char* to_string(CType t);
+
+/// A modelled application binary interface.
+struct Abi {
+  std::string name;
+  ByteOrder byte_order = ByteOrder::kLittle;
+
+  std::uint8_t sizeof_short = 2;
+  std::uint8_t sizeof_int = 4;
+  std::uint8_t sizeof_long = 8;
+  std::uint8_t sizeof_long_long = 8;
+  std::uint8_t sizeof_pointer = 8;
+
+  // Struct-member alignment for 8-byte scalars. The System V i386 ABI aligns
+  // double and long long to 4 bytes inside structs — a real-world source of
+  // the layout mismatches the paper's conversions must handle.
+  std::uint8_t align_int64 = 8;
+  std::uint8_t align_double = 8;
+
+  /// Size in bytes of `t` under this ABI.
+  std::uint8_t size_of(CType t) const;
+  /// Struct-member alignment of `t` under this ABI.
+  std::uint8_t align_of(CType t) const;
+  /// True if `t` is a signed integer type.
+  static bool is_signed(CType t);
+  /// True if `t` is a floating-point type.
+  static bool is_float(CType t);
+
+  bool operator==(const Abi&) const = default;
+};
+
+/// Well-known modelled architectures.
+const Abi& abi_x86();       // i386 System V: LE, long=4, ptr=4, double@4
+const Abi& abi_x86_64();    // LE, long=8, ptr=8
+const Abi& abi_sparc_v8();  // BE, long=4, ptr=4
+const Abi& abi_sparc_v9();  // BE, long=8, ptr=8 (64-bit mode)
+const Abi& abi_mips_be();   // BE, long=4, ptr=4, natural alignment
+const Abi& abi_alpha();     // LE, long=8, ptr=8
+const Abi& abi_ppc64();     // BE, long=8, ptr=8 (64-bit PowerPC)
+const Abi& abi_riscv64();   // LE, long=8, ptr=8
+/// The ABI of the machine this process runs on (x86-64 model on x86-64).
+const Abi& abi_host();
+
+/// Look up a modelled ABI by name; nullptr if unknown.
+const Abi* find_abi(std::string_view name);
+
+/// All modelled ABIs (for parameterized tests).
+std::vector<const Abi*> all_abis();
+
+}  // namespace pbio::arch

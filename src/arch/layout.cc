@@ -1,0 +1,144 @@
+#include "arch/layout.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace pbio::arch {
+
+namespace {
+
+std::uint32_t align_up(std::uint32_t v, std::uint32_t a) {
+  return (v + a - 1) / a * a;
+}
+
+fmt::BaseType base_type_of(CType t) {
+  switch (t) {
+    case CType::kChar:
+    case CType::kUChar:
+      return fmt::BaseType::kChar;
+    case CType::kSChar:
+    case CType::kShort:
+    case CType::kInt:
+    case CType::kLong:
+    case CType::kLongLong:
+      return fmt::BaseType::kInt;
+    case CType::kUShort:
+    case CType::kUInt:
+    case CType::kULong:
+    case CType::kULongLong:
+      return fmt::BaseType::kUInt;
+    case CType::kFloat:
+    case CType::kDouble:
+      return fmt::BaseType::kFloat;
+    case CType::kString:
+      return fmt::BaseType::kString;
+  }
+  throw PbioError("base_type_of: bad CType");
+}
+
+struct LaidOut {
+  fmt::FormatDesc desc;
+  std::uint32_t align = 1;
+};
+
+const StructSpec* find_sub(const std::vector<StructSpec>& subs,
+                           const std::string& name) {
+  for (const StructSpec& s : subs) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+/// Lay out one struct. `subs` is the root spec's subformat library;
+/// `laid_subs` caches already-laid-out subformats (name -> LaidOut).
+LaidOut layout_one(const StructSpec& spec, const Abi& abi,
+                   const std::vector<StructSpec>& subs,
+                   std::vector<std::pair<std::string, LaidOut>>& laid_subs,
+                   bool is_subformat) {
+  LaidOut out;
+  out.desc.name = spec.name;
+  out.desc.byte_order = abi.byte_order;
+  out.desc.pointer_size = abi.sizeof_pointer;
+  out.desc.arch_name = abi.name;
+
+  std::uint32_t cursor = 0;
+  for (const SpecField& sf : spec.fields) {
+    fmt::FieldDesc fd;
+    fd.name = sf.name;
+    fd.static_elems = sf.array_elems;
+    fd.var_dim_field = sf.var_dim_field;
+
+    std::uint32_t align = 1;
+    if (!sf.subformat.empty()) {
+      if (is_subformat) {
+        throw PbioError("nested struct '" + sf.name +
+                        "' inside subformat '" + spec.name +
+                        "' is not supported (subformats are kept flat)");
+      }
+      // Struct-typed field: lay out (or fetch) the element type first.
+      const LaidOut* sub_laid = nullptr;
+      for (const auto& [name, l] : laid_subs) {
+        if (name == sf.subformat) {
+          sub_laid = &l;
+          break;
+        }
+      }
+      if (sub_laid == nullptr) {
+        const StructSpec* sub_spec = find_sub(subs, sf.subformat);
+        if (sub_spec == nullptr) {
+          throw PbioError("field '" + sf.name + "': unknown subformat '" +
+                          sf.subformat + "'");
+        }
+        laid_subs.emplace_back(
+            sf.subformat,
+            layout_one(*sub_spec, abi, subs, laid_subs, /*is_subformat=*/true));
+        sub_laid = &laid_subs.back().second;
+      }
+      fd.base = fmt::BaseType::kStruct;
+      fd.subformat = sf.subformat;
+      fd.elem_size = sub_laid->desc.fixed_size;
+      align = sub_laid->align;
+    } else {
+      fd.base = base_type_of(sf.type);
+      fd.elem_size = (sf.type == CType::kString) ? 1 : abi.size_of(sf.type);
+      align = abi.align_of(sf.type);
+    }
+
+    const bool variable = fd.is_variable();
+    if (variable) {
+      // Pointer slot (char* / T*): aligned and sized as a pointer.
+      align = abi.sizeof_pointer;
+      fd.slot_size = abi.sizeof_pointer;
+    } else {
+      fd.slot_size = fd.elem_size * fd.static_elems;
+    }
+
+    cursor = align_up(cursor, align);
+    fd.offset = cursor;
+    cursor += fd.slot_size;
+    out.align = std::max(out.align, align);
+    out.desc.fields.push_back(std::move(fd));
+  }
+  out.desc.fixed_size = align_up(std::max<std::uint32_t>(cursor, 1), out.align);
+  return out;
+}
+
+}  // namespace
+
+fmt::FormatDesc layout_format(const StructSpec& spec, const Abi& abi) {
+  std::vector<std::pair<std::string, LaidOut>> laid_subs;
+  LaidOut root =
+      layout_one(spec, abi, spec.subs, laid_subs, /*is_subformat=*/false);
+  for (auto& [name, laid] : laid_subs) {
+    root.desc.subformats.push_back(std::move(laid.desc));
+  }
+  root.desc.validate();
+  return std::move(root.desc);
+}
+
+std::uint32_t layout_size(const StructSpec& spec, const Abi& abi) {
+  return layout_format(spec, abi).fixed_size;
+}
+
+}  // namespace pbio::arch

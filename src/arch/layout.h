@@ -1,0 +1,44 @@
+// Struct layout engine: maps a portable struct specification to the concrete
+// memory layout a C compiler would produce under a given ABI.
+//
+// This is the key piece of the heterogeneity simulation — it lets a single
+// host materialize the exact byte image a Sparc or i386 program would hand
+// to PBIO, including the ABI's padding and alignment decisions (e.g. the
+// i386 rule that 8-byte scalars align to 4 inside structs).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "arch/abi.h"
+#include "fmt/format.h"
+
+namespace pbio::arch {
+
+/// One field in a portable struct specification.
+struct SpecField {
+  std::string name;
+  CType type = CType::kInt;
+  std::uint32_t array_elems = 1;   // fixed array element count; 1 for scalar
+  std::string var_dim_field;       // non-empty: variable array sized by field
+  std::string subformat;           // non-empty: struct-typed field
+};
+
+/// A portable struct specification: type names instead of sizes, no offsets.
+/// `subs` lists the specs of any nested struct types, by name.
+struct StructSpec {
+  std::string name;
+  std::vector<SpecField> fields;
+  std::vector<StructSpec> subs;
+};
+
+/// Compute the concrete layout of `spec` under `abi`, producing a format
+/// description equivalent to what a program compiled for that ABI would
+/// register with PBIO. Throws PbioError on malformed specs.
+fmt::FormatDesc layout_format(const StructSpec& spec, const Abi& abi);
+
+/// sizeof() the fixed part of `spec` under `abi`.
+std::uint32_t layout_size(const StructSpec& spec, const Abi& abi);
+
+}  // namespace pbio::arch

@@ -1,0 +1,36 @@
+#include "baselines/cdr/giop.h"
+
+#include <cstring>
+
+namespace pbio::cdr {
+
+void write_giop_header(const GiopHeader& h, ByteBuffer& out) {
+  out.append(GiopHeader::kMagic, 4);
+  out.append_uint(h.version_major, 1, ByteOrder::kLittle);
+  out.append_uint(h.version_minor, 1, ByteOrder::kLittle);
+  // flags: bit 0 = little-endian body
+  out.append_uint(h.byte_order == ByteOrder::kLittle ? 1 : 0, 1,
+                  ByteOrder::kLittle);
+  out.append_uint(h.message_type, 1, ByteOrder::kLittle);
+  // body length is written in the sender's own byte order (per GIOP).
+  out.append_uint(h.body_length, 4, h.byte_order);
+}
+
+Result<GiopHeader> read_giop_header(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < GiopHeader::kSize) {
+    return Status(Errc::kTruncated, "giop: short header");
+  }
+  if (std::memcmp(bytes.data(), GiopHeader::kMagic, 4) != 0) {
+    return Status(Errc::kMalformed, "giop: bad magic");
+  }
+  GiopHeader h;
+  h.version_major = bytes[4];
+  h.version_minor = bytes[5];
+  h.byte_order = (bytes[6] & 1) != 0 ? ByteOrder::kLittle : ByteOrder::kBig;
+  h.message_type = bytes[7];
+  h.body_length = static_cast<std::uint32_t>(
+      load_uint(bytes.data() + 8, 4, h.byte_order));
+  return h;
+}
+
+}  // namespace pbio::cdr

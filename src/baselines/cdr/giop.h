@@ -1,0 +1,31 @@
+// GIOP-lite message framing: the 12-byte header carrying the magic, the
+// byte-order flag ("reader-makes-right") and the body length — the part of
+// IIOP the paper's wire-format discussion concerns.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/buffer.h"
+#include "util/error.h"
+
+namespace pbio::cdr {
+
+struct GiopHeader {
+  static constexpr std::size_t kSize = 12;
+  static constexpr std::uint8_t kMagic[4] = {'G', 'I', 'O', 'P'};
+
+  std::uint8_t version_major = 1;
+  std::uint8_t version_minor = 2;
+  ByteOrder byte_order = ByteOrder::kLittle;  // flag bit 0
+  std::uint8_t message_type = 0;              // Request
+  std::uint32_t body_length = 0;
+};
+
+/// Append a GIOP header to `out`.
+void write_giop_header(const GiopHeader& h, ByteBuffer& out);
+
+/// Parse a GIOP header from the front of `bytes`.
+Result<GiopHeader> read_giop_header(std::span<const std::uint8_t> bytes);
+
+}  // namespace pbio::cdr

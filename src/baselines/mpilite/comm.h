@@ -1,0 +1,29 @@
+// MPI-like point-to-point messaging over a Channel: send packs into a
+// canonical buffer, receive unpacks into the caller's buffer (always via a
+// separate staging buffer, as MPICH does).
+#pragma once
+
+#include "baselines/mpilite/pack.h"
+#include "transport/channel.h"
+
+namespace pbio::mpilite {
+
+class Comm {
+ public:
+  explicit Comm(transport::Channel& channel) : channel_(channel) {}
+
+  /// Pack `count` items of `t` from `buf` and send them with `tag`.
+  Status send(const Datatype& t, const void* buf, std::uint32_t count,
+              std::uint32_t tag);
+
+  /// Receive the next message; its payload is unpacked into `buf`
+  /// (`buf_size` bytes, must hold count * extent). Fails on tag mismatch.
+  Status recv(const Datatype& t, void* buf, std::size_t buf_size,
+              std::uint32_t count, std::uint32_t expected_tag);
+
+ private:
+  transport::Channel& channel_;
+  ByteBuffer pack_buf_;
+};
+
+}  // namespace pbio::mpilite

@@ -1,0 +1,81 @@
+#include "baselines/mpilite/pack.h"
+
+#include "util/endian.h"
+
+namespace pbio::mpilite {
+
+namespace {
+constexpr ByteOrder kCanonicalOrder = ByteOrder::kBig;
+}
+
+std::uint64_t pack_size(const Datatype& t, std::uint32_t count) {
+  return t.packed_size() * count;
+}
+
+Status pack(const Datatype& t, const void* in, std::uint32_t count,
+            ByteBuffer& out) {
+  const auto* base = static_cast<const std::uint8_t*>(in);
+  const arch::Abi& abi = t.abi();
+  const ByteOrder native_order = abi.byte_order;
+  out.reserve(out.size() + pack_size(t, count));
+
+  // The interpreted marshalling loop: one dispatch per element.
+  for (std::uint32_t c = 0; c < count; ++c) {
+    const std::uint8_t* item = base + c * t.extent();
+    for (const TypeEntry& e : t.typemap()) {
+      const std::uint8_t* p = item + e.offset;
+      const std::uint32_t ns = native_size(e.kind, abi);
+      const std::uint32_t cs = canonical_size(e.kind);
+      if (is_float(e.kind)) {
+        out.append_float(load_float(p, ns, native_order), cs,
+                         kCanonicalOrder);
+      } else if (is_signed(e.kind)) {
+        out.append_uint(
+            static_cast<std::uint64_t>(load_int(p, ns, native_order)), cs,
+            kCanonicalOrder);
+      } else {
+        out.append_uint(load_uint(p, ns, native_order), cs, kCanonicalOrder);
+      }
+    }
+  }
+  return Status::ok();
+}
+
+Status unpack(const Datatype& t, std::span<const std::uint8_t> in, void* out,
+              std::size_t out_size, std::uint32_t count) {
+  if (in.size() < pack_size(t, count)) {
+    return Status(Errc::kTruncated, "mpilite: short packed buffer");
+  }
+  if (out_size < t.extent() * count) {
+    return Status(Errc::kTruncated, "mpilite: unpack buffer too small");
+  }
+  auto* base = static_cast<std::uint8_t*>(out);
+  const arch::Abi& abi = t.abi();
+  const ByteOrder native_order = abi.byte_order;
+
+  std::size_t at = 0;
+  for (std::uint32_t c = 0; c < count; ++c) {
+    std::uint8_t* item = base + c * t.extent();
+    for (const TypeEntry& e : t.typemap()) {
+      std::uint8_t* p = item + e.offset;
+      const std::uint32_t ns = native_size(e.kind, abi);
+      const std::uint32_t cs = canonical_size(e.kind);
+      if (is_float(e.kind)) {
+        store_float(p, load_float(in.data() + at, cs, kCanonicalOrder), ns,
+                    native_order);
+      } else if (is_signed(e.kind)) {
+        store_uint(p,
+                   static_cast<std::uint64_t>(
+                       load_int(in.data() + at, cs, kCanonicalOrder)),
+                   ns, native_order);
+      } else {
+        store_uint(p, load_uint(in.data() + at, cs, kCanonicalOrder), ns,
+                   native_order);
+      }
+      at += cs;
+    }
+  }
+  return Status::ok();
+}
+
+}  // namespace pbio::mpilite

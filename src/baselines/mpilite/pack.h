@@ -1,0 +1,32 @@
+// MPI_Pack / MPI_Unpack equivalents.
+//
+// The cost structure deliberately mirrors MPICH's as characterized by the
+// paper: a table-driven loop visits every element of the flattened typemap
+// with a per-element type dispatch; packing always produces the canonical
+// contiguous big-endian representation (so the sender pays conversion+copy
+// even between identical machines), and unpacking writes a *separate*
+// destination buffer rather than reusing the receive buffer (§4.3).
+#pragma once
+
+#include <span>
+
+#include "baselines/mpilite/datatype.h"
+#include "util/buffer.h"
+#include "util/error.h"
+
+namespace pbio::mpilite {
+
+/// Wire bytes produced by packing `count` items of `t`.
+std::uint64_t pack_size(const Datatype& t, std::uint32_t count);
+
+/// Pack `count` items from the native buffer `in` (laid out per the
+/// datatype's ABI) into canonical representation appended to `out`.
+Status pack(const Datatype& t, const void* in, std::uint32_t count,
+            ByteBuffer& out);
+
+/// Unpack `count` items from canonical bytes into the native buffer `out`
+/// (size `out_size`, laid out per the datatype's ABI).
+Status unpack(const Datatype& t, std::span<const std::uint8_t> in,
+              void* out, std::size_t out_size, std::uint32_t count);
+
+}  // namespace pbio::mpilite

@@ -1,0 +1,235 @@
+#include "baselines/xmlwire/decode.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/xmlwire/sax.h"
+#include "util/endian.h"
+
+namespace pbio::xmlwire {
+
+namespace {
+
+using fmt::BaseType;
+using fmt::FieldDesc;
+using fmt::FormatDesc;
+
+class XmlDecoder {
+ public:
+  XmlDecoder(const FormatDesc& f, std::span<std::uint8_t> image,
+             ByteBuffer* var)
+      : root_(f), image_(image), var_(var) {}
+
+  Status run(std::string_view xml) {
+    std::memset(image_.data(), 0, image_.size());
+    SaxHandlers h;
+    h.start_element = [this](std::string_view name, const auto& attrs) {
+      (void)attrs;
+      on_start(name);
+    };
+    h.end_element = [this](std::string_view name) { on_end(name); };
+    h.char_data = [this](std::string_view text) {
+      if (collecting_) text_ += text;
+    };
+    Status st = sax_parse(xml, h);
+    if (!st.is_ok()) return st;
+    if (!error_.is_ok()) return error_;
+    if (!saw_root_) return Status(Errc::kParse, "xml: missing <rec> root");
+    return Status::ok();
+  }
+
+ private:
+  void fail(const std::string& what) {
+    if (error_.is_ok()) error_ = Status(Errc::kParse, "xml: " + what);
+  }
+
+  void on_start(std::string_view name) {
+    ++depth_;
+    if (depth_ == 1) {
+      saw_root_ = name == "rec";
+      if (!saw_root_) fail("unexpected root element");
+      return;
+    }
+    if (depth_ == 2) {
+      field_ = root_.find_field(name);  // unknown fields: nullptr -> skipped
+      sub_ = nullptr;
+      sub_base_ = nullptr;
+      if (field_ != nullptr && field_->base == BaseType::kStruct) {
+        sub_pos_.clear();  // element positions restart per struct element
+        sub_ = root_.find_subformat(field_->subformat);
+        const std::uint32_t index = struct_count_[std::string(name)]++;
+        if (field_->var_dim_field.empty()) {
+          if (index < field_->static_elems) {
+            sub_base_ = image_.data() + field_->offset +
+                        index * field_->elem_size;
+          }
+        } else {
+          sub_base_ = var_struct_slot(*field_, index);
+        }
+      }
+      collecting_ = field_ != nullptr && sub_ == nullptr;
+      text_.clear();
+      return;
+    }
+    if (depth_ == 3 && sub_ != nullptr && sub_base_ != nullptr) {
+      sub_field_ = sub_->find_field(name);
+      collecting_ = sub_field_ != nullptr;
+      text_.clear();
+      return;
+    }
+    collecting_ = false;
+  }
+
+  void on_end(std::string_view name) {
+    (void)name;
+    if (depth_ == 2 && field_ != nullptr && sub_ == nullptr) {
+      store_field(root_, *field_, image_.data(), text_,
+                  &field_pos_[field_->name]);
+    } else if (depth_ == 3 && sub_ != nullptr && sub_base_ != nullptr &&
+               sub_field_ != nullptr) {
+      store_field(*sub_, *sub_field_, sub_base_, text_,
+                  &sub_pos_[sub_field_->name]);
+      sub_field_ = nullptr;
+    }
+    collecting_ = false;
+    --depth_;
+  }
+
+  /// Reserve (on first use) the variable-array block for struct field `fd`
+  /// and return the base of element `index` within it.
+  std::uint8_t* var_struct_slot(const FieldDesc& fd, std::uint32_t index) {
+    if (var_ == nullptr) {
+      fail("variable data without buffer");
+      return nullptr;
+    }
+    const FieldDesc* dim = root_.find_field(fd.var_dim_field);
+    if (dim == nullptr) return nullptr;
+    // The dim field must have been decoded already (sender emits it first).
+    const std::uint64_t count = load_uint(image_.data() + dim->offset,
+                                          dim->elem_size, root_.byte_order);
+    if (index >= count) return nullptr;
+    auto it = var_blocks_.find(fd.name);
+    if (it == var_blocks_.end()) {
+      var_->align_to(8);
+      const std::size_t at = var_->size();
+      var_->append_zeros(count * fd.elem_size);
+      store_uint(image_.data() + fd.offset, root_.fixed_size + at,
+                 root_.pointer_size, root_.byte_order);
+      it = var_blocks_.emplace(fd.name, at).first;
+    }
+    return var_->data() + it->second + index * fd.elem_size;
+  }
+
+  /// Store parsed text into field `fd`. `pos` is the next element index
+  /// for this field in the current scope — repeated elements (the
+  /// element-per-value wire style) append where the last one stopped.
+  void store_field(const FormatDesc& fmt_ctx, const FieldDesc& fd,
+                   std::uint8_t* base, const std::string& text,
+                   std::uint64_t* pos) {
+    (void)fmt_ctx;
+    const ByteOrder order = root_.byte_order;
+    std::uint8_t* slot = base + fd.offset;
+
+    if (fd.base == BaseType::kString) {
+      if (var_ == nullptr) {
+        fail("string without variable buffer");
+        return;
+      }
+      const std::size_t at = var_->size();
+      var_->append(text.data(), text.size());
+      var_->append_zeros(1);
+      store_uint(slot, root_.fixed_size + at, root_.pointer_size, order);
+      return;
+    }
+    if (fd.base == BaseType::kChar) {
+      const std::size_t n =
+          std::min<std::size_t>(text.size(), fd.static_elems);
+      std::memcpy(slot, text.data(), n);
+      return;
+    }
+    if (fd.base == BaseType::kStruct) return;  // handled structurally
+
+    // Numeric: parse whitespace-separated values starting at *pos.
+    std::uint64_t count = fd.static_elems;
+    std::uint8_t* out = slot;
+    if (!fd.var_dim_field.empty()) {
+      const FieldDesc* dim = root_.find_field(fd.var_dim_field);
+      if (dim == nullptr) return;
+      count = load_uint(image_.data() + dim->offset, dim->elem_size, order);
+      if (count == 0) return;
+      if (var_ == nullptr) {
+        fail("variable array without buffer");
+        return;
+      }
+      auto it = var_blocks_.find(fd.name);
+      if (it == var_blocks_.end()) {
+        var_->align_to(8);
+        const std::size_t at = var_->size();
+        var_->append_zeros(count * fd.elem_size);
+        store_uint(slot, root_.fixed_size + at, root_.pointer_size, order);
+        it = var_blocks_.emplace(fd.name, at).first;
+      }
+      out = var_->data() + it->second;
+    }
+
+    const char* p = text.c_str();
+    std::uint64_t i = *pos;
+    while (i < count) {
+      while (*p == ' ' || *p == '\n' || *p == '\t') ++p;
+      if (*p == '\0') break;
+      char* end = nullptr;
+      if (fd.base == BaseType::kFloat) {
+        const double v = std::strtod(p, &end);
+        store_float(out + i * fd.elem_size, v, fd.elem_size, order);
+      } else if (fd.base == BaseType::kInt) {
+        const long long v = std::strtoll(p, &end, 10);
+        store_uint(out + i * fd.elem_size, static_cast<std::uint64_t>(v),
+                   fd.elem_size, order);
+      } else {
+        const unsigned long long v = std::strtoull(p, &end, 10);
+        store_uint(out + i * fd.elem_size, v, fd.elem_size, order);
+      }
+      if (end == p) {
+        fail("bad number in field '" + fd.name + "'");
+        return;
+      }
+      p = end;
+      ++i;
+    }
+    *pos = i;
+  }
+
+  const FormatDesc& root_;
+  std::span<std::uint8_t> image_;
+  ByteBuffer* var_;
+
+  Status error_;
+  int depth_ = 0;
+  bool saw_root_ = false;
+  bool collecting_ = false;
+  const FieldDesc* field_ = nullptr;
+  const FormatDesc* sub_ = nullptr;
+  std::uint8_t* sub_base_ = nullptr;
+  const FieldDesc* sub_field_ = nullptr;
+  std::string text_;
+  std::unordered_map<std::string, std::uint32_t> struct_count_;
+  std::unordered_map<std::string, std::size_t> var_blocks_;
+  std::unordered_map<std::string, std::uint64_t> field_pos_;
+  std::unordered_map<std::string, std::uint64_t> sub_pos_;
+};
+
+}  // namespace
+
+Status decode_xml(const FormatDesc& f, std::string_view xml,
+                  std::span<std::uint8_t> image, ByteBuffer* var) {
+  if (image.size() < f.fixed_size) {
+    return Status(Errc::kTruncated, "xml: image buffer too small");
+  }
+  return XmlDecoder(f, image, var).run(xml);
+}
+
+}  // namespace pbio::xmlwire

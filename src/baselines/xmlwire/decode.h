@@ -1,0 +1,25 @@
+// XML wire-format decoder: SAX-parse the message, match elements to the
+// receiver's native fields *by name*, convert text to binary and store at
+// native offsets. Unknown elements are skipped — XML's type-extension
+// robustness the paper compares PBIO against (§4.4).
+#pragma once
+
+#include <span>
+#include <string_view>
+
+#include "fmt/format.h"
+#include "util/buffer.h"
+#include "util/error.h"
+
+namespace pbio::xmlwire {
+
+/// Decode `xml` into a native record image for format `f` (host or
+/// simulated ABI; values are stored with the format's byte order).
+/// `image` must be f.fixed_size bytes and is zero-filled first. Variable
+/// data (strings, variable arrays) is appended to `var` with offset slots,
+/// mirroring the offsets convention used elsewhere; pass nullptr when the
+/// format is fixed-layout.
+Status decode_xml(const fmt::FormatDesc& f, std::string_view xml,
+                  std::span<std::uint8_t> image, ByteBuffer* var = nullptr);
+
+}  // namespace pbio::xmlwire

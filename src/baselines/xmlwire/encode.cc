@@ -1,0 +1,186 @@
+#include "baselines/xmlwire/encode.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "baselines/xmlwire/sax.h"
+#include "util/endian.h"
+
+namespace pbio::xmlwire {
+
+namespace {
+
+using fmt::BaseType;
+using fmt::FieldDesc;
+using fmt::FormatDesc;
+
+class XmlEncoder {
+ public:
+  XmlEncoder(const FormatDesc& root, std::span<const std::uint8_t> bytes,
+             std::string& out, const XmlStyle& style)
+      : root_(root), bytes_(bytes), out_(out), style_(style) {}
+
+  Status run() {
+    out_ += "<rec fmt=\"";
+    xml_escape(root_.name, out_);
+    out_ += "\">";
+    Status st = encode_struct(root_, bytes_.data());
+    if (!st.is_ok()) return st;
+    out_ += "</rec>";
+    return Status::ok();
+  }
+
+ private:
+  Status encode_struct(const FormatDesc& f, const std::uint8_t* base) {
+    for (const FieldDesc& fd : f.fields) {
+      Status st = encode_field(f, fd, base);
+      if (!st.is_ok()) return st;
+    }
+    return Status::ok();
+  }
+
+  Status encode_field(const FormatDesc& f, const FieldDesc& fd,
+                      const std::uint8_t* base) {
+    const std::uint8_t* slot = base + fd.offset;
+    const ByteOrder order = root_.byte_order;
+
+    if (fd.base == BaseType::kStruct) {
+      const FormatDesc* sub = root_.find_subformat(fd.subformat);
+      if (sub == nullptr) {
+        return Status(Errc::kMalformed, "xml: dangling subformat");
+      }
+      std::uint64_t count = fd.static_elems;
+      const std::uint8_t* elems = slot;
+      if (!fd.var_dim_field.empty()) {
+        Status st = var_geometry(f, fd, base, &count, &elems);
+        if (!st.is_ok()) return st;
+      }
+      for (std::uint64_t i = 0; i < count; ++i) {
+        open(fd.name);
+        Status st = encode_struct(*sub, elems + i * fd.elem_size);
+        if (!st.is_ok()) return st;
+        close(fd.name);
+      }
+      return Status::ok();
+    }
+
+    if (fd.base == BaseType::kString) {
+      const std::uint64_t off =
+          load_uint(slot, root_.pointer_size, order);
+      open(fd.name);
+      if (off != 0) {
+        if (off >= bytes_.size()) {
+          return Status(Errc::kMalformed, "xml: string offset out of range");
+        }
+        const auto* start = bytes_.data() + off;
+        const auto* nul = static_cast<const std::uint8_t*>(
+            std::memchr(start, 0, bytes_.size() - off));
+        if (nul == nullptr) {
+          return Status(Errc::kMalformed, "xml: unterminated string");
+        }
+        xml_escape(std::string_view(reinterpret_cast<const char*>(start),
+                                    static_cast<std::size_t>(nul - start)),
+                   out_);
+      }
+      close(fd.name);
+      return Status::ok();
+    }
+
+    if (fd.base == BaseType::kChar) {
+      // Char arrays are text (trailing NULs trimmed).
+      open(fd.name);
+      std::size_t n = fd.static_elems;
+      while (n > 0 && slot[n - 1] == 0) --n;
+      xml_escape(std::string_view(reinterpret_cast<const char*>(slot), n),
+                 out_);
+      close(fd.name);
+      return Status::ok();
+    }
+
+    // Numeric scalar / array / variable array.
+    std::uint64_t count = fd.static_elems;
+    const std::uint8_t* elems = slot;
+    if (!fd.var_dim_field.empty()) {
+      Status st = var_geometry(f, fd, base, &count, &elems);
+      if (!st.is_ok()) return st;
+    }
+    if (!style_.element_per_value) open(fd.name);
+    char buf[48];
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::uint8_t* p = elems + i * fd.elem_size;
+      int len = 0;
+      if (fd.base == BaseType::kFloat) {
+        // %.17g / %.9g keep doubles / floats bit-exact through the text.
+        len = std::snprintf(buf, sizeof(buf), fd.elem_size == 8 ? "%.17g"
+                                                                : "%.9g",
+                            load_float(p, fd.elem_size, order));
+      } else if (fd.base == BaseType::kInt) {
+        len = std::snprintf(buf, sizeof(buf), "%" PRId64,
+                            load_int(p, fd.elem_size, order));
+      } else {
+        len = std::snprintf(buf, sizeof(buf), "%" PRIu64,
+                            load_uint(p, fd.elem_size, order));
+      }
+      if (style_.element_per_value) {
+        open(fd.name);
+        out_.append(buf, static_cast<std::size_t>(len));
+        close(fd.name);
+      } else {
+        if (i != 0) out_ += ' ';
+        out_.append(buf, static_cast<std::size_t>(len));
+      }
+    }
+    if (!style_.element_per_value) close(fd.name);
+    return Status::ok();
+  }
+
+  Status var_geometry(const FormatDesc& f, const FieldDesc& fd,
+                      const std::uint8_t* base, std::uint64_t* count,
+                      const std::uint8_t** elems) {
+    const FieldDesc* dim = f.find_field(fd.var_dim_field);
+    if (dim == nullptr) {
+      return Status(Errc::kMalformed, "xml: dangling var dim");
+    }
+    *count = load_uint(base + dim->offset, dim->elem_size, root_.byte_order);
+    const std::uint64_t off =
+        load_uint(base + fd.offset, root_.pointer_size, root_.byte_order);
+    if (*count == 0) {
+      *elems = nullptr;
+      return Status::ok();
+    }
+    if (off == 0 || off + *count * fd.elem_size > bytes_.size()) {
+      return Status(Errc::kMalformed, "xml: variable array out of range");
+    }
+    *elems = bytes_.data() + off;
+    return Status::ok();
+  }
+
+  void open(const std::string& name) {
+    out_ += '<';
+    out_ += name;
+    out_ += '>';
+  }
+  void close(const std::string& name) {
+    out_ += "</";
+    out_ += name;
+    out_ += '>';
+  }
+
+  const FormatDesc& root_;
+  std::span<const std::uint8_t> bytes_;
+  std::string& out_;
+  XmlStyle style_;
+};
+
+}  // namespace
+
+Status encode_xml(const FormatDesc& f, std::span<const std::uint8_t> bytes,
+                  std::string& out, const XmlStyle& style) {
+  if (bytes.size() < f.fixed_size) {
+    return Status(Errc::kTruncated, "xml: image smaller than record");
+  }
+  return XmlEncoder(f, bytes, out, style).run();
+}
+
+}  // namespace pbio::xmlwire

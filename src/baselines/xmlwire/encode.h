@@ -1,0 +1,33 @@
+// XML wire-format encoder: binary record image -> self-describing text.
+//
+// This is the flexibility end of the paper's spectrum: every record carries
+// full field names, and the receiver needs no a-priori knowledge — at the
+// price of binary->ASCII conversion on send, ASCII->binary on receive, and
+// a 6-8x expansion of the bytes on the wire (paper §2).
+//
+// Representation: <rec fmt="name"> <field>value</field> ... </rec>
+// Arrays are space-separated values inside one element; nested structs
+// repeat their element per array entry.
+#pragma once
+
+#include <span>
+#include <string>
+
+#include "fmt/format.h"
+#include "util/error.h"
+
+namespace pbio::xmlwire {
+
+struct XmlStyle {
+  /// Wrap every array element in its own <field>...</field> pair — the
+  /// style of 2000-era XML encoders the paper measured (expansion 6-8x).
+  /// When false, arrays are space-separated inside one element (compact).
+  bool element_per_value = false;
+};
+
+/// Encode the record image `bytes` (described by `f`, any ABI) as XML,
+/// appended to `out`.
+Status encode_xml(const fmt::FormatDesc& f, std::span<const std::uint8_t> bytes,
+                  std::string& out, const XmlStyle& style = {});
+
+}  // namespace pbio::xmlwire

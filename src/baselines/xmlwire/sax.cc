@@ -1,0 +1,289 @@
+#include "baselines/xmlwire/sax.h"
+
+#include <cstdlib>
+
+namespace pbio::xmlwire {
+
+void xml_escape(std::string_view s, std::string& out) {
+  for (char c : s) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      case '\'':
+        out += "&apos;";
+        break;
+      default:
+        out += c;
+        break;
+    }
+  }
+}
+
+namespace {
+
+bool is_name_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+         c == ':';
+}
+
+bool is_name_char(char c) {
+  return is_name_start(c) || (c >= '0' && c <= '9') || c == '-' || c == '.';
+}
+
+bool is_space(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r';
+}
+
+class Parser {
+ public:
+  Parser(std::string_view in, const SaxHandlers& h) : in_(in), h_(h) {}
+
+  Status run() {
+    while (pos_ < in_.size()) {
+      if (in_[pos_] == '<') {
+        Status st = markup();
+        if (!st.is_ok()) return st;
+      } else {
+        Status st = char_data();
+        if (!st.is_ok()) return st;
+      }
+    }
+    if (depth_ != 0) {
+      return error("unclosed element at end of input");
+    }
+    return Status::ok();
+  }
+
+ private:
+  Status error(const std::string& what) {
+    return Status(Errc::kParse,
+                  "xml: " + what + " at offset " + std::to_string(pos_));
+  }
+
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < in_.size() ? in_[pos_ + ahead] : '\0';
+  }
+
+  bool starts_with(std::string_view s) const {
+    return in_.substr(pos_).starts_with(s);
+  }
+
+  void skip_space() {
+    while (pos_ < in_.size() && is_space(in_[pos_])) ++pos_;
+  }
+
+  Status markup() {
+    if (starts_with("<!--")) return comment();
+    if (starts_with("<?")) return processing_instruction();
+    if (starts_with("</")) return end_tag();
+    if (starts_with("<![CDATA[")) return cdata();
+    if (starts_with("<!")) return error("DTD markup not supported");
+    return start_tag();
+  }
+
+  Status comment() {
+    const auto end = in_.find("-->", pos_ + 4);
+    if (end == std::string_view::npos) return error("unterminated comment");
+    pos_ = end + 3;
+    return Status::ok();
+  }
+
+  Status processing_instruction() {
+    const auto end = in_.find("?>", pos_ + 2);
+    if (end == std::string_view::npos) return error("unterminated PI");
+    pos_ = end + 2;
+    return Status::ok();
+  }
+
+  Status cdata() {
+    pos_ += 9;
+    const auto end = in_.find("]]>", pos_);
+    if (end == std::string_view::npos) return error("unterminated CDATA");
+    if (depth_ > 0 && h_.char_data && end > pos_) {
+      h_.char_data(in_.substr(pos_, end - pos_));
+    }
+    pos_ = end + 3;
+    return Status::ok();
+  }
+
+  Status name(std::string_view* out) {
+    const std::size_t start = pos_;
+    if (pos_ >= in_.size() || !is_name_start(in_[pos_])) {
+      return error("expected name");
+    }
+    while (pos_ < in_.size() && is_name_char(in_[pos_])) ++pos_;
+    *out = in_.substr(start, pos_ - start);
+    return Status::ok();
+  }
+
+  Status entity(std::string& out) {
+    // pos_ is at '&'.
+    const auto end = in_.find(';', pos_);
+    if (end == std::string_view::npos || end - pos_ > 12) {
+      return error("unterminated entity");
+    }
+    const std::string_view ent = in_.substr(pos_ + 1, end - pos_ - 1);
+    if (ent == "lt") {
+      out += '<';
+    } else if (ent == "gt") {
+      out += '>';
+    } else if (ent == "amp") {
+      out += '&';
+    } else if (ent == "quot") {
+      out += '"';
+    } else if (ent == "apos") {
+      out += '\'';
+    } else if (!ent.empty() && ent[0] == '#') {
+      const bool hex = ent.size() > 1 && (ent[1] == 'x' || ent[1] == 'X');
+      char* endp = nullptr;
+      const std::string digits(ent.substr(hex ? 2 : 1));
+      const long code = std::strtol(digits.c_str(), &endp, hex ? 16 : 10);
+      if (endp == digits.c_str() || *endp != '\0' || code < 0 ||
+          code > 0x10FFFF) {
+        return error("bad character reference");
+      }
+      append_utf8(static_cast<std::uint32_t>(code), out);
+    } else {
+      return error("unknown entity '" + std::string(ent) + "'");
+    }
+    pos_ = end + 1;
+    return Status::ok();
+  }
+
+  static void append_utf8(std::uint32_t cp, std::string& out) {
+    if (cp < 0x80) {
+      out += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      out += static_cast<char>(0xC0 | (cp >> 6));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else if (cp < 0x10000) {
+      out += static_cast<char>(0xE0 | (cp >> 12));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      out += static_cast<char>(0xF0 | (cp >> 18));
+      out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+      out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      out += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  Status attribute_value(std::string* out) {
+    const char quote = peek();
+    if (quote != '"' && quote != '\'') return error("expected quote");
+    ++pos_;
+    out->clear();
+    while (pos_ < in_.size() && in_[pos_] != quote) {
+      if (in_[pos_] == '&') {
+        Status st = entity(*out);
+        if (!st.is_ok()) return st;
+      } else if (in_[pos_] == '<') {
+        return error("'<' in attribute value");
+      } else {
+        *out += in_[pos_++];
+      }
+    }
+    if (pos_ >= in_.size()) return error("unterminated attribute value");
+    ++pos_;  // closing quote
+    return Status::ok();
+  }
+
+  Status start_tag() {
+    ++pos_;  // '<'
+    std::string_view tag;
+    Status st = name(&tag);
+    if (!st.is_ok()) return st;
+
+    attrs_.clear();
+    while (true) {
+      skip_space();
+      const char c = peek();
+      if (c == '>') {
+        ++pos_;
+        if (h_.start_element) h_.start_element(tag, attrs_);
+        ++depth_;
+        open_.push_back(std::string(tag));
+        return Status::ok();
+      }
+      if (c == '/' && peek(1) == '>') {
+        pos_ += 2;
+        if (h_.start_element) h_.start_element(tag, attrs_);
+        if (h_.end_element) h_.end_element(tag);
+        return Status::ok();
+      }
+      if (c == '\0') return error("unterminated start tag");
+      std::string_view attr_name;
+      st = name(&attr_name);
+      if (!st.is_ok()) return st;
+      skip_space();
+      if (peek() != '=') return error("expected '=' after attribute name");
+      ++pos_;
+      skip_space();
+      std::string value;
+      st = attribute_value(&value);
+      if (!st.is_ok()) return st;
+      attrs_.emplace_back(attr_name, std::move(value));
+    }
+  }
+
+  Status end_tag() {
+    pos_ += 2;  // "</"
+    std::string_view tag;
+    Status st = name(&tag);
+    if (!st.is_ok()) return st;
+    skip_space();
+    if (peek() != '>') return error("malformed end tag");
+    ++pos_;
+    if (depth_ == 0 || open_.back() != tag) {
+      return error("mismatched end tag '" + std::string(tag) + "'");
+    }
+    open_.pop_back();
+    --depth_;
+    if (h_.end_element) h_.end_element(tag);
+    return Status::ok();
+  }
+
+  Status char_data() {
+    // Fast path: a contiguous run without entities is reported as a view
+    // straight into the input (no copy) — the Expat-style behaviour the
+    // decoder's number parsing relies on for speed.
+    const std::size_t start = pos_;
+    while (pos_ < in_.size() && in_[pos_] != '<' && in_[pos_] != '&') ++pos_;
+    if (pos_ > start && depth_ > 0 && h_.char_data) {
+      h_.char_data(in_.substr(start, pos_ - start));
+    }
+    if (pos_ < in_.size() && in_[pos_] == '&') {
+      entity_buf_.clear();
+      Status st = entity(entity_buf_);
+      if (!st.is_ok()) return st;
+      if (depth_ > 0 && h_.char_data) h_.char_data(entity_buf_);
+    }
+    return Status::ok();
+  }
+
+  std::string_view in_;
+  const SaxHandlers& h_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::vector<std::string> open_;
+  std::vector<std::pair<std::string_view, std::string>> attrs_;
+  std::string entity_buf_;
+};
+
+}  // namespace
+
+Status sax_parse(std::string_view input, const SaxHandlers& handlers) {
+  return Parser(input, handlers).run();
+}
+
+}  // namespace pbio::xmlwire

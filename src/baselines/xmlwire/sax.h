@@ -1,0 +1,42 @@
+// A small, fast, non-validating SAX-style XML parser — the stand-in for
+// Expat, which the paper uses ("the fastest known to us at this time").
+//
+// Supports the subset an XML wire format needs: elements, attributes
+// (parsed and reported, values unescaped), character data, the five
+// predefined entities, numeric character references, comments and
+// processing instructions (skipped). No DTDs, namespaces or encodings
+// beyond the input bytes.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace pbio::xmlwire {
+
+struct SaxHandlers {
+  /// Element start: name plus (attribute, value) pairs.
+  std::function<void(std::string_view,
+                     const std::vector<std::pair<std::string_view,
+                                                 std::string>>&)>
+      start_element;
+  /// Element end.
+  std::function<void(std::string_view)> end_element;
+  /// Character data between tags. May be called multiple times per element
+  /// (entity boundaries split runs, as in Expat).
+  std::function<void(std::string_view)> char_data;
+};
+
+/// Parse `input`, invoking handlers. Returns a parse error (with byte
+/// offset in the message) on malformed input; handler effects up to the
+/// error point have already happened.
+Status sax_parse(std::string_view input, const SaxHandlers& handlers);
+
+/// Escape `s` for use as XML character data.
+void xml_escape(std::string_view s, std::string& out);
+
+}  // namespace pbio::xmlwire

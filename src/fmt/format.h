@@ -1,0 +1,94 @@
+// Concrete record format descriptions — PBIO's meta-information.
+//
+// A `FormatDesc` describes the *memory image* of a record on some
+// architecture: field names, base types, element sizes, offsets and the
+// record's byte order. Writers ship this description once per format
+// (the "format announcement"); receivers compare it against their own
+// native description and derive a conversion. Field correspondence is by
+// *name only* — sizes, offsets and ordering are free to differ, which is
+// what gives PBIO its type-extension property (paper §4.4).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/endian.h"
+#include "util/error.h"
+
+namespace pbio::fmt {
+
+/// Transport-level base type of a field. Sizes are explicit per field, so a
+/// 4-byte kInt on one machine converts to an 8-byte kInt on another.
+enum class BaseType : std::uint8_t {
+  kInt = 0,     // signed two's-complement integer, elem_size bytes
+  kUInt = 1,    // unsigned integer
+  kFloat = 2,   // IEEE-754, elem_size in {4, 8}
+  kChar = 3,    // opaque 1-byte character data
+  kString = 4,  // NUL-terminated variable string; pointer slot in fixed part
+  kStruct = 5,  // nested fixed-layout structure (inline)
+};
+
+const char* to_string(BaseType t);
+
+/// One field of a record.
+///
+/// The *slot* is the storage the field occupies in the record's fixed-size
+/// part. Scalars and fixed arrays are stored inline
+/// (`slot_size == elem_size * static_elems`). Strings and variable-length
+/// arrays occupy a pointer-sized slot: a pointer in a native record, an
+/// offset to appended data in a wire record.
+struct FieldDesc {
+  std::string name;
+  BaseType base = BaseType::kInt;
+  std::string subformat;      // subformat name, when base == kStruct
+  std::uint32_t elem_size = 0;    // bytes per element
+  std::uint32_t static_elems = 1; // product of fixed array dims; 1 for scalar
+  std::string var_dim_field;  // when set: variable array, count = that field
+  std::uint32_t offset = 0;   // slot offset within the fixed part
+  std::uint32_t slot_size = 0;
+
+  bool is_variable() const {
+    return base == BaseType::kString || !var_dim_field.empty();
+  }
+  bool is_struct() const { return base == BaseType::kStruct; }
+
+  bool operator==(const FieldDesc&) const = default;
+};
+
+/// A complete record format: the fixed part layout plus any subformats it
+/// references. Subformats are kept flat at the root and must themselves be
+/// fixed-layout (no strings / variable arrays inside nested structs).
+struct FormatDesc {
+  std::string name;
+  std::vector<FieldDesc> fields;
+  std::uint32_t fixed_size = 0;   // sizeof the fixed part
+  ByteOrder byte_order = ByteOrder::kLittle;
+  std::uint8_t pointer_size = 8;  // slot width of strings / variable arrays
+  std::string arch_name;          // informational: ABI that produced this
+  std::vector<FormatDesc> subformats;
+
+  const FieldDesc* find_field(std::string_view field_name) const;
+  const FormatDesc* find_subformat(std::string_view sub_name) const;
+
+  /// True if every field is stored inline (record can be transmitted as one
+  /// contiguous block with no gather step).
+  bool is_fixed_layout() const;
+
+  /// Content fingerprint: two formats with identical wire-relevant content
+  /// hash equal. Used as the wire format id.
+  std::uint64_t fingerprint() const;
+
+  /// Throws PbioError on structural problems (out-of-range offsets, dangling
+  /// subformat / var-dim references, variable fields inside subformats...).
+  void validate() const;
+
+  bool operator==(const FormatDesc&) const = default;
+};
+
+/// Human-readable dump (for reflection demos and error messages).
+std::string describe(const FormatDesc& f);
+
+}  // namespace pbio::fmt

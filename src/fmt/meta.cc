@@ -1,0 +1,124 @@
+#include "fmt/meta.h"
+
+#include "util/buffer.h"
+
+namespace pbio::fmt {
+
+namespace {
+
+constexpr std::uint8_t kMetaVersion = 1;
+constexpr ByteOrder kMetaOrder = ByteOrder::kLittle;
+constexpr std::size_t kMaxName = 4096;
+constexpr std::size_t kMaxFields = 65535;
+
+void put_str(ByteBuffer& out, const std::string& s) {
+  out.append_uint(s.size(), 2, kMetaOrder);
+  out.append(s.data(), s.size());
+}
+
+bool get_str(ByteReader& in, std::string* out) {
+  std::uint64_t n = 0;
+  if (!in.read_uint(&n, 2, kMetaOrder)) return false;
+  if (n > kMaxName || in.remaining() < n) return false;
+  out->assign(reinterpret_cast<const char*>(in.cursor()),
+              static_cast<std::size_t>(n));
+  return in.skip(static_cast<std::size_t>(n));
+}
+
+void encode_one(ByteBuffer& out, const FormatDesc& f) {
+  put_str(out, f.name);
+  out.append_uint(static_cast<std::uint8_t>(f.byte_order), 1, kMetaOrder);
+  out.append_uint(f.pointer_size, 1, kMetaOrder);
+  out.append_uint(f.fixed_size, 4, kMetaOrder);
+  put_str(out, f.arch_name);
+  out.append_uint(f.fields.size(), 2, kMetaOrder);
+  for (const FieldDesc& fd : f.fields) {
+    put_str(out, fd.name);
+    out.append_uint(static_cast<std::uint8_t>(fd.base), 1, kMetaOrder);
+    put_str(out, fd.subformat);
+    out.append_uint(fd.elem_size, 4, kMetaOrder);
+    out.append_uint(fd.static_elems, 4, kMetaOrder);
+    put_str(out, fd.var_dim_field);
+    out.append_uint(fd.offset, 4, kMetaOrder);
+    out.append_uint(fd.slot_size, 4, kMetaOrder);
+  }
+}
+
+bool decode_one(ByteReader& in, FormatDesc* f) {
+  if (!get_str(in, &f->name)) return false;
+  std::uint64_t v = 0;
+  if (!in.read_uint(&v, 1, kMetaOrder) || v > 1) return false;
+  f->byte_order = static_cast<ByteOrder>(v);
+  if (!in.read_uint(&v, 1, kMetaOrder)) return false;
+  f->pointer_size = static_cast<std::uint8_t>(v);
+  if (!in.read_uint(&v, 4, kMetaOrder)) return false;
+  f->fixed_size = static_cast<std::uint32_t>(v);
+  if (!get_str(in, &f->arch_name)) return false;
+  std::uint64_t nfields = 0;
+  if (!in.read_uint(&nfields, 2, kMetaOrder) || nfields > kMaxFields) {
+    return false;
+  }
+  f->fields.resize(static_cast<std::size_t>(nfields));
+  for (FieldDesc& fd : f->fields) {
+    if (!get_str(in, &fd.name)) return false;
+    if (!in.read_uint(&v, 1, kMetaOrder) ||
+        v > static_cast<std::uint64_t>(BaseType::kStruct)) {
+      return false;
+    }
+    fd.base = static_cast<BaseType>(v);
+    if (!get_str(in, &fd.subformat)) return false;
+    if (!in.read_uint(&v, 4, kMetaOrder)) return false;
+    fd.elem_size = static_cast<std::uint32_t>(v);
+    if (!in.read_uint(&v, 4, kMetaOrder)) return false;
+    fd.static_elems = static_cast<std::uint32_t>(v);
+    if (!get_str(in, &fd.var_dim_field)) return false;
+    if (!in.read_uint(&v, 4, kMetaOrder)) return false;
+    fd.offset = static_cast<std::uint32_t>(v);
+    if (!in.read_uint(&v, 4, kMetaOrder)) return false;
+    fd.slot_size = static_cast<std::uint32_t>(v);
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_meta(const FormatDesc& f) {
+  ByteBuffer out(256);
+  out.append_uint(kMetaVersion, 1, kMetaOrder);
+  encode_one(out, f);
+  out.append_uint(f.subformats.size(), 2, kMetaOrder);
+  for (const FormatDesc& sub : f.subformats) {
+    encode_one(out, sub);
+  }
+  return {out.data(), out.data() + out.size()};
+}
+
+Result<FormatDesc> decode_meta(std::span<const std::uint8_t> bytes) {
+  ByteReader in(bytes);
+  std::uint64_t version = 0;
+  if (!in.read_uint(&version, 1, kMetaOrder) || version != kMetaVersion) {
+    return Status(Errc::kMalformed, "bad meta version");
+  }
+  FormatDesc f;
+  if (!decode_one(in, &f)) {
+    return Status(Errc::kMalformed, "truncated format meta");
+  }
+  std::uint64_t nsubs = 0;
+  if (!in.read_uint(&nsubs, 2, kMetaOrder) || nsubs > kMaxFields) {
+    return Status(Errc::kMalformed, "bad subformat count");
+  }
+  f.subformats.resize(static_cast<std::size_t>(nsubs));
+  for (FormatDesc& sub : f.subformats) {
+    if (!decode_one(in, &sub)) {
+      return Status(Errc::kMalformed, "truncated subformat meta");
+    }
+  }
+  try {
+    f.validate();
+  } catch (const PbioError& e) {
+    return Status(Errc::kMalformed, e.what());
+  }
+  return f;
+}
+
+}  // namespace pbio::fmt

@@ -1,0 +1,48 @@
+#include "fmt/registry.h"
+
+namespace pbio::fmt {
+
+FormatId FormatRegistry::register_format(FormatDesc f) {
+  f.validate();
+  const FormatId id = f.fingerprint();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = formats_.find(id);
+  if (it != formats_.end()) {
+    if (*it->second != f) {
+      throw PbioError("format id collision for '" + f.name + "'");
+    }
+    return id;
+  }
+  by_name_[f.name] = id;
+  formats_.emplace(id, std::make_unique<FormatDesc>(std::move(f)));
+  return id;
+}
+
+const FormatDesc* FormatRegistry::find(FormatId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = formats_.find(id);
+  return it == formats_.end() ? nullptr : it->second.get();
+}
+
+const FormatDesc* FormatRegistry::find_by_name(std::string_view name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return nullptr;
+  auto fit = formats_.find(it->second);
+  return fit == formats_.end() ? nullptr : fit->second.get();
+}
+
+std::size_t FormatRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return formats_.size();
+}
+
+std::vector<FormatId> FormatRegistry::ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FormatId> out;
+  out.reserve(formats_.size());
+  for (const auto& [id, _] : formats_) out.push_back(id);
+  return out;
+}
+
+}  // namespace pbio::fmt

@@ -1,0 +1,50 @@
+// Format registry: the receiver-side cache of announced wire formats and the
+// sender-side table of registered native formats, keyed by the 64-bit
+// content fingerprint that serves as the wire format id.
+//
+// Thread-safe: announcements may arrive on a transport thread while decode
+// plans are being compiled on another.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "fmt/format.h"
+
+namespace pbio::fmt {
+
+using FormatId = std::uint64_t;
+
+class FormatRegistry {
+ public:
+  /// Validates and registers a format; returns its wire id. Re-registering
+  /// identical content is idempotent; registering *different* content that
+  /// collides on id throws (fingerprints are content hashes, so this
+  /// indicates either a hash collision or a corrupted description).
+  FormatId register_format(FormatDesc f);
+
+  /// Look up a registered format. The returned pointer is stable for the
+  /// registry's lifetime (formats are never removed).
+  const FormatDesc* find(FormatId id) const;
+
+  /// Find by format name; returns the most recently registered format with
+  /// that name, or nullptr.
+  const FormatDesc* find_by_name(std::string_view name) const;
+
+  bool contains(FormatId id) const { return find(id) != nullptr; }
+
+  std::size_t size() const;
+
+  /// Snapshot of all registered ids (test/diagnostic use).
+  std::vector<FormatId> ids() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<FormatId, std::unique_ptr<FormatDesc>> formats_;
+  std::unordered_map<std::string, FormatId> by_name_;
+};
+
+}  // namespace pbio::fmt

@@ -1,0 +1,41 @@
+#include "pbio/context.h"
+
+#include "convert/plan.h"
+
+namespace pbio {
+
+std::shared_ptr<const Conversion> Context::conversion(FormatId wire,
+                                                      FormatId native) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = conversions_.find({wire, native});
+    if (it != conversions_.end()) {
+      ++stats_.conversion_cache_hits;
+      return it->second;
+    }
+  }
+  const fmt::FormatDesc* src = registry_.find(wire);
+  const fmt::FormatDesc* dst = registry_.find(native);
+  if (src == nullptr || dst == nullptr) {
+    throw PbioError("Context::conversion: unknown format id");
+  }
+  // Compile outside the lock: compilation can take microseconds-to-
+  // milliseconds and concurrent readers must not serialize on it. A racing
+  // duplicate compile is tolerated; first one in wins.
+  auto conv =
+      std::make_shared<const Conversion>(convert::compile_plan(*src, *dst));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = conversions_.try_emplace({wire, native}, conv);
+  if (inserted) {
+    ++stats_.conversions_compiled;
+    stats_.jit_code_bytes += conv->code_size();
+  }
+  return it->second;
+}
+
+Context::Stats Context::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace pbio

@@ -1,0 +1,52 @@
+#include "pbio/encode.h"
+
+#include <cstring>
+
+#include "util/endian.h"
+
+namespace pbio {
+
+Status encode_native(const fmt::FormatDesc& f, const void* record,
+                     ByteBuffer& out) {
+  if (f.pointer_size != sizeof(void*)) {
+    return Status(Errc::kUnsupported,
+                  "encode_native requires a host-ABI format");
+  }
+  const std::size_t base_at = out.size();
+  out.append(record, f.fixed_size);
+  if (f.is_fixed_layout()) return Status::ok();
+
+  const auto* rec = static_cast<const std::uint8_t*>(record);
+  for (const fmt::FieldDesc& fd : f.fields) {
+    if (!fd.is_variable()) continue;
+    const void* ptr;
+    std::memcpy(&ptr, rec + fd.offset, sizeof(void*));
+    std::uint64_t wire_off = 0;
+    if (ptr != nullptr) {
+      if (fd.base == fmt::BaseType::kString) {
+        const auto* s = static_cast<const char*>(ptr);
+        const std::size_t len = std::strlen(s) + 1;
+        wire_off = out.size() - base_at;
+        out.append(s, len);
+      } else {
+        // Variable array: element count from the dim field's native value.
+        const fmt::FieldDesc* dim = f.find_field(fd.var_dim_field);
+        if (dim == nullptr) {
+          return Status(Errc::kMalformed, "dangling var-dim in encode");
+        }
+        const std::uint64_t count =
+            load_uint(rec + dim->offset, dim->elem_size, f.byte_order);
+        if (count != 0) {
+          out.align_to(8);
+          wire_off = out.size() - base_at;
+          out.append(ptr, count * fd.elem_size);
+        }
+      }
+    }
+    out.patch_uint(base_at + fd.offset, wire_off, f.pointer_size,
+                   f.byte_order);
+  }
+  return Status::ok();
+}
+
+}  // namespace pbio

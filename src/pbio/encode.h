@@ -1,0 +1,33 @@
+// Sender-side encoding.
+//
+// NDR's defining property: for fixed-layout records there is *no* encode
+// step — the record's memory image is the wire image (the writer sends it
+// with a 16-byte header via gathered I/O, no copy, no conversion). Records
+// containing pointers (strings, variable arrays) are gathered: the fixed
+// part is copied once, pointer slots are rewritten to record-relative
+// offsets and the pointed-to data is appended. No per-field conversion
+// happens in either case.
+#pragma once
+
+#include "fmt/format.h"
+#include "util/buffer.h"
+#include "util/error.h"
+
+namespace pbio {
+
+/// Wire frame kinds.
+inline constexpr std::uint8_t kFrameFormat = 1;  // payload = format meta
+inline constexpr std::uint8_t kFrameData = 2;    // payload = record image
+/// Data frame header: [kind u8][7 pad bytes][format id u64]. 16 bytes so
+/// the record image lands 16-byte aligned in the receive buffer — required
+/// for the zero-copy path to hand out legally-aligned struct pointers.
+inline constexpr std::size_t kDataHeaderSize = 16;
+inline constexpr std::size_t kDataHeaderIdOffset = 8;
+
+/// Append the wire image of native record `record` (described by `f`,
+/// which must be a host-ABI format) to `out`. For fixed-layout formats this
+/// is a single block append; prefer the writer's zero-copy path there.
+Status encode_native(const fmt::FormatDesc& f, const void* record,
+                     ByteBuffer& out);
+
+}  // namespace pbio

@@ -1,0 +1,97 @@
+#include "pbio/format_service.h"
+
+#include "fmt/meta.h"
+#include "util/buffer.h"
+
+namespace pbio {
+
+Status FormatServiceServer::serve_one(transport::Channel& ch) {
+  auto req = ch.recv();
+  if (!req.is_ok()) return req.status();
+  const auto& bytes = req.value();
+  if (bytes.empty()) {
+    return Status(Errc::kMalformed, "empty service request");
+  }
+  ++requests_;
+  switch (bytes[0]) {
+    case kSvcLookup: {
+      if (bytes.size() < 9) {
+        return Status(Errc::kTruncated, "short lookup request");
+      }
+      const Context::FormatId id =
+          load_uint(bytes.data() + 1, 8, ByteOrder::kLittle);
+      const fmt::FormatDesc* f = ctx_.find(id);
+      if (f == nullptr) {
+        const std::uint8_t miss[1] = {kSvcMiss};
+        return ch.send(miss);
+      }
+      ByteBuffer reply(256);
+      reply.append_uint(kSvcFound, 1, ByteOrder::kLittle);
+      const auto meta = fmt::encode_meta(*f);
+      reply.append(meta.data(), meta.size());
+      return ch.send(reply.view());
+    }
+    case kSvcRegister: {
+      auto meta = fmt::decode_meta(std::span(bytes.data() + 1,
+                                             bytes.size() - 1));
+      if (!meta.is_ok()) return meta.status();
+      const Context::FormatId id =
+          ctx_.register_format(std::move(meta).take());
+      ByteBuffer reply(16);
+      reply.append_uint(kSvcRegistered, 1, ByteOrder::kLittle);
+      reply.append_uint(id, 8, ByteOrder::kLittle);
+      return ch.send(reply.view());
+    }
+    default:
+      return Status(Errc::kMalformed, "unknown service request kind");
+  }
+}
+
+void FormatServiceServer::serve_until_closed(transport::Channel& ch) {
+  while (true) {
+    Status st = serve_one(ch);
+    if (st.code() == Errc::kChannelClosed) return;
+    // Malformed requests are answered with silence; keep serving.
+    if (!st.is_ok() && st.code() == Errc::kIo) return;
+  }
+}
+
+Result<fmt::FormatDesc> FormatServiceClient::lookup(Context::FormatId id) {
+  ByteBuffer req(16);
+  req.append_uint(kSvcLookup, 1, ByteOrder::kLittle);
+  req.append_uint(id, 8, ByteOrder::kLittle);
+  Status st = ch_.send(req.view());
+  if (!st.is_ok()) return st;
+  auto reply = ch_.recv();
+  if (!reply.is_ok()) return reply.status();
+  const auto& bytes = reply.value();
+  if (bytes.empty()) {
+    return Status(Errc::kMalformed, "empty service reply");
+  }
+  if (bytes[0] == kSvcMiss) {
+    return Status(Errc::kUnknownFormat, "format not known to service");
+  }
+  if (bytes[0] != kSvcFound) {
+    return Status(Errc::kMalformed, "unexpected service reply");
+  }
+  return fmt::decode_meta(std::span(bytes.data() + 1, bytes.size() - 1));
+}
+
+Result<Context::FormatId> FormatServiceClient::publish(
+    const fmt::FormatDesc& f) {
+  ByteBuffer req(256);
+  req.append_uint(kSvcRegister, 1, ByteOrder::kLittle);
+  const auto meta = fmt::encode_meta(f);
+  req.append(meta.data(), meta.size());
+  Status st = ch_.send(req.view());
+  if (!st.is_ok()) return st;
+  auto reply = ch_.recv();
+  if (!reply.is_ok()) return reply.status();
+  const auto& bytes = reply.value();
+  if (bytes.size() < 9 || bytes[0] != kSvcRegistered) {
+    return Status(Errc::kMalformed, "unexpected service reply");
+  }
+  return load_uint(bytes.data() + 1, 8, ByteOrder::kLittle);
+}
+
+}  // namespace pbio

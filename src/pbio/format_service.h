@@ -1,0 +1,70 @@
+// Format service — PBIO's format-server companion.
+//
+// In-band announcements only reach receivers connected *before* the first
+// record of a format. The paper's conclusion highlights that "receivers who
+// have no a priori knowledge of data formats ... can easily 'join' ongoing
+// communications": that needs a third party that remembers formats. The
+// format service is that party: writers register format descriptions (by
+// content id), late-joining readers resolve unknown wire ids against it.
+//
+// Protocol (all integers little-endian):
+//   requests:   [0x10][u64 id]      lookup
+//               [0x11][meta bytes]  register
+//   responses:  [0x20][meta bytes]  lookup hit / register echo
+//               [0x21][u64 id]      register ack
+//               [0x2F]              lookup miss
+#pragma once
+
+#include <functional>
+
+#include "pbio/context.h"
+#include "transport/channel.h"
+
+namespace pbio {
+
+inline constexpr std::uint8_t kSvcLookup = 0x10;
+inline constexpr std::uint8_t kSvcRegister = 0x11;
+inline constexpr std::uint8_t kSvcFound = 0x20;
+inline constexpr std::uint8_t kSvcRegistered = 0x21;
+inline constexpr std::uint8_t kSvcMiss = 0x2F;
+
+/// Server side: backs lookups with a Context's registry (typically a
+/// dedicated one). Run `serve_until_closed` on a thread per client channel.
+class FormatServiceServer {
+ public:
+  explicit FormatServiceServer(Context& ctx) : ctx_(ctx) {}
+
+  /// Handle exactly one request. kChannelClosed when the peer is gone.
+  Status serve_one(transport::Channel& ch);
+
+  /// Handle requests until the channel closes.
+  void serve_until_closed(transport::Channel& ch);
+
+  std::uint64_t requests_served() const { return requests_; }
+
+ private:
+  Context& ctx_;
+  std::uint64_t requests_ = 0;
+};
+
+/// Client side: synchronous RPC over a dedicated channel.
+class FormatServiceClient {
+ public:
+  explicit FormatServiceClient(transport::Channel& ch) : ch_(ch) {}
+
+  /// Fetch the format description for a wire id.
+  Result<fmt::FormatDesc> lookup(Context::FormatId id);
+
+  /// Publish a format; returns its id.
+  Result<Context::FormatId> publish(const fmt::FormatDesc& f);
+
+  /// A resolver suitable for Reader::set_format_resolver.
+  std::function<Result<fmt::FormatDesc>(Context::FormatId)> resolver() {
+    return [this](Context::FormatId id) { return lookup(id); };
+  }
+
+ private:
+  transport::Channel& ch_;
+};
+
+}  // namespace pbio

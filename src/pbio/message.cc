@@ -1,0 +1,90 @@
+#include "pbio/message.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "value/read.h"
+
+namespace pbio {
+
+Status Message::decode_into(void* out, std::size_t size, Engine engine) {
+  if (!has_native() || conv_ == nullptr) {
+    return Status(Errc::kUnknownFormat, "no native format expected");
+  }
+  if (zero_copy()) {
+    // Identity layouts: a single block copy of the fixed part suffices; in
+    // fact callers should prefer view<T>() and skip even this copy.
+    if (size < native_->fixed_size) {
+      return Status(Errc::kTruncated, "output smaller than record");
+    }
+    std::memcpy(out, payload_.data(),
+                std::min<std::size_t>(payload_.size(), native_->fixed_size));
+    return Status::ok();
+  }
+  convert::ExecInput in;
+  in.src = payload_.data();
+  in.src_size = payload_.size();
+  in.dst = static_cast<std::uint8_t*>(out);
+  in.dst_size = size;
+  in.mode = convert::VarMode::kPointers;
+  in.arena = arena_.get();
+  in.borrow_from_src = true;  // pointers may alias this message's buffer
+  return conv_->run(in, engine);
+}
+
+Status Message::decode_at(std::size_t index, void* out, std::size_t size,
+                          Engine engine) {
+  if (!has_native() || conv_ == nullptr) {
+    return Status(Errc::kUnknownFormat, "no native format expected");
+  }
+  if (index >= count()) {
+    return Status(Errc::kTruncated, "record index out of range");
+  }
+  const std::size_t at = index * wire_->fixed_size;
+  if (zero_copy()) {
+    if (size < native_->fixed_size) {
+      return Status(Errc::kTruncated, "output smaller than record");
+    }
+    std::memcpy(out, payload_.data() + at, native_->fixed_size);
+    return Status::ok();
+  }
+  convert::ExecInput in;
+  in.src = payload_.data() + at;
+  in.src_size = payload_.size() - at;
+  in.dst = static_cast<std::uint8_t*>(out);
+  in.dst_size = size;
+  in.mode = convert::VarMode::kPointers;
+  in.arena = arena_.get();
+  in.borrow_from_src = true;
+  return conv_->run(in, engine);
+}
+
+Status Message::convert_in_place(Engine engine) {
+  if (converted_in_place_ || zero_copy()) return Status::ok();
+  if (conv_ == nullptr) {
+    return Status(Errc::kUnknownFormat, "no native format expected");
+  }
+  if (!conv_->plan().inplace_safe) {
+    return Status(Errc::kUnsupported,
+                  "layout pair is not in-place convertible");
+  }
+  auto* base = const_cast<std::uint8_t*>(payload_.data());
+  convert::ExecInput in;
+  in.src = base;
+  in.src_size = payload_.size();
+  in.dst = base;
+  in.dst_size = payload_.size();
+  Status st = conv_->run(in, engine);
+  if (st.is_ok()) converted_in_place_ = true;
+  return st;
+}
+
+Result<value::Record> Message::reflect() const {
+  if (converted_in_place_) {
+    // The buffer now holds the *native* image, not the wire image.
+    return value::read_record(*native_, payload_);
+  }
+  return value::read_record(*wire_, payload_);
+}
+
+}  // namespace pbio

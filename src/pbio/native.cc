@@ -1,0 +1,65 @@
+#include "pbio/native.h"
+
+#include "util/error.h"
+
+namespace pbio {
+
+fmt::FormatDesc native_format(const char* format_name,
+                              std::span<const NativeField> fields,
+                              std::size_t struct_size,
+                              std::span<const fmt::FormatDesc> subformats) {
+  const arch::Abi& abi = arch::abi_host();
+  fmt::FormatDesc f;
+  f.name = format_name;
+  f.byte_order = abi.byte_order;
+  f.pointer_size = abi.sizeof_pointer;
+  f.arch_name = abi.name;
+  f.fixed_size = static_cast<std::uint32_t>(struct_size);
+  f.subformats.assign(subformats.begin(), subformats.end());
+
+  for (const NativeField& nf : fields) {
+    fmt::FieldDesc fd;
+    fd.name = nf.name;
+    fd.offset = static_cast<std::uint32_t>(nf.offset);
+    fd.static_elems = nf.elems;
+    if (nf.var_dim != nullptr) fd.var_dim_field = nf.var_dim;
+
+    if (nf.subformat != nullptr) {
+      const fmt::FormatDesc* sub = f.find_subformat(nf.subformat);
+      if (sub == nullptr) {
+        throw PbioError(std::string("native_format: unknown subformat '") +
+                        nf.subformat + "'");
+      }
+      fd.base = fmt::BaseType::kStruct;
+      fd.subformat = nf.subformat;
+      fd.elem_size = sub->fixed_size;
+    } else {
+      switch (nf.type) {
+        case arch::CType::kChar:
+        case arch::CType::kUChar:
+          fd.base = fmt::BaseType::kChar;
+          break;
+        case arch::CType::kString:
+          fd.base = fmt::BaseType::kString;
+          break;
+        case arch::CType::kFloat:
+        case arch::CType::kDouble:
+          fd.base = fmt::BaseType::kFloat;
+          break;
+        default:
+          fd.base = arch::Abi::is_signed(nf.type) ? fmt::BaseType::kInt
+                                                  : fmt::BaseType::kUInt;
+          break;
+      }
+      fd.elem_size =
+          nf.type == arch::CType::kString ? 1 : abi.size_of(nf.type);
+    }
+    fd.slot_size = fd.is_variable() ? abi.sizeof_pointer
+                                    : fd.elem_size * fd.static_elems;
+    f.fields.push_back(std::move(fd));
+  }
+  f.validate();
+  return f;
+}
+
+}  // namespace pbio

@@ -1,0 +1,58 @@
+// Describing real (host) C++ structs to PBIO.
+//
+// Mirrors PBIO's IOField lists: the application states each field's name,
+// C type, and offsetof() position; the library derives sizes from the host
+// ABI. A layout-engine cross-check test guarantees these descriptions agree
+// with what the compiler actually does.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "arch/abi.h"
+#include "fmt/format.h"
+
+namespace pbio {
+
+struct NativeField {
+  const char* name;
+  arch::CType type = arch::CType::kInt;
+  std::size_t offset = 0;
+  std::uint32_t elems = 1;            // fixed array count
+  const char* var_dim = nullptr;      // variable array: sizing field name
+  const char* subformat = nullptr;    // struct-typed field: subformat name
+};
+
+/// Build a format description for a host struct of `struct_size` bytes.
+/// `subformats` supplies descriptions for struct-typed fields (these are
+/// embedded into the returned format).
+fmt::FormatDesc native_format(const char* format_name,
+                              std::span<const NativeField> fields,
+                              std::size_t struct_size,
+                              std::span<const fmt::FormatDesc> subformats = {});
+
+// Convenience macros for field tables.
+#define PBIO_FIELD(Struct, member, ctype) \
+  ::pbio::NativeField { #member, ctype, offsetof(Struct, member) }
+#define PBIO_ARRAY(Struct, member, ctype, n) \
+  ::pbio::NativeField { #member, ctype, offsetof(Struct, member), (n) }
+#define PBIO_STRING(Struct, member)                                      \
+  ::pbio::NativeField {                                                  \
+    #member, ::pbio::arch::CType::kString, offsetof(Struct, member)      \
+  }
+#define PBIO_VARARRAY(Struct, member, ctype, dim_field)                  \
+  ::pbio::NativeField {                                                  \
+    #member, ctype, offsetof(Struct, member), 1, dim_field               \
+  }
+#define PBIO_SUBSTRUCT(Struct, member, sub_name)                          \
+  ::pbio::NativeField {                                                   \
+    #member, ::pbio::arch::CType::kInt, offsetof(Struct, member), 1,      \
+        nullptr, sub_name                                                 \
+  }
+#define PBIO_SUBSTRUCT_ARRAY(Struct, member, sub_name, n)                 \
+  ::pbio::NativeField {                                                   \
+    #member, ::pbio::arch::CType::kInt, offsetof(Struct, member), (n),    \
+        nullptr, sub_name                                                 \
+  }
+
+}  // namespace pbio

@@ -1,0 +1,78 @@
+#include "pbio/reader.h"
+
+#include "fmt/meta.h"
+#include "pbio/encode.h"
+
+namespace pbio {
+
+void Reader::expect(Context::FormatId native_id) {
+  const fmt::FormatDesc* f = ctx_.find(native_id);
+  if (f == nullptr) {
+    throw PbioError("Reader::expect: format not registered");
+  }
+  expected_by_name_[f->name] = native_id;
+}
+
+Result<Message> Reader::next() {
+  while (true) {
+    auto frame_result = channel_.recv();
+    if (!frame_result.is_ok()) return frame_result.status();
+    std::vector<std::uint8_t> frame = std::move(frame_result).take();
+    if (frame.empty()) {
+      return Status(Errc::kMalformed, "empty frame");
+    }
+    const std::uint8_t kind = frame[0];
+
+    if (kind == kFrameFormat) {
+      auto meta = fmt::decode_meta(
+          std::span(frame.data() + 1, frame.size() - 1));
+      if (!meta.is_ok()) return meta.status();
+      ctx_.register_format(std::move(meta).take());
+      ++formats_learned_;
+      continue;
+    }
+
+    if (kind != kFrameData) {
+      return Status(Errc::kMalformed, "unknown frame kind");
+    }
+    if (frame.size() < kDataHeaderSize) {
+      return Status(Errc::kTruncated, "short data frame");
+    }
+    const Context::FormatId wire_id = load_uint(
+        frame.data() + kDataHeaderIdOffset, 8, ByteOrder::kLittle);
+    const fmt::FormatDesc* wire = ctx_.find(wire_id);
+    if (wire == nullptr && resolver_) {
+      auto resolved = resolver_(wire_id);
+      if (resolved.is_ok()) {
+        const Context::FormatId got =
+            ctx_.register_format(std::move(resolved).take());
+        if (got == wire_id) {
+          wire = ctx_.find(wire_id);
+          ++formats_learned_;
+        }
+      }
+    }
+    if (wire == nullptr) {
+      return Status(Errc::kUnknownFormat,
+                    "data frame for unannounced format");
+    }
+
+    Message m;
+    m.buffer_ = std::move(frame);
+    m.payload_ = std::span(m.buffer_.data() + kDataHeaderSize,
+                           m.buffer_.size() - kDataHeaderSize);
+    m.wire_ = wire;
+    m.wire_id_ = wire_id;
+    if (m.payload_.size() < wire->fixed_size) {
+      return Status(Errc::kTruncated, "payload smaller than record");
+    }
+    auto it = expected_by_name_.find(wire->name);
+    if (it != expected_by_name_.end()) {
+      m.native_ = ctx_.find(it->second);
+      m.conv_ = ctx_.conversion(wire_id, it->second);
+    }
+    return m;
+  }
+}
+
+}  // namespace pbio

@@ -1,0 +1,51 @@
+// PBIO reader: receives format announcements and data frames, matches wire
+// formats to the receiver's expected native formats *by format name*, and
+// hands out Messages carrying the cached conversion.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "pbio/context.h"
+#include "pbio/message.h"
+#include "transport/channel.h"
+
+namespace pbio {
+
+class Reader {
+ public:
+  using FormatResolver =
+      std::function<Result<fmt::FormatDesc>(Context::FormatId)>;
+
+  Reader(Context& ctx, transport::Channel& channel)
+      : ctx_(ctx), channel_(channel) {}
+
+  /// Install a fallback for data frames whose format id was never
+  /// announced on this channel — typically a FormatServiceClient's
+  /// resolver(). This is what lets a reader join an ongoing stream.
+  void set_format_resolver(FormatResolver resolver) {
+    resolver_ = std::move(resolver);
+  }
+
+  /// Declare the native format this receiver wants records of the same
+  /// format *name* decoded into. Unknown names still arrive (and can be
+  /// reflected on); they just can't be decoded to a struct.
+  void expect(Context::FormatId native_id);
+
+  /// Receive the next data message, transparently consuming any format
+  /// announcements that precede it.
+  Result<Message> next();
+
+  /// Formats learned from announcements on this channel.
+  std::size_t formats_learned() const { return formats_learned_; }
+
+ private:
+  Context& ctx_;
+  transport::Channel& channel_;
+  std::unordered_map<std::string, Context::FormatId> expected_by_name_;
+  FormatResolver resolver_;
+  std::size_t formats_learned_ = 0;
+};
+
+}  // namespace pbio

@@ -1,0 +1,75 @@
+#include "pbio/writer.h"
+
+#include "fmt/meta.h"
+
+namespace pbio {
+
+Status Writer::announce(Context::FormatId fmt_id) {
+  if (!announce_in_band_ || announced_.contains(fmt_id)) return Status::ok();
+  const fmt::FormatDesc* f = ctx_.find(fmt_id);
+  if (f == nullptr) {
+    return Status(Errc::kUnknownFormat, "announce: format not registered");
+  }
+  ByteBuffer frame(256);
+  frame.append_uint(kFrameFormat, 1, ByteOrder::kLittle);
+  const auto meta = fmt::encode_meta(*f);
+  frame.append(meta.data(), meta.size());
+  Status st = channel_.send(frame.view());
+  if (st.is_ok()) announced_.insert(fmt_id);
+  return st;
+}
+
+Status Writer::send_payload(Context::FormatId fmt_id,
+                            std::span<const std::uint8_t> image) {
+  Status st = announce(fmt_id);
+  if (!st.is_ok()) return st;
+  std::uint8_t header[kDataHeaderSize] = {};
+  header[0] = kFrameData;
+  store_uint(header + kDataHeaderIdOffset, fmt_id, 8, ByteOrder::kLittle);
+  const std::span<const std::uint8_t> segs[] = {
+      {header, kDataHeaderSize}, image};
+  st = channel_.send_gather(segs);
+  if (st.is_ok()) ++records_written_;
+  return st;
+}
+
+Status Writer::write(Context::FormatId fmt_id, const void* record) {
+  const fmt::FormatDesc* f = ctx_.find(fmt_id);
+  if (f == nullptr) {
+    return Status(Errc::kUnknownFormat, "write: format not registered");
+  }
+  if (f->is_fixed_layout()) {
+    // NDR fast path: the record *is* the wire image.
+    return send_payload(
+        fmt_id, {static_cast<const std::uint8_t*>(record), f->fixed_size});
+  }
+  gather_buf_.clear();
+  Status st = encode_native(*f, record, gather_buf_);
+  if (!st.is_ok()) return st;
+  return send_payload(fmt_id, gather_buf_.view());
+}
+
+Status Writer::write_image(Context::FormatId fmt_id,
+                           std::span<const std::uint8_t> image) {
+  if (ctx_.find(fmt_id) == nullptr) {
+    return Status(Errc::kUnknownFormat, "write_image: format not registered");
+  }
+  return send_payload(fmt_id, image);
+}
+
+Status Writer::write_array(Context::FormatId fmt_id, const void* records,
+                           std::uint32_t count) {
+  const fmt::FormatDesc* f = ctx_.find(fmt_id);
+  if (f == nullptr) {
+    return Status(Errc::kUnknownFormat, "write_array: format not registered");
+  }
+  if (!f->is_fixed_layout()) {
+    return Status(Errc::kUnsupported,
+                  "write_array requires a fixed-layout format");
+  }
+  return send_payload(
+      fmt_id, {static_cast<const std::uint8_t*>(records),
+               static_cast<std::size_t>(f->fixed_size) * count});
+}
+
+}  // namespace pbio

@@ -1,0 +1,57 @@
+// PBIO writer: sends records in the sender's Natural Data Representation,
+// announcing each format's meta-information once per channel.
+#pragma once
+
+#include <span>
+#include <unordered_set>
+
+#include "pbio/context.h"
+#include "pbio/encode.h"
+#include "transport/channel.h"
+
+namespace pbio {
+
+class Writer {
+ public:
+  Writer(Context& ctx, transport::Channel& channel)
+      : ctx_(ctx), channel_(channel) {}
+
+  /// Send a native record (host ABI). Fixed-layout formats go out as
+  /// header + record image via gathered I/O — the flat-cost NDR send path;
+  /// formats with strings / variable arrays are gathered into one buffer.
+  Status write(Context::FormatId fmt_id, const void* record);
+
+  /// Send a pre-built wire image under `fmt_id` — used when simulating
+  /// foreign-architecture senders whose images come from the layout engine.
+  Status write_image(Context::FormatId fmt_id,
+                     std::span<const std::uint8_t> image);
+
+  /// Send `count` contiguous records in one message (fixed-layout formats
+  /// only): the whole array ships as one NDR block; the receiver indexes
+  /// it via Message::count() / view_at<T>(). Still zero-encode.
+  Status write_array(Context::FormatId fmt_id, const void* records,
+                     std::uint32_t count);
+
+  /// Announce a format explicitly (idempotent; write() does this lazily).
+  Status announce(Context::FormatId fmt_id);
+
+  /// Disable in-band format announcements — for deployments where formats
+  /// are published to a format service instead and readers resolve ids on
+  /// demand (late joiners never see in-band announcements anyway).
+  void set_announce_in_band(bool on) { announce_in_band_ = on; }
+
+  std::uint64_t records_written() const { return records_written_; }
+
+ private:
+  Status send_payload(Context::FormatId fmt_id,
+                      std::span<const std::uint8_t> image);
+
+  Context& ctx_;
+  transport::Channel& channel_;
+  std::unordered_set<Context::FormatId> announced_;
+  bool announce_in_band_ = true;
+  ByteBuffer gather_buf_;
+  std::uint64_t records_written_ = 0;
+};
+
+}  // namespace pbio

@@ -1,0 +1,17 @@
+#include "transport/channel.h"
+
+namespace pbio::transport {
+
+Status Channel::send_gather(
+    std::span<const std::span<const std::uint8_t>> segments) {
+  std::size_t total = 0;
+  for (const auto& s : segments) total += s.size();
+  std::vector<std::uint8_t> flat;
+  flat.reserve(total);
+  for (const auto& s : segments) {
+    flat.insert(flat.end(), s.begin(), s.end());
+  }
+  return send(flat);
+}
+
+}  // namespace pbio::transport

@@ -1,0 +1,37 @@
+// Message-oriented channel abstraction.
+//
+// PBIO is transport-agnostic; the experiments only need message boundaries
+// and byte counts. Two real transports are provided (in-process loopback and
+// TCP) plus an analytic network-cost model (simnet.h) standing in for the
+// paper's 100 Mbps Ethernet testbed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/error.h"
+
+namespace pbio::transport {
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Send one message.
+  virtual Status send(std::span<const std::uint8_t> bytes) = 0;
+
+  /// Send one message gathered from several segments without requiring the
+  /// caller to concatenate them — the NDR writer's zero-copy path (header +
+  /// record image as separate segments). The default concatenates.
+  virtual Status send_gather(
+      std::span<const std::span<const std::uint8_t>> segments);
+
+  /// Receive the next message, blocking. kChannelClosed at end of stream.
+  virtual Result<std::vector<std::uint8_t>> recv() = 0;
+
+  /// Bytes handed to send() so far (wire-size accounting for benches).
+  virtual std::uint64_t bytes_sent() const = 0;
+};
+
+}  // namespace pbio::transport

@@ -1,0 +1,85 @@
+#include "transport/file.h"
+
+#include "util/endian.h"
+
+namespace pbio::transport {
+
+namespace {
+constexpr std::size_t kMaxFrame = 1u << 30;
+}
+
+Result<std::unique_ptr<FileWriteChannel>> FileWriteChannel::open(
+    const std::string& path, bool append) {
+  std::FILE* f = std::fopen(path.c_str(), append ? "ab" : "wb");
+  if (f == nullptr) {
+    return Status(Errc::kIo, "cannot open '" + path + "' for writing");
+  }
+  return std::unique_ptr<FileWriteChannel>(new FileWriteChannel(f));
+}
+
+FileWriteChannel::~FileWriteChannel() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileWriteChannel::send(std::span<const std::uint8_t> bytes) {
+  std::uint8_t header[4];
+  store_uint(header, bytes.size(), 4, ByteOrder::kLittle);
+  if (std::fwrite(header, 1, 4, file_) != 4 ||
+      (!bytes.empty() &&
+       std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size())) {
+    return Status(Errc::kIo, "short write to frame log");
+  }
+  bytes_sent_ += bytes.size();
+  return Status::ok();
+}
+
+Result<std::vector<std::uint8_t>> FileWriteChannel::recv() {
+  return Status(Errc::kUnsupported, "write-only channel");
+}
+
+Status FileWriteChannel::flush() {
+  if (std::fflush(file_) != 0) {
+    return Status(Errc::kIo, "flush failed");
+  }
+  return Status::ok();
+}
+
+Result<std::unique_ptr<FileReadChannel>> FileReadChannel::open(
+    const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status(Errc::kIo, "cannot open '" + path + "' for reading");
+  }
+  return std::unique_ptr<FileReadChannel>(new FileReadChannel(f));
+}
+
+FileReadChannel::~FileReadChannel() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileReadChannel::send(std::span<const std::uint8_t>) {
+  return Status(Errc::kUnsupported, "read-only channel");
+}
+
+Result<std::vector<std::uint8_t>> FileReadChannel::recv() {
+  std::uint8_t header[4];
+  const std::size_t got = std::fread(header, 1, 4, file_);
+  if (got == 0 && std::feof(file_)) {
+    return Status(Errc::kChannelClosed, "end of frame log");
+  }
+  if (got != 4) {
+    return Status(Errc::kTruncated, "truncated frame header");
+  }
+  const std::uint64_t len = load_uint(header, 4, ByteOrder::kLittle);
+  if (len > kMaxFrame) {
+    return Status(Errc::kMalformed, "oversized frame in log");
+  }
+  std::vector<std::uint8_t> frame(static_cast<std::size_t>(len));
+  if (!frame.empty() &&
+      std::fread(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    return Status(Errc::kTruncated, "truncated frame body");
+  }
+  return frame;
+}
+
+}  // namespace pbio::transport

@@ -1,0 +1,53 @@
+#include "transport/loopback.h"
+
+namespace pbio::transport {
+
+std::pair<std::unique_ptr<LoopbackChannel>, std::unique_ptr<LoopbackChannel>>
+make_loopback_pair() {
+  auto q1 = std::make_shared<LoopbackChannel::Queue>();
+  auto q2 = std::make_shared<LoopbackChannel::Queue>();
+  auto a = std::unique_ptr<LoopbackChannel>(new LoopbackChannel());
+  auto b = std::unique_ptr<LoopbackChannel>(new LoopbackChannel());
+  a->in_ = q1;
+  a->out_ = q2;
+  b->in_ = q2;
+  b->out_ = q1;
+  return {std::move(a), std::move(b)};
+}
+
+Status LoopbackChannel::send(std::span<const std::uint8_t> bytes) {
+  std::lock_guard<std::mutex> lock(out_->mu);
+  if (out_->closed) {
+    return Status(Errc::kChannelClosed, "peer closed");
+  }
+  out_->messages.emplace_back(bytes.begin(), bytes.end());
+  bytes_sent_ += bytes.size();
+  out_->cv.notify_one();
+  return Status::ok();
+}
+
+Result<std::vector<std::uint8_t>> LoopbackChannel::recv() {
+  std::unique_lock<std::mutex> lock(in_->mu);
+  in_->cv.wait(lock, [&] { return !in_->messages.empty() || in_->closed; });
+  if (in_->messages.empty()) {
+    return Status(Errc::kChannelClosed, "loopback closed");
+  }
+  std::vector<std::uint8_t> msg = std::move(in_->messages.front());
+  in_->messages.pop_front();
+  return msg;
+}
+
+void LoopbackChannel::close() {
+  for (const auto& q : {in_, out_}) {
+    std::lock_guard<std::mutex> lock(q->mu);
+    q->closed = true;
+    q->cv.notify_all();
+  }
+}
+
+std::size_t LoopbackChannel::pending() const {
+  std::lock_guard<std::mutex> lock(in_->mu);
+  return in_->messages.size();
+}
+
+}  // namespace pbio::transport

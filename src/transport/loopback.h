@@ -1,0 +1,53 @@
+// In-process loopback transport: a pair of channels connected by two
+// thread-safe message queues. Used by unit tests, examples, and the
+// CPU-cost benches (where network time is modelled analytically).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+
+#include "transport/channel.h"
+
+namespace pbio::transport {
+
+class LoopbackChannel;
+
+/// Create a connected pair: messages sent on `first` arrive at `second` and
+/// vice versa.
+std::pair<std::unique_ptr<LoopbackChannel>, std::unique_ptr<LoopbackChannel>>
+make_loopback_pair();
+
+class LoopbackChannel final : public Channel {
+ public:
+  Status send(std::span<const std::uint8_t> bytes) override;
+  Result<std::vector<std::uint8_t>> recv() override;
+  std::uint64_t bytes_sent() const override { return bytes_sent_; }
+
+  /// Close the channel: pending and future recv() calls on the peer fail
+  /// with kChannelClosed once drained.
+  void close();
+
+  /// Messages waiting to be received.
+  std::size_t pending() const;
+
+ private:
+  friend std::pair<std::unique_ptr<LoopbackChannel>,
+                   std::unique_ptr<LoopbackChannel>>
+  make_loopback_pair();
+
+  struct Queue {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::vector<std::uint8_t>> messages;
+    bool closed = false;
+  };
+
+  std::shared_ptr<Queue> in_;
+  std::shared_ptr<Queue> out_;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace pbio::transport

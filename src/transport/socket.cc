@@ -1,0 +1,190 @@
+#include "transport/socket.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/endian.h"
+
+namespace pbio::transport {
+
+namespace {
+constexpr std::size_t kMaxMessage = 1u << 30;
+
+Status errno_status(const char* what) {
+  return Status(Errc::kIo, std::string(what) + ": " + std::strerror(errno));
+}
+}  // namespace
+
+SocketChannel::SocketChannel(int fd) : fd_(fd) {
+  const int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+SocketChannel::~SocketChannel() { close(); }
+
+void SocketChannel::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status SocketChannel::send_all(const void* p, std::size_t n) {
+  const auto* b = static_cast<const std::uint8_t*>(p);
+  while (n > 0) {
+    const ssize_t w = ::write(fd_, b, n);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("write");
+    }
+    if (w == 0) return Status(Errc::kChannelClosed, "peer closed");
+    b += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return Status::ok();
+}
+
+Status SocketChannel::send(std::span<const std::uint8_t> bytes) {
+  const std::span<const std::uint8_t> one[] = {bytes};
+  return send_gather(one);
+}
+
+Status SocketChannel::send_gather(
+    std::span<const std::span<const std::uint8_t>> segments) {
+  std::size_t total = 0;
+  for (const auto& s : segments) total += s.size();
+  std::uint8_t header[4];
+  store_uint(header, total, 4, ByteOrder::kLittle);
+
+  // writev: the frame header plus every segment, no concatenation copy.
+  std::vector<iovec> iov;
+  iov.reserve(segments.size() + 1);
+  iov.push_back({header, 4});
+  for (const auto& s : segments) {
+    if (!s.empty()) {
+      iov.push_back({const_cast<std::uint8_t*>(s.data()), s.size()});
+    }
+  }
+  std::size_t done = 0;
+  const std::size_t want = total + 4;
+  while (done < want) {
+    const ssize_t w = ::writev(fd_, iov.data(), static_cast<int>(iov.size()));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("writev");
+    }
+    done += static_cast<std::size_t>(w);
+    if (done >= want) break;
+    // Short write: advance the iovec view.
+    std::size_t skip = static_cast<std::size_t>(w);
+    while (!iov.empty() && skip >= iov.front().iov_len) {
+      skip -= iov.front().iov_len;
+      iov.erase(iov.begin());
+    }
+    if (!iov.empty()) {
+      iov.front().iov_base = static_cast<std::uint8_t*>(iov.front().iov_base) +
+                             skip;
+      iov.front().iov_len -= skip;
+    }
+  }
+  bytes_sent_ += total;
+  return Status::ok();
+}
+
+Result<std::vector<std::uint8_t>> SocketChannel::recv() {
+  std::uint8_t header[4];
+  std::size_t got = 0;
+  while (got < 4) {
+    const ssize_t r = ::read(fd_, header + got, 4 - got);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("read");
+    }
+    if (r == 0) {
+      return Status(Errc::kChannelClosed,
+                    got == 0 ? "end of stream" : "truncated frame header");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  const std::uint64_t len = load_uint(header, 4, ByteOrder::kLittle);
+  if (len > kMaxMessage) {
+    return Status(Errc::kMalformed, "oversized frame");
+  }
+  std::vector<std::uint8_t> msg(static_cast<std::size_t>(len));
+  std::size_t at = 0;
+  while (at < msg.size()) {
+    const ssize_t r = ::read(fd_, msg.data() + at, msg.size() - at);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("read");
+    }
+    if (r == 0) {
+      return Status(Errc::kChannelClosed, "truncated frame body");
+    }
+    at += static_cast<std::size_t>(r);
+  }
+  return msg;
+}
+
+SocketListener::SocketListener() : fd_(-1) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw PbioError("socket() failed");
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    throw PbioError("bind() failed");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    ::close(fd_);
+    throw PbioError("getsockname() failed");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(fd_, 8) != 0) {
+    ::close(fd_);
+    throw PbioError("listen() failed");
+  }
+}
+
+SocketListener::~SocketListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<SocketChannel>> SocketListener::accept() {
+  while (true) {
+    const int fd = ::accept(fd_, nullptr, nullptr);
+    if (fd >= 0) return std::make_unique<SocketChannel>(fd);
+    if (errno == EINTR) continue;
+    return errno_status("accept");
+  }
+}
+
+Result<std::unique_ptr<SocketChannel>> socket_connect(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return errno_status("socket");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  while (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+         0) {
+    if (errno == EINTR) continue;
+    ::close(fd);
+    return errno_status("connect");
+  }
+  return std::make_unique<SocketChannel>(fd);
+}
+
+}  // namespace pbio::transport

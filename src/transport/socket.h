@@ -1,0 +1,59 @@
+// TCP transport: length-prefixed message framing over a stream socket.
+// Used by the end-to-end integration tests and the distributed examples;
+// equivalent to the paper's testbed socket layer minus the physical wire.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "transport/channel.h"
+
+namespace pbio::transport {
+
+class SocketChannel final : public Channel {
+ public:
+  /// Adopt a connected stream socket file descriptor.
+  explicit SocketChannel(int fd);
+  ~SocketChannel() override;
+
+  SocketChannel(const SocketChannel&) = delete;
+  SocketChannel& operator=(const SocketChannel&) = delete;
+
+  Status send(std::span<const std::uint8_t> bytes) override;
+  Status send_gather(
+      std::span<const std::span<const std::uint8_t>> segments) override;
+  Result<std::vector<std::uint8_t>> recv() override;
+  std::uint64_t bytes_sent() const override { return bytes_sent_; }
+
+  void close();
+
+ private:
+  Status send_all(const void* p, std::size_t n);
+  int fd_;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+/// Listening endpoint bound to 127.0.0.1 on an OS-chosen port.
+class SocketListener {
+ public:
+  SocketListener();
+  ~SocketListener();
+
+  SocketListener(const SocketListener&) = delete;
+  SocketListener& operator=(const SocketListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+
+  /// Accept one connection (blocking).
+  Result<std::unique_ptr<SocketChannel>> accept();
+
+ private:
+  int fd_;
+  std::uint16_t port_ = 0;
+};
+
+/// Connect to 127.0.0.1:port.
+Result<std::unique_ptr<SocketChannel>> socket_connect(std::uint16_t port);
+
+}  // namespace pbio::transport

@@ -1,0 +1,76 @@
+// Bump-pointer arena for decoded variable-length data (strings, variable
+// arrays). A PBIO message decode allocates at most a handful of blocks; the
+// arena ties their lifetime to the message.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+namespace pbio {
+
+class Arena {
+ public:
+  explicit Arena(std::size_t block_size = 4096) : block_size_(block_size) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+
+  /// Allocate `n` bytes aligned to `align` (power of two). Never returns
+  /// nullptr; memory is uninitialized.
+  void* allocate(std::size_t n, std::size_t align = 8) {
+    if (current_ != nullptr) {
+      const std::size_t at = aligned_offset(align);
+      if (at + n <= current_size_) {
+        used_ = at + n;
+        return current_ + at;
+      }
+    }
+    const std::size_t want =
+        n + align > block_size_ ? n + align : block_size_;
+    blocks_.push_back(std::make_unique<std::uint8_t[]>(want));
+    current_ = blocks_.back().get();
+    current_size_ = want;
+    used_ = 0;
+    const std::size_t at = aligned_offset(align);
+    used_ = at + n;
+    return current_ + at;
+  }
+
+  /// Copy `n` bytes into the arena and return the copy.
+  void* copy(const void* src, std::size_t n, std::size_t align = 8) {
+    void* p = allocate(n, align);
+    std::memcpy(p, src, n);
+    return p;
+  }
+
+  std::size_t block_count() const { return blocks_.size(); }
+
+  void reset() {
+    blocks_.clear();
+    current_ = nullptr;
+    current_size_ = 0;
+    used_ = 0;
+  }
+
+ private:
+  /// Offset into the current block at which an `align`-aligned *absolute*
+  /// address begins, at or after `used_`.
+  std::size_t aligned_offset(std::size_t align) const {
+    const auto base = reinterpret_cast<std::uintptr_t>(current_);
+    const std::uintptr_t addr = (base + used_ + align - 1) & ~(align - 1);
+    return static_cast<std::size_t>(addr - base);
+  }
+
+  std::size_t block_size_;
+  std::vector<std::unique_ptr<std::uint8_t[]>> blocks_;
+  std::uint8_t* current_ = nullptr;
+  std::size_t current_size_ = 0;
+  std::size_t used_ = 0;
+};
+
+}  // namespace pbio

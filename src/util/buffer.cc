@@ -1,0 +1,2 @@
+// ByteBuffer / ByteReader are header-only; this TU anchors the library.
+#include "util/buffer.h"

@@ -1,0 +1,130 @@
+// Growable, alignment-aware byte buffer used for message assembly, receive
+// staging and the simulated foreign-memory images.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "util/endian.h"
+
+namespace pbio {
+
+/// An owning, growable byte buffer with explicit-byte-order scalar append
+/// helpers. Grows geometrically; never shrinks.
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::size_t initial_capacity) {
+    bytes_.reserve(initial_capacity);
+  }
+
+  std::uint8_t* data() { return bytes_.data(); }
+  const std::uint8_t* data() const { return bytes_.data(); }
+  std::size_t size() const { return bytes_.size(); }
+  bool empty() const { return bytes_.empty(); }
+
+  std::span<const std::uint8_t> view() const { return {data(), size()}; }
+  std::span<std::uint8_t> mutable_view() { return {data(), size()}; }
+
+  void clear() { bytes_.clear(); }
+  void resize(std::size_t n) { bytes_.resize(n); }
+  void reserve(std::size_t n) { bytes_.reserve(n); }
+
+  /// Append raw bytes.
+  void append(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    bytes_.insert(bytes_.end(), b, b + n);
+  }
+
+  void append(std::span<const std::uint8_t> s) { append(s.data(), s.size()); }
+
+  /// Append `n` zero bytes (padding).
+  void append_zeros(std::size_t n) { bytes_.insert(bytes_.end(), n, 0); }
+
+  /// Pad with zeros until size() is a multiple of `alignment`.
+  void align_to(std::size_t alignment) {
+    const std::size_t rem = bytes_.size() % alignment;
+    if (rem != 0) append_zeros(alignment - rem);
+  }
+
+  /// Append an unsigned integer of `width` bytes in the given byte order.
+  void append_uint(std::uint64_t v, std::size_t width, ByteOrder order) {
+    const std::size_t at = bytes_.size();
+    bytes_.resize(at + width);
+    store_uint(bytes_.data() + at, v, width, order);
+  }
+
+  /// Append an IEEE float of `width` (4 or 8) bytes in the given byte order.
+  void append_float(double v, std::size_t width, ByteOrder order) {
+    const std::size_t at = bytes_.size();
+    bytes_.resize(at + width);
+    store_float(bytes_.data() + at, v, width, order);
+  }
+
+  /// Overwrite `width` bytes at `offset` (must already exist).
+  void patch_uint(std::size_t offset, std::uint64_t v, std::size_t width,
+                  ByteOrder order) {
+    store_uint(bytes_.data() + offset, v, width, order);
+  }
+
+  bool operator==(const ByteBuffer& other) const = default;
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+};
+
+/// A non-owning cursor over received bytes with bounds-checked reads.
+class ByteReader {
+ public:
+  ByteReader(const void* p, std::size_t n)
+      : base_(static_cast<const std::uint8_t*>(p)), size_(n) {}
+  explicit ByteReader(std::span<const std::uint8_t> s)
+      : ByteReader(s.data(), s.size()) {}
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return size_ - pos_; }
+  bool exhausted() const { return pos_ >= size_; }
+  const std::uint8_t* cursor() const { return base_ + pos_; }
+
+  bool skip(std::size_t n) {
+    if (remaining() < n) return false;
+    pos_ += n;
+    return true;
+  }
+
+  bool align_to(std::size_t alignment) {
+    const std::size_t rem = pos_ % alignment;
+    return rem == 0 ? true : skip(alignment - rem);
+  }
+
+  bool read_bytes(void* out, std::size_t n) {
+    if (remaining() < n) return false;
+    std::memcpy(out, base_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool read_uint(std::uint64_t* out, std::size_t width, ByteOrder order) {
+    if (remaining() < width) return false;
+    *out = load_uint(base_ + pos_, width, order);
+    pos_ += width;
+    return true;
+  }
+
+  bool read_float(double* out, std::size_t width, ByteOrder order) {
+    if (remaining() < width) return false;
+    *out = load_float(base_ + pos_, width, order);
+    pos_ += width;
+    return true;
+  }
+
+ private:
+  const std::uint8_t* base_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pbio

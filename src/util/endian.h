@@ -1,0 +1,202 @@
+// Endianness utilities: byte order tags, byte swapping, and loads/stores of
+// scalar values in an explicitly chosen byte order.
+//
+// Everything here is constexpr-friendly and branch-free where possible; the
+// conversion inner loops (src/convert, src/vcode) are built on these
+// primitives, so they must compile down to single bswap/mov instructions.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+namespace pbio {
+
+/// Byte order of a (possibly simulated) architecture.
+enum class ByteOrder : std::uint8_t {
+  kLittle = 0,
+  kBig = 1,
+};
+
+/// Byte order of the machine this code is running on.
+constexpr ByteOrder host_byte_order() {
+  return (std::endian::native == std::endian::little) ? ByteOrder::kLittle
+                                                      : ByteOrder::kBig;
+}
+
+constexpr const char* to_string(ByteOrder o) {
+  return o == ByteOrder::kLittle ? "little" : "big";
+}
+
+constexpr std::uint8_t byte_swap(std::uint8_t v) { return v; }
+
+constexpr std::uint16_t byte_swap(std::uint16_t v) {
+  return static_cast<std::uint16_t>((v >> 8) | (v << 8));
+}
+
+constexpr std::uint32_t byte_swap(std::uint32_t v) {
+  return ((v & 0xFF000000u) >> 24) | ((v & 0x00FF0000u) >> 8) |
+         ((v & 0x0000FF00u) << 8) | ((v & 0x000000FFu) << 24);
+}
+
+constexpr std::uint64_t byte_swap(std::uint64_t v) {
+  return ((v & 0xFF00000000000000ull) >> 56) |
+         ((v & 0x00FF000000000000ull) >> 40) |
+         ((v & 0x0000FF0000000000ull) >> 24) |
+         ((v & 0x000000FF00000000ull) >> 8) |
+         ((v & 0x00000000FF000000ull) << 8) |
+         ((v & 0x0000000000FF0000ull) << 24) |
+         ((v & 0x000000000000FF00ull) << 40) |
+         ((v & 0x00000000000000FFull) << 56);
+}
+
+/// Swap the bytes of an arbitrary-width value in place.
+inline void byte_swap_inplace(void* p, std::size_t width) {
+  auto* b = static_cast<std::uint8_t*>(p);
+  for (std::size_t i = 0, j = width - 1; i < j; ++i, --j) {
+    std::uint8_t t = b[i];
+    b[i] = b[j];
+    b[j] = t;
+  }
+}
+
+/// Load an unsigned integer of `width` bytes stored in byte order `order`
+/// from unaligned memory. Width must be 1, 2, 4 or 8.
+inline std::uint64_t load_uint(const void* p, std::size_t width,
+                               ByteOrder order) {
+  std::uint64_t v = 0;
+  switch (width) {
+    case 1: {
+      std::uint8_t t;
+      std::memcpy(&t, p, 1);
+      return t;
+    }
+    case 2: {
+      std::uint16_t t;
+      std::memcpy(&t, p, 2);
+      v = (order == host_byte_order()) ? t : byte_swap(t);
+      return v;
+    }
+    case 4: {
+      std::uint32_t t;
+      std::memcpy(&t, p, 4);
+      v = (order == host_byte_order()) ? t : byte_swap(t);
+      return v;
+    }
+    case 8: {
+      std::uint64_t t;
+      std::memcpy(&t, p, 8);
+      v = (order == host_byte_order()) ? t : byte_swap(t);
+      return v;
+    }
+    default:
+      // Unusual widths (e.g. simulated 16-byte long double slots) are read
+      // byte-by-byte.
+      {
+        const auto* b = static_cast<const std::uint8_t*>(p);
+        if (order == ByteOrder::kLittle) {
+          for (std::size_t i = width; i-- > 0;) v = (v << 8) | b[i];
+        } else {
+          for (std::size_t i = 0; i < width; ++i) v = (v << 8) | b[i];
+        }
+        return v;
+      }
+  }
+}
+
+/// Sign-extend a `width`-byte two's-complement value held in a uint64.
+inline std::int64_t sign_extend(std::uint64_t v, std::size_t width) {
+  if (width >= 8) return static_cast<std::int64_t>(v);
+  const std::uint64_t sign_bit = 1ull << (8 * width - 1);
+  const std::uint64_t mask = (1ull << (8 * width)) - 1;
+  v &= mask;
+  return static_cast<std::int64_t>((v ^ sign_bit) - sign_bit);
+}
+
+/// Load a signed integer of `width` bytes in byte order `order`.
+inline std::int64_t load_int(const void* p, std::size_t width,
+                             ByteOrder order) {
+  return sign_extend(load_uint(p, width, order), width);
+}
+
+/// Store the low `width` bytes of `v` to unaligned memory in `order`.
+inline void store_uint(void* p, std::uint64_t v, std::size_t width,
+                       ByteOrder order) {
+  switch (width) {
+    case 1: {
+      auto t = static_cast<std::uint8_t>(v);
+      std::memcpy(p, &t, 1);
+      return;
+    }
+    case 2: {
+      auto t = static_cast<std::uint16_t>(v);
+      if (order != host_byte_order()) t = byte_swap(t);
+      std::memcpy(p, &t, 2);
+      return;
+    }
+    case 4: {
+      auto t = static_cast<std::uint32_t>(v);
+      if (order != host_byte_order()) t = byte_swap(t);
+      std::memcpy(p, &t, 4);
+      return;
+    }
+    case 8: {
+      std::uint64_t t = v;
+      if (order != host_byte_order()) t = byte_swap(t);
+      std::memcpy(p, &t, 8);
+      return;
+    }
+    default: {
+      auto* b = static_cast<std::uint8_t*>(p);
+      if (order == ByteOrder::kLittle) {
+        for (std::size_t i = 0; i < width; ++i) {
+          b[i] = static_cast<std::uint8_t>(v >> (8 * i));
+        }
+      } else {
+        for (std::size_t i = 0; i < width; ++i) {
+          b[width - 1 - i] = static_cast<std::uint8_t>(v >> (8 * i));
+        }
+      }
+      return;
+    }
+  }
+}
+
+/// Load an IEEE-754 float of `width` (4 or 8) bytes in byte order `order`,
+/// widened to double.
+inline double load_float(const void* p, std::size_t width, ByteOrder order) {
+  if (width == 4) {
+    std::uint32_t bits;
+    std::memcpy(&bits, p, 4);
+    if (order != host_byte_order()) bits = byte_swap(bits);
+    float f;
+    std::memcpy(&f, &bits, 4);
+    return f;
+  }
+  std::uint64_t bits;
+  std::memcpy(&bits, p, 8);
+  if (order != host_byte_order()) bits = byte_swap(bits);
+  double d;
+  std::memcpy(&d, &bits, 8);
+  return d;
+}
+
+/// Store `v` as an IEEE-754 float of `width` (4 or 8) bytes in `order`.
+inline void store_float(void* p, double v, std::size_t width,
+                        ByteOrder order) {
+  if (width == 4) {
+    float f = static_cast<float>(v);
+    std::uint32_t bits;
+    std::memcpy(&bits, &f, 4);
+    if (order != host_byte_order()) bits = byte_swap(bits);
+    std::memcpy(p, &bits, 4);
+    return;
+  }
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  if (order != host_byte_order()) bits = byte_swap(bits);
+  std::memcpy(p, &bits, 8);
+}
+
+}  // namespace pbio

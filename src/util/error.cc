@@ -1,0 +1,38 @@
+#include "util/error.h"
+
+namespace pbio {
+
+const char* to_string(Errc e) {
+  switch (e) {
+    case Errc::kOk:
+      return "ok";
+    case Errc::kTruncated:
+      return "truncated";
+    case Errc::kUnknownFormat:
+      return "unknown-format";
+    case Errc::kMalformed:
+      return "malformed";
+    case Errc::kParse:
+      return "parse";
+    case Errc::kUnsupported:
+      return "unsupported";
+    case Errc::kChannelClosed:
+      return "channel-closed";
+    case Errc::kTypeMismatch:
+      return "type-mismatch";
+    case Errc::kIo:
+      return "io";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  std::string s = pbio::to_string(code_);
+  if (!message_.empty()) {
+    s += ": ";
+    s += message_;
+  }
+  return s;
+}
+
+}  // namespace pbio

@@ -1,0 +1,104 @@
+// Error handling for the PBIO reproduction.
+//
+// Two mechanisms, used deliberately:
+//  * `PbioError` (exception) — programmer errors and unrecoverable API
+//    misuse (registering a malformed format, JIT emission bugs, ...).
+//  * `Result<T>` — expected runtime failures on data paths (truncated
+//    messages, malformed XML, unknown format ids) where the caller must
+//    handle the failure without unwinding through hot loops.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace pbio {
+
+class PbioError : public std::runtime_error {
+ public:
+  explicit PbioError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Error codes for recoverable data-path failures.
+enum class Errc : std::uint8_t {
+  kOk = 0,
+  kTruncated,        // message shorter than its format requires
+  kUnknownFormat,    // format id never announced on this channel
+  kMalformed,        // structurally invalid bytes (bad magic, bad meta, ...)
+  kParse,            // text parse failure (XML, numbers)
+  kUnsupported,      // feature not available (e.g. JIT on non-x86-64)
+  kChannelClosed,    // transport EOF
+  kTypeMismatch,     // irreconcilable field types
+  kIo,               // OS-level I/O failure
+};
+
+const char* to_string(Errc e);
+
+/// A status with an error code and human-readable context.
+class Status {
+ public:
+  Status() : code_(Errc::kOk) {}
+  Status(Errc code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status(); }
+
+  bool is_ok() const { return code_ == Errc::kOk; }
+  explicit operator bool() const { return is_ok(); }
+  Errc code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string to_string() const;
+
+ private:
+  Errc code_;
+  std::string message_;
+};
+
+/// Minimal expected-like result type (std::expected is C++23).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}           // NOLINT(implicit)
+  Result(Status status) : state_(std::move(status)) {}    // NOLINT(implicit)
+  Result(Errc code, std::string msg) : state_(Status(code, std::move(msg))) {}
+
+  bool is_ok() const { return std::holds_alternative<T>(state_); }
+  explicit operator bool() const { return is_ok(); }
+
+  const T& value() const& {
+    require_ok();
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    require_ok();
+    return std::get<T>(state_);
+  }
+  T&& take() && {
+    require_ok();
+    return std::get<T>(std::move(state_));
+  }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    if (is_ok()) return kOkStatus;
+    return std::get<Status>(state_);
+  }
+
+  const T& value_or(const T& fallback) const {
+    return is_ok() ? std::get<T>(state_) : fallback;
+  }
+
+ private:
+  void require_ok() const {
+    if (!is_ok()) {
+      throw PbioError("Result accessed without value: " +
+                      std::get<Status>(state_).to_string());
+    }
+  }
+  std::variant<T, Status> state_;
+};
+
+}  // namespace pbio

@@ -1,0 +1,35 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+namespace pbio {
+
+namespace {
+LogLevel parse_env() {
+  const char* v = std::getenv("PBIO_LOG");
+  if (v == nullptr) return LogLevel::kOff;
+  if (std::strcmp(v, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(v, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(v, "warn") == 0) return LogLevel::kWarn;
+  return LogLevel::kOff;
+}
+std::mutex g_log_mutex;
+}  // namespace
+
+LogLevel log_threshold() {
+  static const LogLevel level = parse_env();
+  return level;
+}
+
+void log_emit(LogLevel level, const std::string& msg) {
+  const char* tag = level == LogLevel::kDebug  ? "D"
+                    : level == LogLevel::kInfo ? "I"
+                                               : "W";
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[pbio:%s] %s\n", tag, msg.c_str());
+}
+
+}  // namespace pbio

@@ -1,0 +1,40 @@
+// Minimal leveled logging. Off by default; enabled via PBIO_LOG env var
+// (PBIO_LOG=debug|info|warn). Never used on data-path hot loops.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace pbio {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+
+LogLevel log_threshold();
+void log_emit(LogLevel level, const std::string& msg);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() {
+    if (level_ >= log_threshold()) log_emit(level_, os_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (level_ >= log_threshold()) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() {
+  return detail::LogLine(LogLevel::kDebug);
+}
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+
+}  // namespace pbio

@@ -1,0 +1,2 @@
+// Header-only; this TU anchors the library.
+#include "util/stopwatch.h"

@@ -1,0 +1,81 @@
+// High-resolution timing for the benchmark harness and the figure
+// reproductions. All results are reported in nanoseconds internally and
+// converted to the paper's milliseconds only at print time.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace pbio {
+
+/// Monotonic stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  std::uint64_t elapsed_ns() const {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  double elapsed_us() const { return static_cast<double>(elapsed_ns()) / 1e3; }
+  double elapsed_ms() const { return static_cast<double>(elapsed_ns()) / 1e6; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Repeated-measurement helper: runs `fn` until it has both a minimum number
+/// of iterations and a minimum accumulated runtime, then reports the median
+/// per-iteration cost. Median (not mean) to shed scheduler noise, matching
+/// common practice for microsecond-scale marshalling measurements.
+struct TimingResult {
+  double median_ns = 0;
+  double min_ns = 0;
+  double mean_ns = 0;
+  std::uint64_t iterations = 0;
+
+  double median_us() const { return median_ns / 1e3; }
+  double median_ms() const { return median_ns / 1e6; }
+};
+
+template <typename Fn>
+TimingResult time_operation(Fn&& fn, std::uint64_t min_iters = 32,
+                            std::uint64_t min_total_ns = 20'000'000) {
+  std::vector<double> samples;
+  samples.reserve(min_iters * 2);
+  std::uint64_t total = 0;
+  // Warm-up: populate caches, fault pages, trigger any lazy JIT.
+  fn();
+  while (samples.size() < min_iters || total < min_total_ns) {
+    Stopwatch sw;
+    fn();
+    const auto ns = sw.elapsed_ns();
+    samples.push_back(static_cast<double>(ns));
+    total += ns;
+    if (samples.size() > 100'000) break;  // pathological fast op guard
+  }
+  TimingResult r;
+  r.iterations = samples.size();
+  double sum = 0;
+  double mn = samples.front();
+  for (double s : samples) {
+    sum += s;
+    if (s < mn) mn = s;
+  }
+  r.mean_ns = sum / static_cast<double>(samples.size());
+  r.min_ns = mn;
+  std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                   samples.end());
+  r.median_ns = samples[samples.size() / 2];
+  return r;
+}
+
+}  // namespace pbio

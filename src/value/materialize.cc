@@ -1,0 +1,157 @@
+#include "value/materialize.h"
+
+#include <cstring>
+
+#include "util/buffer.h"
+#include "util/endian.h"
+
+namespace pbio::value {
+
+namespace {
+
+using fmt::BaseType;
+using fmt::FieldDesc;
+using fmt::FormatDesc;
+
+std::size_t align_up(std::size_t v, std::size_t a) { return (v + a - 1) / a * a; }
+
+class Materializer {
+ public:
+  explicit Materializer(const FormatDesc& root) : root_(root) {}
+
+  std::vector<std::uint8_t> run(const Record& rec) {
+    std::vector<std::uint8_t> image(root_.fixed_size, 0);
+    // Variable data is appended after the fixed part; collect it in a side
+    // buffer first because slots must be patched as we discover offsets.
+    var_.clear();
+    fill_struct(image.data(), root_, rec, image);
+    image.insert(image.end(), var_.data(), var_.data() + var_.size());
+    return image;
+  }
+
+ private:
+  /// Fill the fixed-part region at `base` according to `f` from `rec`.
+  /// `image` is the root fixed part (for patching pointer slots).
+  void fill_struct(std::uint8_t* base, const FormatDesc& f, const Record& rec,
+                   std::vector<std::uint8_t>& image) {
+    for (const FieldDesc& fd : f.fields) {
+      const Value* v = rec.find(fd.name);
+      if (v == nullptr || v->is_null()) continue;  // zero-filled already
+      fill_field(base, f, fd, *v, rec, image);
+    }
+  }
+
+  void fill_field(std::uint8_t* base, const FormatDesc& f, const FieldDesc& fd,
+                  const Value& v, const Record& rec,
+                  std::vector<std::uint8_t>& image) {
+    std::uint8_t* slot = base + fd.offset;
+    const ByteOrder order = root_.byte_order;
+
+    if (fd.base == BaseType::kString) {
+      const std::string& s = v.as_string();
+      const std::size_t off = append_var(s.data(), s.size() + 1, 1);
+      store_uint(slot, off, root_.pointer_size, order);
+      return;
+    }
+
+    if (!fd.var_dim_field.empty()) {
+      // Variable array: element count comes from the dim field's value.
+      const Value* dim = rec.find(fd.var_dim_field);
+      const std::uint64_t count = dim == nullptr ? 0 : dim->as_uint();
+      if (count == 0) return;  // slot stays 0 (null)
+      const Value::List& elems = v.as_list();
+      if (elems.size() != count) {
+        throw PbioError("field '" + fd.name + "': list has " +
+                        std::to_string(elems.size()) + " elements but dim '" +
+                        fd.var_dim_field + "' says " + std::to_string(count));
+      }
+      std::vector<std::uint8_t> block(fd.elem_size * count, 0);
+      for (std::size_t i = 0; i < count; ++i) {
+        fill_element(block.data() + i * fd.elem_size, f, fd, elems[i], image);
+      }
+      const std::size_t off = append_var(block.data(), block.size(), 8);
+      store_uint(slot, off, root_.pointer_size, order);
+      return;
+    }
+
+    if (fd.static_elems == 1) {
+      fill_element(slot, f, fd, v, image);
+      return;
+    }
+
+    // Fixed inline array.
+    if (fd.base == BaseType::kChar) {
+      // Char arrays take a string value, truncated / zero-padded to width.
+      const std::string& s = v.as_string();
+      const std::size_t n = std::min<std::size_t>(s.size(), fd.static_elems);
+      std::memcpy(slot, s.data(), n);
+      return;
+    }
+    const Value::List& elems = v.as_list();
+    if (elems.size() > fd.static_elems) {
+      throw PbioError("field '" + fd.name + "': too many elements");
+    }
+    for (std::size_t i = 0; i < elems.size(); ++i) {
+      fill_element(slot + i * fd.elem_size, f, fd, elems[i], image);
+    }
+  }
+
+  void fill_element(std::uint8_t* at, const FormatDesc& f, const FieldDesc& fd,
+                    const Value& v, std::vector<std::uint8_t>& image) {
+    const ByteOrder order = root_.byte_order;
+    switch (fd.base) {
+      case BaseType::kInt:
+        store_uint(at, static_cast<std::uint64_t>(v.as_int()), fd.elem_size,
+                   order);
+        return;
+      case BaseType::kUInt:
+        store_uint(at, v.as_uint(), fd.elem_size, order);
+        return;
+      case BaseType::kFloat:
+        store_float(at, v.as_double(), fd.elem_size, order);
+        return;
+      case BaseType::kChar: {
+        if (v.is_string()) {
+          const std::string& s = v.as_string();
+          if (!s.empty()) *at = static_cast<std::uint8_t>(s[0]);
+        } else {
+          *at = static_cast<std::uint8_t>(v.as_uint());
+        }
+        return;
+      }
+      case BaseType::kStruct: {
+        const FormatDesc* sub = root_.find_subformat(fd.subformat);
+        if (sub == nullptr) {
+          throw PbioError("materialize: unknown subformat '" + fd.subformat +
+                          "'");
+        }
+        fill_struct(at, *sub, v.as_record(), image);
+        return;
+      }
+      case BaseType::kString:
+        break;  // handled in fill_field
+    }
+    (void)f;
+    throw PbioError("materialize: unreachable element type");
+  }
+
+  /// Append `n` bytes to the variable section, aligned to `align`; returns
+  /// the record-relative wire offset of the appended data.
+  std::size_t append_var(const void* p, std::size_t n, std::size_t align) {
+    std::size_t at = align_up(root_.fixed_size + var_.size(), align);
+    var_.append_zeros(at - root_.fixed_size - var_.size());
+    var_.append(p, n);
+    return at;
+  }
+
+  const FormatDesc& root_;
+  ByteBuffer var_;
+};
+
+}  // namespace
+
+std::vector<std::uint8_t> materialize(const FormatDesc& f, const Record& rec) {
+  return Materializer(f).run(rec);
+}
+
+}  // namespace pbio::value

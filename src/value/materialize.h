@@ -1,0 +1,26 @@
+// Materializer: produce the exact byte image a sender on a given
+// architecture would put on the wire for a record value.
+//
+// For fixed-layout formats this is the sender's in-memory struct image
+// (NDR transmits it untouched). Variable-length fields (strings, variable
+// arrays) are appended after the fixed part with their pointer slots patched
+// to record-relative offsets — matching what a PBIO writer does when it
+// gathers a record containing pointers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fmt/format.h"
+#include "value/value.h"
+
+namespace pbio::value {
+
+/// Build the wire image of `rec` under format `f`. Fields of `f` missing
+/// from `rec` are zero-filled; fields of `rec` unknown to `f` are ignored.
+/// Throws PbioError if a present value's shape contradicts the format
+/// (e.g. a string where an int array is required).
+std::vector<std::uint8_t> materialize(const fmt::FormatDesc& f,
+                                      const Record& rec);
+
+}  // namespace pbio::value

@@ -1,0 +1,40 @@
+// Random struct specs and record values for property-based testing.
+//
+// Generated values are constrained so that a round trip through *any* pair
+// of modelled ABIs is lossless: integers fit the smallest size the type has
+// on any ABI (e.g. `long` values fit 32 bits), floats are exact binary32
+// values, char data is printable ASCII without embedded NULs.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "arch/layout.h"
+#include "value/value.h"
+
+namespace pbio::value {
+
+struct RandomSpecOptions {
+  std::size_t min_fields = 1;
+  std::size_t max_fields = 12;
+  bool allow_strings = true;
+  bool allow_var_arrays = true;
+  bool allow_substructs = true;
+  std::uint32_t max_array_elems = 8;
+};
+
+/// Generate a random struct specification.
+arch::StructSpec random_spec(std::mt19937_64& rng,
+                             const RandomSpecOptions& opts = {});
+
+/// Generate a random record value conforming to `spec`, with round-trip-safe
+/// value ranges (see file comment).
+Record random_record(const arch::StructSpec& spec, std::mt19937_64& rng);
+
+/// Order-insensitive, numerically-widening record equivalence: both records
+/// must contain the same field names with equivalent values. Used to compare
+/// records read back from formats with different field orders.
+bool equivalent(const Record& a, const Record& b);
+bool equivalent(const Value& a, const Value& b);
+
+}  // namespace pbio::value

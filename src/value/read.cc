@@ -1,0 +1,176 @@
+#include "value/read.h"
+
+#include <cstring>
+
+#include "util/endian.h"
+
+namespace pbio::value {
+
+namespace {
+
+using fmt::BaseType;
+using fmt::FieldDesc;
+using fmt::FormatDesc;
+
+class ImageReader {
+ public:
+  ImageReader(const FormatDesc& root, std::span<const std::uint8_t> bytes)
+      : root_(root), bytes_(bytes) {}
+
+  Result<Record> run() {
+    if (bytes_.size() < root_.fixed_size) {
+      return Status(Errc::kTruncated,
+                    "image smaller than fixed part of '" + root_.name + "'");
+    }
+    Record rec;
+    Status st = read_struct(bytes_.data(), root_, &rec);
+    if (!st.is_ok()) return st;
+    return rec;
+  }
+
+ private:
+  Status read_struct(const std::uint8_t* base, const FormatDesc& f,
+                     Record* out) {
+    // First pass: scalars (so var-dim integer fields are available even when
+    // they are declared after the arrays they size).
+    for (const FieldDesc& fd : f.fields) {
+      if (fd.is_variable()) continue;
+      Value v;
+      Status st = read_fixed_field(base, f, fd, &v);
+      if (!st.is_ok()) return st;
+      out->set(fd.name, std::move(v));
+    }
+    for (const FieldDesc& fd : f.fields) {
+      if (!fd.is_variable()) continue;
+      Value v;
+      Status st = read_variable_field(base, fd, *out, &v);
+      if (!st.is_ok()) return st;
+      out->set(fd.name, std::move(v));
+    }
+    return Status::ok();
+  }
+
+  Status read_fixed_field(const std::uint8_t* base, const FormatDesc& f,
+                          const FieldDesc& fd, Value* out) {
+    (void)f;
+    const std::uint8_t* slot = base + fd.offset;
+    if (fd.base == BaseType::kChar && fd.static_elems > 1) {
+      // Char array -> string, trailing NULs trimmed.
+      std::size_t n = fd.static_elems;
+      while (n > 0 && slot[n - 1] == 0) --n;
+      *out = std::string(reinterpret_cast<const char*>(slot), n);
+      return Status::ok();
+    }
+    if (fd.static_elems == 1) {
+      return read_element(slot, fd, out);
+    }
+    Value::List list;
+    list.reserve(fd.static_elems);
+    for (std::uint32_t i = 0; i < fd.static_elems; ++i) {
+      Value v;
+      Status st = read_element(slot + i * fd.elem_size, fd, &v);
+      if (!st.is_ok()) return st;
+      list.push_back(std::move(v));
+    }
+    *out = std::move(list);
+    return Status::ok();
+  }
+
+  Status read_element(const std::uint8_t* at, const FieldDesc& fd,
+                      Value* out) {
+    const ByteOrder order = root_.byte_order;
+    switch (fd.base) {
+      case BaseType::kInt:
+        *out = load_int(at, fd.elem_size, order);
+        return Status::ok();
+      case BaseType::kUInt:
+        *out = load_uint(at, fd.elem_size, order);
+        return Status::ok();
+      case BaseType::kFloat:
+        *out = load_float(at, fd.elem_size, order);
+        return Status::ok();
+      case BaseType::kChar:
+        *out = std::string(reinterpret_cast<const char*>(at), at[0] ? 1 : 0);
+        return Status::ok();
+      case BaseType::kStruct: {
+        const FormatDesc* sub = root_.find_subformat(fd.subformat);
+        if (sub == nullptr) {
+          return Status(Errc::kMalformed,
+                        "unknown subformat '" + fd.subformat + "'");
+        }
+        Record rec;
+        Status st = read_struct(at, *sub, &rec);
+        if (!st.is_ok()) return st;
+        *out = std::move(rec);
+        return Status::ok();
+      }
+      case BaseType::kString:
+        break;
+    }
+    return Status(Errc::kMalformed, "unreachable element type");
+  }
+
+  Status read_variable_field(const std::uint8_t* base, const FieldDesc& fd,
+                             const Record& so_far, Value* out) {
+    const ByteOrder order = root_.byte_order;
+    const std::uint64_t off =
+        load_uint(base + fd.offset, root_.pointer_size, order);
+    if (fd.base == BaseType::kString) {
+      if (off == 0) {
+        *out = Value();  // null string
+        return Status::ok();
+      }
+      if (off >= bytes_.size()) {
+        return Status(Errc::kMalformed,
+                      "string offset out of range in '" + fd.name + "'");
+      }
+      const auto* start = bytes_.data() + off;
+      const auto* end = static_cast<const std::uint8_t*>(
+          std::memchr(start, 0, bytes_.size() - off));
+      if (end == nullptr) {
+        return Status(Errc::kMalformed,
+                      "unterminated string in '" + fd.name + "'");
+      }
+      *out = std::string(reinterpret_cast<const char*>(start),
+                         static_cast<std::size_t>(end - start));
+      return Status::ok();
+    }
+    // Variable array.
+    const Value* dim = so_far.find(fd.var_dim_field);
+    if (dim == nullptr) {
+      return Status(Errc::kMalformed,
+                    "missing var-dim field '" + fd.var_dim_field + "'");
+    }
+    const std::uint64_t count = dim->as_uint();
+    if (count == 0) {
+      *out = Value::List{};
+      return Status::ok();
+    }
+    if (off == 0 || off + count * fd.elem_size > bytes_.size()) {
+      return Status(Errc::kMalformed,
+                    "variable array out of range in '" + fd.name + "'");
+    }
+    Value::List list;
+    list.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+      Value v;
+      Status st = read_element(bytes_.data() + off + i * fd.elem_size, fd, &v);
+      if (!st.is_ok()) return st;
+      list.push_back(std::move(v));
+    }
+    *out = std::move(list);
+    return Status::ok();
+  }
+
+  const FormatDesc& root_;
+  std::span<const std::uint8_t> bytes_;
+};
+
+}  // namespace
+
+Result<Record> read_record(const FormatDesc& f,
+                           std::span<const std::uint8_t> bytes) {
+  return ImageReader(f, bytes).run();
+}
+
+}  // namespace pbio::value

@@ -1,0 +1,20 @@
+// Reader: interpret a byte image under a format description, producing the
+// record value it denotes. The inverse of materialize(); also used to read
+// *native* receiver images in tests (any format, any byte order).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "fmt/format.h"
+#include "util/error.h"
+#include "value/value.h"
+
+namespace pbio::value {
+
+/// Decode `bytes` as a record of format `f`. Bounds-checked: returns an
+/// error Status on truncated images or out-of-range variable-data offsets.
+Result<Record> read_record(const fmt::FormatDesc& f,
+                           std::span<const std::uint8_t> bytes);
+
+}  // namespace pbio::value

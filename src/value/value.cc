@@ -1,0 +1,124 @@
+#include "value/value.h"
+
+#include <sstream>
+
+namespace pbio::value {
+
+void Record::set(std::string name, Value v) {
+  for (auto& [n, existing] : fields_) {
+    if (n == name) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  fields_.emplace_back(std::move(name), std::move(v));
+}
+
+const Value* Record::find(std::string_view name) const {
+  for (const auto& [n, v] : fields_) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+Value* Record::find(std::string_view name) {
+  for (auto& [n, v] : fields_) {
+    if (n == name) return &v;
+  }
+  return nullptr;
+}
+
+bool Record::operator==(const Record& other) const {
+  return fields_ == other.fields_;
+}
+
+std::int64_t Value::as_int() const {
+  if (is_int()) return std::get<std::int64_t>(v_);
+  if (is_uint()) return static_cast<std::int64_t>(std::get<std::uint64_t>(v_));
+  if (is_float()) return static_cast<std::int64_t>(std::get<double>(v_));
+  throw PbioError("Value::as_int on non-numeric value");
+}
+
+std::uint64_t Value::as_uint() const {
+  if (is_uint()) return std::get<std::uint64_t>(v_);
+  if (is_int()) return static_cast<std::uint64_t>(std::get<std::int64_t>(v_));
+  if (is_float()) return static_cast<std::uint64_t>(std::get<double>(v_));
+  throw PbioError("Value::as_uint on non-numeric value");
+}
+
+double Value::as_double() const {
+  if (is_float()) return std::get<double>(v_);
+  if (is_int()) return static_cast<double>(std::get<std::int64_t>(v_));
+  if (is_uint()) return static_cast<double>(std::get<std::uint64_t>(v_));
+  throw PbioError("Value::as_double on non-numeric value");
+}
+
+const std::string& Value::as_string() const {
+  if (!is_string()) throw PbioError("Value::as_string on non-string value");
+  return std::get<std::string>(v_);
+}
+
+const Value::List& Value::as_list() const {
+  if (!is_list()) throw PbioError("Value::as_list on non-list value");
+  return std::get<List>(v_);
+}
+
+Value::List& Value::as_list() {
+  if (!is_list()) throw PbioError("Value::as_list on non-list value");
+  return std::get<List>(v_);
+}
+
+const Record& Value::as_record() const {
+  if (!is_record()) throw PbioError("Value::as_record on non-record value");
+  return std::get<Record>(v_);
+}
+
+Record& Value::as_record() {
+  if (!is_record()) throw PbioError("Value::as_record on non-record value");
+  return std::get<Record>(v_);
+}
+
+bool Value::operator==(const Value& other) const { return v_ == other.v_; }
+
+namespace {
+void render(const Value& v, std::ostringstream& os) {
+  if (v.is_null()) {
+    os << "null";
+  } else if (v.is_int()) {
+    os << v.as_int();
+  } else if (v.is_uint()) {
+    os << v.as_uint() << "u";
+  } else if (v.is_float()) {
+    os << v.as_double();
+  } else if (v.is_string()) {
+    os << '"' << v.as_string() << '"';
+  } else if (v.is_list()) {
+    os << '[';
+    bool first = true;
+    for (const Value& e : v.as_list()) {
+      if (!first) os << ", ";
+      first = false;
+      render(e, os);
+    }
+    os << ']';
+  } else {
+    os << '{';
+    bool first = true;
+    for (const auto& [name, field] : v.as_record().fields()) {
+      if (!first) os << ", ";
+      first = false;
+      os << name << ": ";
+      render(field, os);
+    }
+    os << '}';
+  }
+}
+}  // namespace
+
+std::string Value::to_string() const {
+  std::ostringstream os;
+  render(*this, os);
+  return os.str();
+}
+
+}  // namespace pbio::value

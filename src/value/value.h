@@ -1,0 +1,88 @@
+// A dynamically-typed record value model.
+//
+// Values decouple *what* a record contains from *how* any particular
+// architecture lays it out. They are the reference semantics for the whole
+// reproduction: tests materialize a Value into a simulated sender's byte
+// image, push the bytes through a wire format + conversion, read them back
+// on the receiver side, and require equality.
+//
+// Values are deliberately not on any hot path — benches measure conversions
+// of raw byte images, not Value manipulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "util/error.h"
+
+namespace pbio::value {
+
+class Value;
+
+/// An ordered field-name -> Value mapping (order preserved for printing).
+class Record {
+ public:
+  void set(std::string name, Value v);
+  const Value* find(std::string_view name) const;
+  Value* find(std::string_view name);
+  bool contains(std::string_view name) const { return find(name) != nullptr; }
+
+  std::vector<std::pair<std::string, Value>>& fields() { return fields_; }
+  const std::vector<std::pair<std::string, Value>>& fields() const {
+    return fields_;
+  }
+
+  bool operator==(const Record&) const;
+
+ private:
+  std::vector<std::pair<std::string, Value>> fields_;
+};
+
+class Value {
+ public:
+  using List = std::vector<Value>;
+  using Storage = std::variant<std::monostate, std::int64_t, std::uint64_t,
+                               double, std::string, List, Record>;
+
+  Value() = default;
+  Value(std::int64_t v) : v_(v) {}        // NOLINT(implicit)
+  Value(int v) : v_(std::int64_t{v}) {}   // NOLINT(implicit)
+  Value(std::uint64_t v) : v_(v) {}       // NOLINT(implicit)
+  Value(double v) : v_(v) {}              // NOLINT(implicit)
+  Value(std::string v) : v_(std::move(v)) {}  // NOLINT(implicit)
+  Value(const char* v) : v_(std::string(v)) {}  // NOLINT(implicit)
+  Value(List v) : v_(std::move(v)) {}     // NOLINT(implicit)
+  Value(Record v) : v_(std::move(v)) {}   // NOLINT(implicit)
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const { return std::holds_alternative<std::int64_t>(v_); }
+  bool is_uint() const { return std::holds_alternative<std::uint64_t>(v_); }
+  bool is_float() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_list() const { return std::holds_alternative<List>(v_); }
+  bool is_record() const { return std::holds_alternative<Record>(v_); }
+
+  /// Numeric access with widening; throws PbioError on non-numeric values.
+  std::int64_t as_int() const;
+  std::uint64_t as_uint() const;
+  double as_double() const;
+
+  const std::string& as_string() const;
+  const List& as_list() const;
+  List& as_list();
+  const Record& as_record() const;
+  Record& as_record();
+
+  bool operator==(const Value&) const;
+
+  /// Debug/diagnostic rendering ("{x: 3, pos: [1.5, 2.5]}").
+  std::string to_string() const;
+
+ private:
+  Storage v_;
+};
+
+}  // namespace pbio::value

@@ -1,0 +1,72 @@
+#include "vcode/execmem.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <utility>
+
+#include "util/error.h"
+
+namespace pbio::vcode {
+
+namespace {
+std::size_t round_to_pages(std::size_t n) {
+  const auto page = static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return (n + page - 1) / page * page;
+}
+}  // namespace
+
+ExecBuffer::ExecBuffer(std::size_t capacity)
+    : capacity_(round_to_pages(capacity)) {
+  void* p = ::mmap(nullptr, capacity_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) {
+    throw PbioError("ExecBuffer: mmap failed");
+  }
+  data_ = static_cast<std::uint8_t*>(p);
+}
+
+ExecBuffer::~ExecBuffer() {
+  if (data_ != nullptr) {
+    ::munmap(data_, capacity_);
+  }
+}
+
+ExecBuffer::ExecBuffer(ExecBuffer&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      capacity_(std::exchange(other.capacity_, 0)),
+      executable_(std::exchange(other.executable_, false)) {}
+
+ExecBuffer& ExecBuffer::operator=(ExecBuffer&& other) noexcept {
+  if (this != &other) {
+    if (data_ != nullptr) ::munmap(data_, capacity_);
+    data_ = std::exchange(other.data_, nullptr);
+    capacity_ = std::exchange(other.capacity_, 0);
+    executable_ = std::exchange(other.executable_, false);
+  }
+  return *this;
+}
+
+void ExecBuffer::make_executable() {
+  if (::mprotect(data_, capacity_, PROT_READ | PROT_EXEC) != 0) {
+    throw PbioError("ExecBuffer: mprotect(RX) failed");
+  }
+  executable_ = true;
+}
+
+void ExecBuffer::make_writable() {
+  if (::mprotect(data_, capacity_, PROT_READ | PROT_WRITE) != 0) {
+    throw PbioError("ExecBuffer: mprotect(RW) failed");
+  }
+  executable_ = false;
+}
+
+bool jit_supported() {
+#if defined(__x86_64__)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace pbio::vcode

@@ -1,0 +1,52 @@
+// Executable memory for dynamically generated code.
+//
+// Mirrors what Vcode needs from the OS: a buffer native instructions are
+// generated into that can then be executed "without reference to an external
+// compiler or linker" (paper §4.3). W^X discipline: pages are writable
+// during emission and switched to read+execute before use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pbio::vcode {
+
+class ExecBuffer {
+ public:
+  /// Reserve `capacity` bytes of page-aligned memory (rounded up to whole
+  /// pages). Throws PbioError if the OS refuses.
+  explicit ExecBuffer(std::size_t capacity);
+  ~ExecBuffer();
+
+  ExecBuffer(const ExecBuffer&) = delete;
+  ExecBuffer& operator=(const ExecBuffer&) = delete;
+  ExecBuffer(ExecBuffer&& other) noexcept;
+  ExecBuffer& operator=(ExecBuffer&& other) noexcept;
+
+  std::uint8_t* data() { return data_; }
+  const std::uint8_t* data() const { return data_; }
+  std::size_t capacity() const { return capacity_; }
+  bool executable() const { return executable_; }
+
+  /// Flip pages from RW to RX. Emission must be complete.
+  void make_executable();
+
+  /// Flip back to RW for regeneration.
+  void make_writable();
+
+  /// View the buffer as a callable of type `Fn` (after make_executable()).
+  template <typename Fn>
+  Fn entry() const {
+    return reinterpret_cast<Fn>(const_cast<std::uint8_t*>(data_));
+  }
+
+ private:
+  std::uint8_t* data_ = nullptr;
+  std::size_t capacity_ = 0;
+  bool executable_ = false;
+};
+
+/// True if this build/host supports native code generation (x86-64 only).
+bool jit_supported();
+
+}  // namespace pbio::vcode

@@ -1,0 +1,353 @@
+#include "vcode/jit_convert.h"
+
+#include <cstring>
+
+#include "util/endian.h"
+#include "vcode/execmem.h"
+#include "vcode/vcode.h"
+
+namespace pbio::vcode {
+
+namespace {
+
+using convert::ExecInput;
+using convert::NumKind;
+using convert::Op;
+using convert::OpCode;
+using convert::Plan;
+
+/// Context handed to the generated function (r14). Variable-length ops call
+/// back into the interpreter through it.
+struct JitRt {
+  const Plan* plan;
+  const ExecInput* in;
+  Status* status;  // detailed status for a failing variable op
+};
+
+/// C ABI helper the generated code calls for kString / kVarArray ops.
+/// Returns 0 on success, the Errc as nonzero otherwise.
+extern "C" int pbio_jit_var_op(JitRt* rt, std::uint32_t op_index) {
+  const Op& op = rt->plan->ops[op_index];
+  Status st = convert::run_op(*rt->plan, op, *rt->in);
+  if (st.is_ok()) return 0;
+  *rt->status = st;
+  return static_cast<int>(st.code());
+}
+
+constexpr unsigned kUnrollLimit = 4;
+constexpr unsigned kInlineCopyLimit = 64;
+
+/// Emission context: which registers act as the record bases, and which
+/// loop-register set is free (the top level uses rbx/rbp/r15; loops nested
+/// inside a kSubLoop body use r8/r9/rdi).
+struct EmitCtx {
+  Gp src_base = Regs::src_base;
+  Gp dst_base = Regs::dst_base;
+  int loop_depth = 0;
+};
+
+class ConvertCompiler {
+ public:
+  explicit ConvertCompiler(const Plan& plan) : plan_(plan) {
+    src_be_ = plan.src_order == ByteOrder::kBig;
+    dst_be_ = plan.dst_order == ByteOrder::kBig;
+  }
+
+  std::vector<std::uint8_t> compile() {
+    b_.prologue();
+    EmitCtx top;
+    for (std::size_t i = 0; i < plan_.ops.size(); ++i) {
+      emit_op(plan_.ops[i], static_cast<std::uint32_t>(i), top);
+    }
+    b_.ret_ok();
+    b_.finish();
+    return b_.code();
+  }
+
+ private:
+  void emit_op(const Op& op, std::uint32_t index, const EmitCtx& ctx) {
+    switch (op.code) {
+      case OpCode::kCopy:
+        emit_copy(ctx, op.src_off, op.dst_off, op.byte_len);
+        return;
+      case OpCode::kZero:
+        emit_zero(ctx, op.dst_off, op.byte_len);
+        return;
+      case OpCode::kSwap:
+        emit_array(ctx, op, [this](Gp sb, std::int32_t so, Gp db,
+                                   std::int32_t do_, const Op& o) {
+          emit_swap_elem(sb, so, db, do_, o.width_src);
+        });
+        return;
+      case OpCode::kCvtNum:
+        emit_array(ctx, op, [this](Gp sb, std::int32_t so, Gp db,
+                                   std::int32_t do_, const Op& o) {
+          emit_cvt_elem(sb, so, db, do_, o);
+        });
+        return;
+      case OpCode::kSubLoop:
+        emit_subloop(op, ctx);
+        return;
+      case OpCode::kString:
+      case OpCode::kVarArray:
+        emit_helper_call(index);
+        return;
+    }
+    throw PbioError("jit: bad opcode");
+  }
+
+  // --- copies / zero fill ----------------------------------------------------
+
+  void emit_copy(const EmitCtx& ctx, std::int32_t src_off, std::int32_t dst_off,
+                 std::uint32_t len) {
+    if (len > kInlineCopyLimit) {
+      // memcpy(dst, src, len) — all argument registers are scratch.
+      b_.lea(Gp::rdi, ctx.dst_base, dst_off);
+      b_.lea(Gp::rsi, ctx.src_base, src_off);
+      b_.ld_imm32(Gp::rdx, len);
+      // memmove: in-place conversions (dst == src buffer) may overlap.
+      b_.call(reinterpret_cast<const void*>(&std::memmove));
+      return;
+    }
+    std::uint32_t at = 0;
+    for (unsigned w : {8u, 4u, 2u, 1u}) {
+      while (len - at >= w) {
+        b_.ld(Regs::scratch0, ctx.src_base, src_off + static_cast<std::int32_t>(at),
+              w, /*sign=*/false);
+        b_.st(ctx.dst_base, dst_off + static_cast<std::int32_t>(at),
+              Regs::scratch0, w);
+        at += w;
+      }
+    }
+  }
+
+  void emit_zero(const EmitCtx& ctx, std::int32_t dst_off, std::uint32_t len) {
+    if (len > kInlineCopyLimit) {
+      b_.lea(Gp::rdi, ctx.dst_base, dst_off);
+      b_.ld_imm32(Gp::rsi, 0);
+      b_.ld_imm32(Gp::rdx, len);
+      b_.call(reinterpret_cast<const void*>(&std::memset));
+      return;
+    }
+    b_.raw().xor_rr32(Regs::scratch0, Regs::scratch0);
+    std::uint32_t at = 0;
+    for (unsigned w : {8u, 4u, 2u, 1u}) {
+      while (len - at >= w) {
+        b_.st(ctx.dst_base, dst_off + static_cast<std::int32_t>(at),
+              Regs::scratch0, w);
+        at += w;
+      }
+    }
+  }
+
+  // --- element arrays ----------------------------------------------------------
+
+  template <typename ElemFn>
+  void emit_array(const EmitCtx& ctx, const Op& op, ElemFn&& elem) {
+    if (op.count <= kUnrollLimit) {
+      for (std::uint32_t i = 0; i < op.count; ++i) {
+        elem(ctx.src_base,
+             static_cast<std::int32_t>(op.src_off + i * op.width_src),
+             ctx.dst_base,
+             static_cast<std::int32_t>(op.dst_off + i * op.width_dst), op);
+      }
+      return;
+    }
+    if (ctx.loop_depth == 0) {
+      b_.counted_loop(op.count, static_cast<std::int32_t>(op.src_off),
+                      static_cast<std::int32_t>(op.dst_off), op.width_src,
+                      op.width_dst,
+                      [&] { elem(Regs::cur_src, 0, Regs::cur_dst, 0, op); });
+      return;
+    }
+    // Nested loop (inside a kSubLoop body): secondary register set.
+    b_.lea(Gp::r8, ctx.src_base, static_cast<std::int32_t>(op.src_off));
+    b_.lea(Gp::r9, ctx.dst_base, static_cast<std::int32_t>(op.dst_off));
+    b_.ld_imm32(Gp::rdi, op.count);
+    Label top;
+    b_.raw().bind(top);
+    elem(Gp::r8, 0, Gp::r9, 0, op);
+    b_.raw().add_ri(Gp::r8, op.width_src);
+    b_.raw().add_ri(Gp::r9, op.width_dst);
+    b_.raw().dec32(Gp::rdi);
+    b_.raw().jcc(Cond::ne, top);
+  }
+
+  void emit_swap_elem(Gp sbase, std::int32_t soff, Gp dbase, std::int32_t doff,
+                      unsigned width) {
+    b_.ld(Regs::scratch0, sbase, soff, width, /*sign=*/false);
+    b_.swap(Regs::scratch0, width);
+    b_.st(dbase, doff, Regs::scratch0, width);
+  }
+
+  /// General numeric element conversion. Mirrors interp.cc's exec_cvt so the
+  /// two engines are bit-for-bit interchangeable (the property tests assert
+  /// this).
+  void emit_cvt_elem(Gp sbase, std::int32_t soff, Gp dbase, std::int32_t doff,
+                     const Op& op) {
+    const Gp r = Regs::scratch0;
+    const Xmm x = Xmm::xmm0;
+    const unsigned sw = op.width_src;
+    const unsigned dw = op.width_dst;
+
+    // Load the source element into r (integers, 64-bit extended) or x (f64).
+    bool value_in_xmm = false;
+    if (op.src_kind == NumKind::kFloat) {
+      b_.ld(r, sbase, soff, sw, /*sign=*/false);
+      if (src_be_) b_.swap(r, sw);
+      b_.gp_to_xmm(x, r, sw);
+      if (sw == 4) b_.f32_to_f64(x);
+      value_in_xmm = true;
+    } else {
+      const bool sign = op.src_kind == NumKind::kInt;
+      if (src_be_ && sw > 1) {
+        b_.ld(r, sbase, soff, sw, /*sign=*/false);
+        b_.swap(r, sw);
+        if (sign && sw < 8) {
+          // Sign-extend the swapped value from sw bytes.
+          b_.raw().shl_imm(r, 64 - 8 * sw, /*w64=*/true);
+          b_.raw().sar_imm(r, 64 - 8 * sw, /*w64=*/true);
+        }
+      } else {
+        b_.ld(r, sbase, soff, sw, sign);
+      }
+    }
+
+    // Convert + store.
+    if (op.dst_kind == NumKind::kFloat) {
+      if (!value_in_xmm) {
+        if (op.src_kind == NumKind::kInt) {
+          b_.i64_to_f64(x, r);
+        } else {
+          b_.u64_to_f64(x, r);
+        }
+      }
+      if (dw == 4) b_.f64_to_f32(x);
+      b_.xmm_to_gp(r, x, dw);
+      if (dst_be_) b_.swap(r, dw);
+      b_.st(dbase, doff, r, dw);
+      return;
+    }
+    if (value_in_xmm) {
+      b_.f64_to_i64(r, x);  // both Int and UInt destinations truncate via i64
+    }
+    if (dst_be_ && dw > 1) b_.swap(r, dw);
+    b_.st(dbase, doff, r, dw);
+  }
+
+  // --- nested structs ----------------------------------------------------------
+
+  void emit_subloop(const Op& op, const EmitCtx& ctx) {
+    if (ctx.loop_depth != 0) {
+      throw PbioError("jit: nested kSubLoop (subformats are flat)");
+    }
+    b_.counted_loop(
+        op.count, static_cast<std::int32_t>(op.src_off),
+        static_cast<std::int32_t>(op.dst_off),
+        static_cast<std::int32_t>(op.src_stride),
+        static_cast<std::int32_t>(op.dst_stride), [&] {
+          EmitCtx inner;
+          inner.src_base = Regs::cur_src;
+          inner.dst_base = Regs::cur_dst;
+          inner.loop_depth = 1;
+          for (const Op& sub : op.sub) {
+            emit_op(sub, /*index=*/0, inner);  // sub ops are never var ops
+          }
+        });
+  }
+
+  // --- variable-length fields ----------------------------------------------------
+
+  void emit_helper_call(std::uint32_t op_index) {
+    b_.mov(Gp::rdi, Regs::ctx);
+    b_.ld_imm32(Gp::rsi, op_index);
+    b_.call(reinterpret_cast<const void*>(&pbio_jit_var_op));
+    b_.ret_if_error();
+  }
+
+  const Plan& plan_;
+  Builder b_;
+  bool src_be_ = false;
+  bool dst_be_ = false;
+};
+
+}  // namespace
+
+struct CompiledConvert::Impl {
+  Plan plan;
+  std::unique_ptr<ExecBuffer> buf;
+  std::size_t code_size = 0;
+
+  using Fn = int (*)(const std::uint8_t*, std::uint8_t*, JitRt*);
+  Fn fn = nullptr;
+};
+
+CompiledConvert::CompiledConvert(Plan plan) : impl_(std::make_unique<Impl>()) {
+  impl_->plan = std::move(plan);
+  if (!jit_supported()) return;
+  ConvertCompiler compiler(impl_->plan);
+  const std::vector<std::uint8_t> code = compiler.compile();
+  impl_->buf = std::make_unique<ExecBuffer>(code.size());
+  std::memcpy(impl_->buf->data(), code.data(), code.size());
+  impl_->buf->make_executable();
+  impl_->code_size = code.size();
+  impl_->fn = impl_->buf->entry<Impl::Fn>();
+}
+
+CompiledConvert::~CompiledConvert() = default;
+CompiledConvert::CompiledConvert(CompiledConvert&&) noexcept = default;
+CompiledConvert& CompiledConvert::operator=(CompiledConvert&&) noexcept =
+    default;
+
+bool CompiledConvert::jitted() const { return impl_->fn != nullptr; }
+
+std::size_t CompiledConvert::code_size() const { return impl_->code_size; }
+
+std::span<const std::uint8_t> CompiledConvert::code() const {
+  if (impl_->buf == nullptr) return {};
+  return {impl_->buf->data(), impl_->code_size};
+}
+
+const Plan& CompiledConvert::plan() const { return impl_->plan; }
+
+Status CompiledConvert::run(const ExecInput& in) const {
+  const Plan& plan = impl_->plan;
+  if (impl_->fn == nullptr) {
+    return convert::run_plan(plan, in);  // portable fallback
+  }
+  // The generated code assumes validated geometry — same checks as the
+  // interpreter's entry.
+  if (in.src_size < plan.src_fixed_size) {
+    return Status(Errc::kTruncated, "wire record smaller than fixed part");
+  }
+  if (in.dst_size < plan.dst_fixed_size) {
+    return Status(Errc::kTruncated, "destination smaller than fixed part");
+  }
+  const bool overlap =
+      in.dst < in.src + in.src_size && in.src < in.dst + in.dst_size;
+  if (overlap && !(plan.inplace_safe && in.dst == in.src)) {
+    return Status(Errc::kUnsupported,
+                  "overlapping buffers need an inplace-safe plan with "
+                  "dst == src");
+  }
+  if (plan.has_variable) {
+    if (in.mode == convert::VarMode::kPointers &&
+        (plan.dst_pointer_size != sizeof(void*) || in.arena == nullptr)) {
+      return Status(Errc::kUnsupported,
+                    "pointer-mode decode requires host pointer size and an "
+                    "arena");
+    }
+    if (in.mode == convert::VarMode::kOffsets && in.dst_var == nullptr) {
+      return Status(Errc::kUnsupported,
+                    "offset-mode decode requires a variable-data buffer");
+    }
+  }
+  Status status;
+  JitRt rt{&plan, &in, &status};
+  const int rc = impl_->fn(in.src, in.dst, &rt);
+  if (rc == 0) return Status::ok();
+  if (!status.is_ok()) return status;
+  return Status(static_cast<Errc>(rc), "jit conversion failed");
+}
+
+}  // namespace pbio::vcode

@@ -1,0 +1,54 @@
+// DCG conversion engine: compiles a conversion Plan into native x86-64 code
+// via the Vcode-style builder — the paper's key optimization ("we employ
+// dynamic code generation to create a customized conversion subroutine for
+// every incoming record type", §4.3).
+//
+// Fixed-layout ops (copy / swap / numeric convert / zero / struct loops)
+// become straight-line native code; variable-length ops (strings, variable
+// arrays) are compiled to calls into the interpreter's per-op executor,
+// which owns the bounds checks and arena plumbing.
+//
+// On non-x86-64 hosts CompiledConvert transparently falls back to the
+// interpreter (jitted() reports false).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+
+#include "convert/interp.h"
+#include "convert/plan.h"
+
+namespace pbio::vcode {
+
+class CompiledConvert {
+ public:
+  /// Compile `plan`. Keeps a private copy of the plan (the generated code
+  /// and the variable-op helper refer into it).
+  explicit CompiledConvert(convert::Plan plan);
+  ~CompiledConvert();
+
+  CompiledConvert(CompiledConvert&&) noexcept;
+  CompiledConvert& operator=(CompiledConvert&&) noexcept;
+
+  /// True when native code was generated (x86-64 hosts).
+  bool jitted() const;
+
+  /// Bytes of generated machine code (0 when not jitted).
+  std::size_t code_size() const;
+
+  /// View of the generated machine code (empty when not jitted) — for
+  /// diagnostics and external disassembly.
+  std::span<const std::uint8_t> code() const;
+
+  const convert::Plan& plan() const;
+
+  /// Run the conversion. Same contract as convert::run_plan().
+  Status run(const convert::ExecInput& in) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace pbio::vcode

@@ -1,0 +1,383 @@
+#include "vcode/x64.h"
+
+namespace pbio::vcode {
+
+namespace {
+std::uint8_t lo3(Gp r) { return static_cast<std::uint8_t>(r) & 7; }
+std::uint8_t lo3(Xmm r) { return static_cast<std::uint8_t>(r) & 7; }
+bool hi(Gp r) { return static_cast<std::uint8_t>(r) >= 8; }
+}  // namespace
+
+void X64Emitter::imm32(std::uint32_t v) {
+  byte(static_cast<std::uint8_t>(v));
+  byte(static_cast<std::uint8_t>(v >> 8));
+  byte(static_cast<std::uint8_t>(v >> 16));
+  byte(static_cast<std::uint8_t>(v >> 24));
+}
+
+void X64Emitter::imm64(std::uint64_t v) {
+  imm32(static_cast<std::uint32_t>(v));
+  imm32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void X64Emitter::rex(bool w, std::uint8_t reg, std::uint8_t rm, bool force) {
+  std::uint8_t b = 0x40;
+  if (w) b |= 0x08;
+  if (reg & 8) b |= 0x04;
+  if (rm & 8) b |= 0x01;
+  if (b != 0x40 || force) byte(b);
+}
+
+void X64Emitter::modrm_mem(std::uint8_t reg, Gp base, std::int32_t disp) {
+  // Pick the shortest displacement encoding. mod=00 (no disp) is legal for
+  // every base except rbp/r13 (whose mod=00 form means rip-relative);
+  // mod=01 carries disp8; mod=10 disp32. rsp/r12 bases always need a SIB.
+  const bool needs_sib = lo3(base) == 4;
+  const bool no_disp_ok = disp == 0 && lo3(base) != 5;
+  const bool disp8_ok = disp >= -128 && disp <= 127;
+  const std::uint8_t mod = no_disp_ok ? 0x00 : disp8_ok ? 0x40 : 0x80;
+  byte(static_cast<std::uint8_t>(mod | ((reg & 7) << 3) | lo3(base)));
+  if (needs_sib) byte(0x24);  // SIB: scale=0, index=none, base=rsp/r12
+  if (mod == 0x40) {
+    byte(static_cast<std::uint8_t>(disp));
+  } else if (mod == 0x80) {
+    imm32(static_cast<std::uint32_t>(disp));
+  }
+}
+
+void X64Emitter::modrm_reg(std::uint8_t reg, std::uint8_t rm) {
+  byte(static_cast<std::uint8_t>(0xC0 | ((reg & 7) << 3) | (rm & 7)));
+}
+
+void X64Emitter::mov_ri64(Gp r, std::uint64_t imm) {
+  rex(true, 0, static_cast<std::uint8_t>(r));
+  byte(static_cast<std::uint8_t>(0xB8 + lo3(r)));
+  imm64(imm);
+}
+
+void X64Emitter::mov_ri32(Gp r, std::uint32_t imm) {
+  rex(false, 0, static_cast<std::uint8_t>(r));
+  byte(static_cast<std::uint8_t>(0xB8 + lo3(r)));
+  imm32(imm);
+}
+
+void X64Emitter::mov_rr64(Gp dst, Gp src) {
+  rex(true, static_cast<std::uint8_t>(src), static_cast<std::uint8_t>(dst));
+  byte(0x89);
+  modrm_reg(static_cast<std::uint8_t>(src), static_cast<std::uint8_t>(dst));
+}
+
+void X64Emitter::xor_rr32(Gp dst, Gp src) {
+  rex(false, static_cast<std::uint8_t>(src), static_cast<std::uint8_t>(dst));
+  byte(0x31);
+  modrm_reg(static_cast<std::uint8_t>(src), static_cast<std::uint8_t>(dst));
+}
+
+void X64Emitter::load_zx(Gp dst, Gp base, std::int32_t disp, unsigned width) {
+  const auto d = static_cast<std::uint8_t>(dst);
+  const auto b = static_cast<std::uint8_t>(base);
+  switch (width) {
+    case 1:
+      rex(false, d, b);
+      byte(0x0F);
+      byte(0xB6);  // movzx r32, m8
+      break;
+    case 2:
+      rex(false, d, b);
+      byte(0x0F);
+      byte(0xB7);  // movzx r32, m16
+      break;
+    case 4:
+      rex(false, d, b);
+      byte(0x8B);  // mov r32, m32 (zero-extends)
+      break;
+    case 8:
+      rex(true, d, b);
+      byte(0x8B);  // mov r64, m64
+      break;
+    default:
+      throw PbioError("x64: bad load width");
+  }
+  modrm_mem(d, base, disp);
+}
+
+void X64Emitter::load_sx64(Gp dst, Gp base, std::int32_t disp,
+                           unsigned width) {
+  const auto d = static_cast<std::uint8_t>(dst);
+  const auto b = static_cast<std::uint8_t>(base);
+  switch (width) {
+    case 1:
+      rex(true, d, b);
+      byte(0x0F);
+      byte(0xBE);  // movsx r64, m8
+      break;
+    case 2:
+      rex(true, d, b);
+      byte(0x0F);
+      byte(0xBF);  // movsx r64, m16
+      break;
+    case 4:
+      rex(true, d, b);
+      byte(0x63);  // movsxd r64, m32
+      break;
+    case 8:
+      rex(true, d, b);
+      byte(0x8B);
+      break;
+    default:
+      throw PbioError("x64: bad sign-load width");
+  }
+  modrm_mem(d, base, disp);
+}
+
+void X64Emitter::store(Gp base, std::int32_t disp, Gp src, unsigned width) {
+  const auto s = static_cast<std::uint8_t>(src);
+  const auto b = static_cast<std::uint8_t>(base);
+  switch (width) {
+    case 1:
+      // REX forced so rsi/rdi/rbp/rsp encode as sil/dil/bpl/spl.
+      rex(false, s, b, /*force=*/true);
+      byte(0x88);
+      break;
+    case 2:
+      byte(0x66);
+      rex(false, s, b);
+      byte(0x89);
+      break;
+    case 4:
+      rex(false, s, b);
+      byte(0x89);
+      break;
+    case 8:
+      rex(true, s, b);
+      byte(0x89);
+      break;
+    default:
+      throw PbioError("x64: bad store width");
+  }
+  modrm_mem(s, base, disp);
+}
+
+void X64Emitter::lea(Gp dst, Gp base, std::int32_t disp) {
+  rex(true, static_cast<std::uint8_t>(dst), static_cast<std::uint8_t>(base));
+  byte(0x8D);
+  modrm_mem(static_cast<std::uint8_t>(dst), base, disp);
+}
+
+void X64Emitter::bswap32(Gp r) {
+  rex(false, 0, static_cast<std::uint8_t>(r));
+  byte(0x0F);
+  byte(static_cast<std::uint8_t>(0xC8 + lo3(r)));
+}
+
+void X64Emitter::bswap64(Gp r) {
+  rex(true, 0, static_cast<std::uint8_t>(r));
+  byte(0x0F);
+  byte(static_cast<std::uint8_t>(0xC8 + lo3(r)));
+}
+
+void X64Emitter::shr_imm(Gp r, unsigned bits, bool w64) {
+  rex(w64, 0, static_cast<std::uint8_t>(r));
+  byte(0xC1);
+  modrm_reg(5, static_cast<std::uint8_t>(r));
+  byte(static_cast<std::uint8_t>(bits));
+}
+
+void X64Emitter::shl_imm(Gp r, unsigned bits, bool w64) {
+  rex(w64, 0, static_cast<std::uint8_t>(r));
+  byte(0xC1);
+  modrm_reg(4, static_cast<std::uint8_t>(r));
+  byte(static_cast<std::uint8_t>(bits));
+}
+
+void X64Emitter::sar_imm(Gp r, unsigned bits, bool w64) {
+  rex(w64, 0, static_cast<std::uint8_t>(r));
+  byte(0xC1);
+  modrm_reg(7, static_cast<std::uint8_t>(r));
+  byte(static_cast<std::uint8_t>(bits));
+}
+
+void X64Emitter::and_ri32(Gp r, std::uint32_t imm) {
+  rex(false, 0, static_cast<std::uint8_t>(r));
+  byte(0x81);
+  modrm_reg(4, static_cast<std::uint8_t>(r));
+  imm32(imm);
+}
+
+void X64Emitter::or_rr64(Gp dst, Gp src) {
+  rex(true, static_cast<std::uint8_t>(src), static_cast<std::uint8_t>(dst));
+  byte(0x09);
+  modrm_reg(static_cast<std::uint8_t>(src), static_cast<std::uint8_t>(dst));
+}
+
+void X64Emitter::add_ri(Gp r, std::int32_t imm) {
+  rex(true, 0, static_cast<std::uint8_t>(r));
+  byte(0x81);
+  modrm_reg(0, static_cast<std::uint8_t>(r));
+  imm32(static_cast<std::uint32_t>(imm));
+}
+
+void X64Emitter::add_rr64(Gp dst, Gp src) {
+  rex(true, static_cast<std::uint8_t>(src), static_cast<std::uint8_t>(dst));
+  byte(0x01);
+  modrm_reg(static_cast<std::uint8_t>(src), static_cast<std::uint8_t>(dst));
+}
+
+void X64Emitter::sub_ri(Gp r, std::int32_t imm) {
+  rex(true, 0, static_cast<std::uint8_t>(r));
+  byte(0x81);
+  modrm_reg(5, static_cast<std::uint8_t>(r));
+  imm32(static_cast<std::uint32_t>(imm));
+}
+
+void X64Emitter::dec32(Gp r) {
+  rex(false, 0, static_cast<std::uint8_t>(r));
+  byte(0xFF);
+  modrm_reg(1, static_cast<std::uint8_t>(r));
+}
+
+void X64Emitter::test_rr64(Gp a, Gp b) {
+  rex(true, static_cast<std::uint8_t>(b), static_cast<std::uint8_t>(a));
+  byte(0x85);
+  modrm_reg(static_cast<std::uint8_t>(b), static_cast<std::uint8_t>(a));
+}
+
+void X64Emitter::test_rr32(Gp a, Gp b) {
+  rex(false, static_cast<std::uint8_t>(b), static_cast<std::uint8_t>(a));
+  byte(0x85);
+  modrm_reg(static_cast<std::uint8_t>(b), static_cast<std::uint8_t>(a));
+}
+
+void X64Emitter::movq_xr(Xmm dst, Gp src) {
+  byte(0x66);
+  rex(true, static_cast<std::uint8_t>(dst), static_cast<std::uint8_t>(src));
+  byte(0x0F);
+  byte(0x6E);
+  modrm_reg(lo3(dst), static_cast<std::uint8_t>(src));
+}
+
+void X64Emitter::movq_rx(Gp dst, Xmm src) {
+  byte(0x66);
+  rex(true, static_cast<std::uint8_t>(src), static_cast<std::uint8_t>(dst));
+  byte(0x0F);
+  byte(0x7E);
+  modrm_reg(lo3(src), static_cast<std::uint8_t>(dst));
+}
+
+void X64Emitter::movd_xr(Xmm dst, Gp src) {
+  byte(0x66);
+  rex(false, static_cast<std::uint8_t>(dst), static_cast<std::uint8_t>(src));
+  byte(0x0F);
+  byte(0x6E);
+  modrm_reg(lo3(dst), static_cast<std::uint8_t>(src));
+}
+
+void X64Emitter::movd_rx(Gp dst, Xmm src) {
+  byte(0x66);
+  rex(false, static_cast<std::uint8_t>(src), static_cast<std::uint8_t>(dst));
+  byte(0x0F);
+  byte(0x7E);
+  modrm_reg(lo3(src), static_cast<std::uint8_t>(dst));
+}
+
+void X64Emitter::cvtsi2sd(Xmm dst, Gp src) {
+  byte(0xF2);
+  rex(true, static_cast<std::uint8_t>(dst), static_cast<std::uint8_t>(src));
+  byte(0x0F);
+  byte(0x2A);
+  modrm_reg(lo3(dst), static_cast<std::uint8_t>(src));
+}
+
+void X64Emitter::cvttsd2si(Gp dst, Xmm src) {
+  byte(0xF2);
+  rex(true, static_cast<std::uint8_t>(dst), static_cast<std::uint8_t>(src));
+  byte(0x0F);
+  byte(0x2C);
+  modrm_reg(static_cast<std::uint8_t>(dst) & 7,
+            static_cast<std::uint8_t>(src));
+}
+
+void X64Emitter::cvtsd2ss(Xmm dst, Xmm src) {
+  byte(0xF2);
+  byte(0x0F);
+  byte(0x5A);
+  modrm_reg(lo3(dst), lo3(src));
+}
+
+void X64Emitter::cvtss2sd(Xmm dst, Xmm src) {
+  byte(0xF3);
+  byte(0x0F);
+  byte(0x5A);
+  modrm_reg(lo3(dst), lo3(src));
+}
+
+void X64Emitter::addsd(Xmm dst, Xmm src) {
+  byte(0xF2);
+  byte(0x0F);
+  byte(0x58);
+  modrm_reg(lo3(dst), lo3(src));
+}
+
+void X64Emitter::bind(Label& l) {
+  if (l.bound()) throw PbioError("x64: label bound twice");
+  l.pos_ = static_cast<std::int64_t>(code_.size());
+  for (std::size_t at : l.patches_) {
+    patch_rel32(at, code_.size());
+  }
+  l.patches_.clear();
+}
+
+void X64Emitter::patch_rel32(std::size_t at, std::size_t target) {
+  const auto rel = static_cast<std::int64_t>(target) -
+                   (static_cast<std::int64_t>(at) + 4);
+  const auto v = static_cast<std::uint32_t>(static_cast<std::int32_t>(rel));
+  code_[at] = static_cast<std::uint8_t>(v);
+  code_[at + 1] = static_cast<std::uint8_t>(v >> 8);
+  code_[at + 2] = static_cast<std::uint8_t>(v >> 16);
+  code_[at + 3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+void X64Emitter::jmp(Label& l) {
+  byte(0xE9);
+  if (l.bound()) {
+    const std::size_t at = code_.size();
+    imm32(0);
+    patch_rel32(at, static_cast<std::size_t>(l.pos_));
+  } else {
+    l.patches_.push_back(code_.size());
+    imm32(0);
+  }
+}
+
+void X64Emitter::jcc(Cond cc, Label& l) {
+  byte(0x0F);
+  byte(static_cast<std::uint8_t>(0x80 + static_cast<std::uint8_t>(cc)));
+  if (l.bound()) {
+    const std::size_t at = code_.size();
+    imm32(0);
+    patch_rel32(at, static_cast<std::size_t>(l.pos_));
+  } else {
+    l.patches_.push_back(code_.size());
+    imm32(0);
+  }
+}
+
+void X64Emitter::call_reg(Gp r) {
+  rex(false, 0, static_cast<std::uint8_t>(r));
+  byte(0xFF);
+  modrm_reg(2, static_cast<std::uint8_t>(r));
+}
+
+void X64Emitter::push(Gp r) {
+  rex(false, 0, static_cast<std::uint8_t>(r));
+  byte(static_cast<std::uint8_t>(0x50 + lo3(r)));
+}
+
+void X64Emitter::pop(Gp r) {
+  rex(false, 0, static_cast<std::uint8_t>(r));
+  byte(static_cast<std::uint8_t>(0x58 + lo3(r)));
+}
+
+void X64Emitter::ret() { byte(0xC3); }
+
+}  // namespace pbio::vcode

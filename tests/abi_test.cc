@@ -1,0 +1,108 @@
+#include "arch/abi.h"
+
+#include <gtest/gtest.h>
+
+namespace pbio::arch {
+namespace {
+
+TEST(Abi, HostModelMatchesThisMachine) {
+  // The reproduction assumes it runs on x86-64 Linux; these assertions make
+  // that assumption explicit instead of silent.
+  const Abi& host = abi_host();
+  EXPECT_EQ(host.size_of(CType::kInt), sizeof(int));
+  EXPECT_EQ(host.size_of(CType::kLong), sizeof(long));
+  EXPECT_EQ(host.size_of(CType::kString), sizeof(void*));
+  EXPECT_EQ(host.size_of(CType::kDouble), sizeof(double));
+  EXPECT_EQ(host.byte_order, host_byte_order());
+  struct Probe {
+    char c;
+    double d;
+  };
+  EXPECT_EQ(host.align_of(CType::kDouble), offsetof(Probe, d));
+}
+
+TEST(Abi, SparcV8IsBigEndian32Bit) {
+  const Abi& a = abi_sparc_v8();
+  EXPECT_EQ(a.byte_order, ByteOrder::kBig);
+  EXPECT_EQ(a.size_of(CType::kLong), 4);
+  EXPECT_EQ(a.size_of(CType::kString), 4);
+  EXPECT_EQ(a.size_of(CType::kLongLong), 8);
+}
+
+TEST(Abi, SparcV9IsBigEndian64Bit) {
+  const Abi& a = abi_sparc_v9();
+  EXPECT_EQ(a.byte_order, ByteOrder::kBig);
+  EXPECT_EQ(a.size_of(CType::kLong), 8);
+  EXPECT_EQ(a.size_of(CType::kString), 8);
+}
+
+TEST(Abi, X86AlignsEightByteScalarsToFour) {
+  // The System V i386 psABI aligns double / long long to 4 inside structs.
+  const Abi& a = abi_x86();
+  EXPECT_EQ(a.align_of(CType::kDouble), 4);
+  EXPECT_EQ(a.align_of(CType::kLongLong), 4);
+  EXPECT_EQ(a.size_of(CType::kDouble), 8);
+}
+
+TEST(Abi, X8664UsesNaturalAlignment) {
+  const Abi& a = abi_x86_64();
+  EXPECT_EQ(a.align_of(CType::kDouble), 8);
+  EXPECT_EQ(a.align_of(CType::kLongLong), 8);
+  EXPECT_EQ(a.align_of(CType::kInt), 4);
+  EXPECT_EQ(a.align_of(CType::kShort), 2);
+  EXPECT_EQ(a.align_of(CType::kChar), 1);
+}
+
+TEST(Abi, SignednessClassification) {
+  EXPECT_TRUE(Abi::is_signed(CType::kInt));
+  EXPECT_TRUE(Abi::is_signed(CType::kLong));
+  EXPECT_TRUE(Abi::is_signed(CType::kSChar));
+  EXPECT_FALSE(Abi::is_signed(CType::kUInt));
+  EXPECT_FALSE(Abi::is_signed(CType::kChar));
+  EXPECT_FALSE(Abi::is_signed(CType::kFloat));  // float is not an integer
+}
+
+TEST(Abi, FloatClassification) {
+  EXPECT_TRUE(Abi::is_float(CType::kFloat));
+  EXPECT_TRUE(Abi::is_float(CType::kDouble));
+  EXPECT_FALSE(Abi::is_float(CType::kInt));
+}
+
+TEST(Abi, FindAbiByName) {
+  EXPECT_EQ(find_abi("sparc_v8"), &abi_sparc_v8());
+  EXPECT_EQ(find_abi("x86_64"), &abi_x86_64());
+  EXPECT_EQ(find_abi("not-an-abi"), nullptr);
+}
+
+TEST(Abi, Ppc64AndRiscv64Models) {
+  EXPECT_EQ(abi_ppc64().byte_order, ByteOrder::kBig);
+  EXPECT_EQ(abi_ppc64().size_of(CType::kLong), 8);
+  EXPECT_EQ(abi_riscv64().byte_order, ByteOrder::kLittle);
+  EXPECT_EQ(abi_riscv64().size_of(CType::kString), 8);
+  // ppc64 and sparc_v9 agree on layout but are distinct models.
+  EXPECT_NE(abi_ppc64().name, abi_sparc_v9().name);
+}
+
+TEST(Abi, AllAbisHaveUniqueNames) {
+  auto abis = all_abis();
+  ASSERT_GE(abis.size(), 8u);
+  for (std::size_t i = 0; i < abis.size(); ++i) {
+    for (std::size_t j = i + 1; j < abis.size(); ++j) {
+      EXPECT_NE(abis[i]->name, abis[j]->name);
+    }
+  }
+}
+
+TEST(Abi, HeterogeneousPairExists) {
+  // The paper's testbed: big-endian sparc vs little-endian x86 with
+  // different long/pointer sizes. Assert our models disagree in the ways
+  // the experiments rely on.
+  const Abi& sparc = abi_sparc_v8();
+  const Abi& x86 = abi_x86_64();
+  EXPECT_NE(sparc.byte_order, x86.byte_order);
+  EXPECT_NE(sparc.size_of(CType::kLong), x86.size_of(CType::kLong));
+  EXPECT_NE(sparc.size_of(CType::kString), x86.size_of(CType::kString));
+}
+
+}  // namespace
+}  // namespace pbio::arch

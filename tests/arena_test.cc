@@ -1,0 +1,72 @@
+#include "util/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+
+namespace pbio {
+namespace {
+
+TEST(Arena, AllocationsAreDistinctAndWritable) {
+  Arena a;
+  auto* p1 = static_cast<std::uint8_t*>(a.allocate(16));
+  auto* p2 = static_cast<std::uint8_t*>(a.allocate(16));
+  ASSERT_NE(p1, nullptr);
+  ASSERT_NE(p2, nullptr);
+  EXPECT_NE(p1, p2);
+  std::memset(p1, 0xAA, 16);
+  std::memset(p2, 0xBB, 16);
+  EXPECT_EQ(p1[15], 0xAA);
+  EXPECT_EQ(p2[0], 0xBB);
+}
+
+TEST(Arena, RespectsAlignment) {
+  Arena a;
+  a.allocate(1, 1);
+  for (std::size_t align : {2u, 4u, 8u, 16u, 64u}) {
+    void* p = a.allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u)
+        << "align=" << align;
+  }
+}
+
+TEST(Arena, LargeAllocationExceedingBlockSize) {
+  Arena a(64);
+  auto* p = static_cast<std::uint8_t*>(a.allocate(1000));
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 1, 1000);  // must not crash / overrun (ASan would catch)
+  EXPECT_GE(a.block_count(), 1u);
+}
+
+TEST(Arena, CopyDuplicatesBytes) {
+  Arena a;
+  const char src[] = "wire-format";
+  auto* p = static_cast<char*>(a.copy(src, sizeof(src), 1));
+  EXPECT_STREQ(p, "wire-format");
+  EXPECT_NE(static_cast<const void*>(p), static_cast<const void*>(src));
+}
+
+TEST(Arena, ManySmallAllocationsSpanBlocks) {
+  Arena a(128);
+  std::uint8_t* last = nullptr;
+  for (int i = 0; i < 1000; ++i) {
+    auto* p = static_cast<std::uint8_t*>(a.allocate(16));
+    *p = static_cast<std::uint8_t>(i);
+    last = p;
+  }
+  EXPECT_NE(last, nullptr);
+  EXPECT_GT(a.block_count(), 1u);
+}
+
+TEST(Arena, ResetReleasesBlocks) {
+  Arena a(64);
+  a.allocate(1000);
+  a.reset();
+  EXPECT_EQ(a.block_count(), 0u);
+  auto* p = a.allocate(8);
+  EXPECT_NE(p, nullptr);
+}
+
+}  // namespace
+}  // namespace pbio

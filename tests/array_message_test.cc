@@ -1,0 +1,127 @@
+// Multi-record messages: Writer::write_array / Message::count / view_at /
+// decode_at.
+#include <gtest/gtest.h>
+
+#include "pbio/pbio.h"
+#include "value/materialize.h"
+
+namespace pbio {
+namespace {
+
+struct Cell {
+  int id;
+  double v[3];
+};
+
+const NativeField kCellFields[] = {
+    PBIO_FIELD(Cell, id, arch::CType::kInt),
+    PBIO_ARRAY(Cell, v, arch::CType::kDouble, 3),
+};
+
+TEST(ArrayMessage, HomogeneousArrayZeroCopyIndexing) {
+  Context ctx;
+  auto [wch, rch] = transport::make_loopback_pair();
+  const auto id =
+      ctx.register_format(native_format("cell", kCellFields, sizeof(Cell)));
+  Cell cells[10];
+  for (int i = 0; i < 10; ++i) cells[i] = {i, {i + 0.1, i + 0.2, i + 0.3}};
+  Writer w(ctx, *wch);
+  ASSERT_TRUE(w.write_array(id, cells, 10).is_ok());
+
+  Reader r(ctx, *rch);
+  r.expect(id);
+  auto msg = r.next();
+  ASSERT_TRUE(msg.is_ok());
+  ASSERT_EQ(msg.value().count(), 10u);
+  EXPECT_TRUE(msg.value().zero_copy());
+  for (std::size_t i = 0; i < 10; ++i) {
+    auto cell = msg.value().view_at<Cell>(i);
+    ASSERT_TRUE(cell.is_ok()) << i;
+    EXPECT_EQ(cell.value()->id, static_cast<int>(i));
+    EXPECT_EQ(cell.value()->v[2], i + 0.3);
+  }
+  EXPECT_FALSE(msg.value().view_at<Cell>(10).is_ok());
+}
+
+TEST(ArrayMessage, HeterogeneousArrayDecodePerRecord) {
+  Context ctx;
+  auto [wch, rch] = transport::make_loopback_pair();
+  const auto native_id =
+      ctx.register_format(native_format("cell", kCellFields, sizeof(Cell)));
+  arch::StructSpec spec;
+  spec.name = "cell";
+  spec.fields = {{.name = "id", .type = arch::CType::kInt},
+                 {.name = "v", .type = arch::CType::kDouble,
+                  .array_elems = 3}};
+  const auto be_fmt = arch::layout_format(spec, arch::abi_sparc_v9());
+  const auto be_id = ctx.register_format(be_fmt);
+
+  // Materialize a 5-element array of big-endian records.
+  std::vector<std::uint8_t> image;
+  for (int i = 0; i < 5; ++i) {
+    value::Record rec;
+    rec.set("id", value::Value(100 + i));
+    rec.set("v",
+            value::Value(value::Value::List{value::Value(i * 1.0),
+                                            value::Value(i * 2.0),
+                                            value::Value(i * 3.0)}));
+    const auto one = value::materialize(be_fmt, rec);
+    image.insert(image.end(), one.begin(), one.end());
+  }
+  Writer w(ctx, *wch);
+  ASSERT_TRUE(w.write_image(be_id, image).is_ok());
+
+  Reader r(ctx, *rch);
+  r.expect(native_id);
+  auto msg = r.next();
+  ASSERT_TRUE(msg.is_ok());
+  ASSERT_EQ(msg.value().count(), 5u);
+  EXPECT_FALSE(msg.value().zero_copy());
+  // view_at needs matching layouts; heterogeneous arrays decode per index.
+  EXPECT_EQ(msg.value().view_at<Cell>(0).status().code(), Errc::kUnsupported);
+  for (std::size_t i = 0; i < 5; ++i) {
+    Cell out{};
+    ASSERT_TRUE(msg.value().decode_at(i, &out, sizeof(out)).is_ok()) << i;
+    EXPECT_EQ(out.id, 100 + static_cast<int>(i));
+    EXPECT_EQ(out.v[1], static_cast<double>(i) * 2.0);
+  }
+  Cell out{};
+  EXPECT_EQ(msg.value().decode_at(5, &out, sizeof(out)).code(),
+            Errc::kTruncated);
+}
+
+TEST(ArrayMessage, VariableLayoutRejected) {
+  struct Ev {
+    unsigned n;
+    char* s;
+  };
+  const NativeField fields[] = {
+      PBIO_FIELD(Ev, n, arch::CType::kUInt),
+      PBIO_STRING(Ev, s),
+  };
+  Context ctx;
+  auto [wch, rch] = transport::make_loopback_pair();
+  const auto id =
+      ctx.register_format(native_format("ev", fields, sizeof(Ev)));
+  Writer w(ctx, *wch);
+  Ev evs[2] = {};
+  EXPECT_EQ(w.write_array(id, evs, 2).code(), Errc::kUnsupported);
+}
+
+TEST(ArrayMessage, SingleRecordCountIsOne) {
+  Context ctx;
+  auto [wch, rch] = transport::make_loopback_pair();
+  const auto id =
+      ctx.register_format(native_format("cell", kCellFields, sizeof(Cell)));
+  Cell c{1, {0, 0, 0}};
+  Writer w(ctx, *wch);
+  ASSERT_TRUE(w.write(id, &c).is_ok());
+  Reader r(ctx, *rch);
+  r.expect(id);
+  auto msg = r.next();
+  ASSERT_TRUE(msg.is_ok());
+  EXPECT_EQ(msg.value().count(), 1u);
+}
+
+}  // namespace
+}  // namespace pbio

@@ -1,0 +1,92 @@
+#include "util/buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace pbio {
+namespace {
+
+TEST(ByteBuffer, StartsEmpty) {
+  ByteBuffer b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.size(), 0u);
+}
+
+TEST(ByteBuffer, AppendRaw) {
+  ByteBuffer b;
+  const char data[] = "hello";
+  b.append(data, 5);
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_EQ(std::memcmp(b.data(), "hello", 5), 0);
+}
+
+TEST(ByteBuffer, AlignToPadsWithZeros) {
+  ByteBuffer b;
+  b.append("abc", 3);
+  b.align_to(8);
+  ASSERT_EQ(b.size(), 8u);
+  for (std::size_t i = 3; i < 8; ++i) EXPECT_EQ(b.data()[i], 0);
+  b.align_to(8);  // already aligned: no-op
+  EXPECT_EQ(b.size(), 8u);
+}
+
+TEST(ByteBuffer, AppendUintRespectsOrder) {
+  ByteBuffer b;
+  b.append_uint(0x0102, 2, ByteOrder::kBig);
+  b.append_uint(0x0102, 2, ByteOrder::kLittle);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b.data()[0], 0x01);
+  EXPECT_EQ(b.data()[1], 0x02);
+  EXPECT_EQ(b.data()[2], 0x02);
+  EXPECT_EQ(b.data()[3], 0x01);
+}
+
+TEST(ByteBuffer, PatchUint) {
+  ByteBuffer b;
+  b.append_uint(0, 4, ByteOrder::kLittle);
+  b.append_uint(7, 4, ByteOrder::kLittle);
+  b.patch_uint(0, 0xAABBCCDD, 4, ByteOrder::kLittle);
+  EXPECT_EQ(load_uint(b.data(), 4, ByteOrder::kLittle), 0xAABBCCDDu);
+  EXPECT_EQ(load_uint(b.data() + 4, 4, ByteOrder::kLittle), 7u);
+}
+
+TEST(ByteReader, ReadsSequentially) {
+  ByteBuffer b;
+  b.append_uint(0x11, 1, ByteOrder::kLittle);
+  b.append_uint(0x2233, 2, ByteOrder::kBig);
+  b.append_float(2.5, 8, ByteOrder::kLittle);
+  ByteReader r(b.view());
+  std::uint64_t v = 0;
+  ASSERT_TRUE(r.read_uint(&v, 1, ByteOrder::kLittle));
+  EXPECT_EQ(v, 0x11u);
+  ASSERT_TRUE(r.read_uint(&v, 2, ByteOrder::kBig));
+  EXPECT_EQ(v, 0x2233u);
+  double d = 0;
+  ASSERT_TRUE(r.read_float(&d, 8, ByteOrder::kLittle));
+  EXPECT_EQ(d, 2.5);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(ByteReader, FailsOnTruncation) {
+  const std::uint8_t data[3] = {1, 2, 3};
+  ByteReader r(data, 3);
+  std::uint64_t v = 0;
+  EXPECT_FALSE(r.read_uint(&v, 4, ByteOrder::kLittle));
+  // Position must be unchanged after a failed read.
+  EXPECT_EQ(r.position(), 0u);
+  EXPECT_TRUE(r.read_uint(&v, 2, ByteOrder::kLittle));
+  EXPECT_FALSE(r.read_uint(&v, 2, ByteOrder::kLittle));
+}
+
+TEST(ByteReader, SkipAndAlign) {
+  const std::uint8_t data[16] = {};
+  ByteReader r(data, 16);
+  ASSERT_TRUE(r.skip(3));
+  ASSERT_TRUE(r.align_to(4));
+  EXPECT_EQ(r.position(), 4u);
+  ASSERT_TRUE(r.align_to(4));
+  EXPECT_EQ(r.position(), 4u);
+  EXPECT_FALSE(r.skip(100));
+}
+
+}  // namespace
+}  // namespace pbio

@@ -1,0 +1,297 @@
+#include "baselines/cdr/cdr.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/layout.h"
+#include "baselines/cdr/giop.h"
+#include "value/materialize.h"
+#include "value/random.h"
+#include "value/read.h"
+
+namespace pbio::cdr {
+namespace {
+
+using arch::CType;
+using arch::StructSpec;
+
+TEST(Cdr, PrimitivesAlignInStream) {
+  ByteBuffer out;
+  Encoder enc(out, ByteOrder::kLittle);
+  enc.put_uint(0x11, 1);
+  enc.put_uint(0x2222, 2);      // aligns to 2 -> no pad (pos 1 -> 2)
+  enc.put_uint(0x33333333, 4);  // aligns to 4 -> pos 4
+  enc.put_float(1.5, 8);        // aligns to 8 -> pos 8
+  EXPECT_EQ(out.size(), 16u);
+  Decoder dec(out.view(), ByteOrder::kLittle);
+  std::uint64_t v = 0;
+  ASSERT_TRUE(dec.get_uint(&v, 1));
+  EXPECT_EQ(v, 0x11u);
+  ASSERT_TRUE(dec.get_uint(&v, 2));
+  EXPECT_EQ(v, 0x2222u);
+  ASSERT_TRUE(dec.get_uint(&v, 4));
+  EXPECT_EQ(v, 0x33333333u);
+  double d = 0;
+  ASSERT_TRUE(dec.get_float(&d, 8));
+  EXPECT_EQ(d, 1.5);
+}
+
+TEST(Cdr, ReaderMakesRightSwapsOnlyWhenNeeded) {
+  ByteBuffer be_out;
+  Encoder be(be_out, ByteOrder::kBig);
+  be.put_uint(0x01020304, 4);
+  EXPECT_EQ(be_out.data()[0], 0x01);
+
+  ByteBuffer le_out;
+  Encoder le(le_out, ByteOrder::kLittle);
+  le.put_uint(0x01020304, 4);
+  EXPECT_EQ(le_out.data()[0], 0x04);
+
+  // Both decode to the same value when the flag travels with the stream.
+  std::uint64_t v = 0;
+  Decoder d1(be_out.view(), ByteOrder::kBig);
+  ASSERT_TRUE(d1.get_uint(&v, 4));
+  EXPECT_EQ(v, 0x01020304u);
+  Decoder d2(le_out.view(), ByteOrder::kLittle);
+  ASSERT_TRUE(d2.get_uint(&v, 4));
+  EXPECT_EQ(v, 0x01020304u);
+}
+
+StructSpec mixed_spec() {
+  StructSpec s;
+  s.name = "mixed";
+  s.fields = {
+      {.name = "c", .type = CType::kChar, .array_elems = 3},
+      {.name = "i", .type = CType::kInt},
+      {.name = "d", .type = CType::kDouble, .array_elems = 2},
+      {.name = "s", .type = CType::kShort},
+  };
+  return s;
+}
+
+TEST(Cdr, RecordRoundTripHomogeneous) {
+  const auto f = arch::layout_format(mixed_spec(), arch::abi_x86_64());
+  value::Record rec;
+  rec.set("c", value::Value("ab"));
+  rec.set("i", value::Value(-5));
+  rec.set("d", value::Value(value::Value::List{value::Value(1.5),
+                                               value::Value(-2.25)}));
+  rec.set("s", value::Value(77));
+  const auto image = value::materialize(f, rec);
+
+  ByteBuffer wire;
+  Encoder enc(wire, f.byte_order);
+  ASSERT_TRUE(encode_record(f, image, enc).is_ok());
+  EXPECT_EQ(wire.size(), encoded_size(f));
+  // Packed contiguity: the CDR stream is smaller than the padded struct.
+  EXPECT_LT(wire.size(), f.fixed_size);
+
+  std::vector<std::uint8_t> out(f.fixed_size, 0);
+  Decoder dec(wire.view(), f.byte_order);
+  ASSERT_TRUE(decode_record(f, dec, out).is_ok());
+  auto back = value::read_record(f, out);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_TRUE(value::equivalent(back.value(), rec));
+}
+
+TEST(Cdr, RecordRoundTripHeterogeneous) {
+  // Big-endian sender image -> CDR (sender order) -> little-endian receiver.
+  const auto src = arch::layout_format(mixed_spec(), arch::abi_sparc_v9());
+  const auto dst = arch::layout_format(mixed_spec(), arch::abi_x86_64());
+  value::Record rec;
+  rec.set("c", value::Value("xy"));
+  rec.set("i", value::Value(123456));
+  rec.set("d", value::Value(value::Value::List{value::Value(9.5),
+                                               value::Value(0.125)}));
+  rec.set("s", value::Value(-8));
+  const auto image = value::materialize(src, rec);
+
+  ByteBuffer wire;
+  Encoder enc(wire, src.byte_order);
+  ASSERT_TRUE(encode_record(src, image, enc).is_ok());
+
+  std::vector<std::uint8_t> out(dst.fixed_size, 0);
+  Decoder dec(wire.view(), src.byte_order);  // flag from GIOP header
+  ASSERT_TRUE(decode_record(dst, dec, out).is_ok());
+  auto back = value::read_record(dst, out);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_TRUE(value::equivalent(back.value(), rec));
+}
+
+TEST(Cdr, TruncatedStreamRejected) {
+  const auto f = arch::layout_format(mixed_spec(), arch::abi_x86_64());
+  value::Record rec;
+  rec.set("i", value::Value(1));
+  const auto image = value::materialize(f, rec);
+  ByteBuffer wire;
+  Encoder enc(wire, f.byte_order);
+  ASSERT_TRUE(encode_record(f, image, enc).is_ok());
+  std::vector<std::uint8_t> out(f.fixed_size, 0);
+  Decoder dec(std::span(wire.data(), wire.size() - 4), f.byte_order);
+  EXPECT_EQ(decode_record(f, dec, out).code(), Errc::kTruncated);
+}
+
+TEST(Cdr, StringsAndSequencesRoundTrip) {
+  StructSpec s;
+  s.name = "ev";
+  s.fields = {{.name = "n", .type = CType::kUInt},
+              {.name = "name", .type = CType::kString},
+              {.name = "vals", .type = CType::kDouble, .var_dim_field = "n"}};
+  for (const auto* src_abi : {&arch::abi_sparc_v9(), &arch::abi_x86_64()}) {
+    const auto src = arch::layout_format(s, *src_abi);
+    const auto dst = arch::layout_format(s, arch::abi_x86_64());
+    value::Record rec;
+    rec.set("n", value::Value(std::uint64_t{3}));
+    rec.set("name", value::Value("cdr string"));
+    rec.set("vals",
+            value::Value(value::Value::List{value::Value(1.5),
+                                            value::Value(-2.5),
+                                            value::Value(0.25)}));
+    const auto image = value::materialize(src, rec);
+    ByteBuffer wire;
+    Encoder enc(wire, src.byte_order);
+    ASSERT_TRUE(encode_record(src, image, enc).is_ok()) << src_abi->name;
+
+    std::vector<std::uint8_t> fixed(dst.fixed_size, 0);
+    ByteBuffer var;
+    Decoder dec(wire.view(), src.byte_order);
+    ASSERT_TRUE(decode_record(dst, dec, fixed, &var).is_ok())
+        << src_abi->name;
+    std::vector<std::uint8_t> whole = fixed;
+    whole.insert(whole.end(), var.data(), var.data() + var.size());
+    auto back = value::read_record(dst, whole);
+    ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+    EXPECT_TRUE(value::equivalent(back.value(), rec)) << src_abi->name;
+  }
+}
+
+TEST(Cdr, EmptyStringAndEmptySequence) {
+  StructSpec s;
+  s.name = "ev";
+  s.fields = {{.name = "n", .type = CType::kUInt},
+              {.name = "name", .type = CType::kString},
+              {.name = "vals", .type = CType::kInt, .var_dim_field = "n"}};
+  const auto f = arch::layout_format(s, arch::abi_x86_64());
+  value::Record rec;
+  rec.set("n", value::Value(std::uint64_t{0}));
+  rec.set("name", value::Value(""));
+  rec.set("vals", value::Value(value::Value::List{}));
+  const auto image = value::materialize(f, rec);
+  ByteBuffer wire;
+  Encoder enc(wire, f.byte_order);
+  ASSERT_TRUE(encode_record(f, image, enc).is_ok());
+  std::vector<std::uint8_t> fixed(f.fixed_size, 0);
+  ByteBuffer var;
+  Decoder dec(wire.view(), f.byte_order);
+  ASSERT_TRUE(decode_record(f, dec, fixed, &var).is_ok());
+  std::vector<std::uint8_t> whole = fixed;
+  whole.insert(whole.end(), var.data(), var.data() + var.size());
+  auto back = value::read_record(f, whole);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().find("name")->as_string(), "");
+  EXPECT_EQ(back.value().find("vals")->as_list().size(), 0u);
+}
+
+TEST(Cdr, VariableDecodeWithoutBufferRejected) {
+  StructSpec s;
+  s.name = "v";
+  s.fields = {{.name = "name", .type = CType::kString}};
+  const auto f = arch::layout_format(s, arch::abi_x86_64());
+  value::Record rec;
+  rec.set("name", value::Value("x"));
+  const auto image = value::materialize(f, rec);
+  ByteBuffer wire;
+  Encoder enc(wire, f.byte_order);
+  ASSERT_TRUE(encode_record(f, image, enc).is_ok());
+  std::vector<std::uint8_t> fixed(f.fixed_size, 0);
+  Decoder dec(wire.view(), f.byte_order);
+  EXPECT_EQ(decode_record(f, dec, fixed).code(), Errc::kUnsupported);
+}
+
+TEST(Cdr, TruncatedSequenceRejected) {
+  StructSpec s;
+  s.name = "ev";
+  s.fields = {{.name = "n", .type = CType::kUInt},
+              {.name = "vals", .type = CType::kDouble, .var_dim_field = "n"}};
+  const auto f = arch::layout_format(s, arch::abi_x86_64());
+  value::Record rec;
+  rec.set("n", value::Value(std::uint64_t{4}));
+  rec.set("vals", value::Value(value::Value::List{
+                      value::Value(1.0), value::Value(2.0), value::Value(3.0),
+                      value::Value(4.0)}));
+  const auto image = value::materialize(f, rec);
+  ByteBuffer wire;
+  Encoder enc(wire, f.byte_order);
+  ASSERT_TRUE(encode_record(f, image, enc).is_ok());
+  std::vector<std::uint8_t> fixed(f.fixed_size, 0);
+  ByteBuffer var;
+  Decoder dec(std::span(wire.data(), wire.size() - 8), f.byte_order);
+  EXPECT_EQ(decode_record(f, dec, fixed, &var).code(), Errc::kTruncated);
+}
+
+TEST(Giop, HeaderRoundTrip) {
+  GiopHeader h;
+  h.byte_order = ByteOrder::kBig;
+  h.body_length = 12345;
+  ByteBuffer out;
+  write_giop_header(h, out);
+  ASSERT_EQ(out.size(), GiopHeader::kSize);
+  auto parsed = read_giop_header(out.view());
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value().byte_order, ByteOrder::kBig);
+  EXPECT_EQ(parsed.value().body_length, 12345u);
+}
+
+TEST(Giop, BadMagicRejected) {
+  ByteBuffer out;
+  write_giop_header(GiopHeader{}, out);
+  out.mutable_view()[0] = 'X';
+  EXPECT_EQ(read_giop_header(out.view()).status().code(), Errc::kMalformed);
+}
+
+TEST(Giop, ShortHeaderRejected) {
+  const std::uint8_t tiny[4] = {'G', 'I', 'O', 'P'};
+  EXPECT_EQ(read_giop_header(std::span(tiny, 4)).status().code(),
+            Errc::kTruncated);
+}
+
+TEST(Cdr, PropertyRandomRecordsRoundTrip) {
+  std::mt19937_64 rng(2024);
+  for (int i = 0; i < 30; ++i) {
+    value::RandomSpecOptions opts;
+    opts.allow_strings = false;
+    opts.allow_var_arrays = false;
+    auto spec = value::random_spec(rng, opts);
+    // CDR sizes come from the IDL contract, identical on both ends; map the
+    // ABI-size-dependent C types to their fixed-size IDL equivalents.
+    auto fix = [](arch::StructSpec& s) {
+      for (auto& f : s.fields) {
+        if (f.type == CType::kLong) f.type = CType::kInt;
+        if (f.type == CType::kULong) f.type = CType::kUInt;
+      }
+    };
+    fix(spec);
+    for (auto& sub : spec.subs) fix(sub);
+    const auto rec = value::random_record(spec, rng);
+    for (const auto* src_abi : {&arch::abi_sparc_v8(), &arch::abi_x86_64()}) {
+      for (const auto* dst_abi : {&arch::abi_x86(), &arch::abi_sparc_v9()}) {
+        const auto src = arch::layout_format(spec, *src_abi);
+        const auto dst = arch::layout_format(spec, *dst_abi);
+        const auto image = value::materialize(src, rec);
+        ByteBuffer wire;
+        Encoder enc(wire, src.byte_order);
+        ASSERT_TRUE(encode_record(src, image, enc).is_ok());
+        std::vector<std::uint8_t> out(dst.fixed_size, 0);
+        Decoder dec(wire.view(), src.byte_order);
+        ASSERT_TRUE(decode_record(dst, dec, out).is_ok())
+            << i << " " << src_abi->name << "->" << dst_abi->name;
+        auto back = value::read_record(dst, out);
+        ASSERT_TRUE(back.is_ok());
+        EXPECT_TRUE(value::equivalent(back.value(), rec))
+            << i << " " << src_abi->name << "->" << dst_abi->name;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pbio::cdr

@@ -1,0 +1,272 @@
+// Directed edge cases for the conversion engines: array-length mismatches,
+// special floating-point values, extreme integers, and odd type pairings.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "arch/layout.h"
+#include "convert/interp.h"
+#include "value/materialize.h"
+#include "value/read.h"
+#include "vcode/jit_convert.h"
+
+namespace pbio::convert {
+namespace {
+
+using arch::CType;
+using arch::StructSpec;
+using value::Record;
+using value::Value;
+
+/// Convert a wire image between two formats with both engines; returns the
+/// destination image (and checks the engines agree).
+std::vector<std::uint8_t> convert_both(const fmt::FormatDesc& src,
+                                       const fmt::FormatDesc& dst,
+                                       std::span<const std::uint8_t> wire) {
+  const Plan plan = compile_plan(src, dst);
+  std::vector<std::uint8_t> a(dst.fixed_size, 0);
+  std::vector<std::uint8_t> b(dst.fixed_size, 0);
+  ExecInput in;
+  in.src = wire.data();
+  in.src_size = wire.size();
+  in.dst = a.data();
+  in.dst_size = a.size();
+  EXPECT_TRUE(run_plan(plan, in).is_ok());
+  vcode::CompiledConvert cc(plan);
+  in.dst = b.data();
+  EXPECT_TRUE(cc.run(in).is_ok());
+  EXPECT_EQ(a, b) << "engines disagree";
+  return a;
+}
+
+TEST(ConvertEdge, CharArrayShrinksAndGrows) {
+  StructSpec s8;
+  s8.name = "r";
+  s8.fields = {{.name = "t", .type = CType::kChar, .array_elems = 8}};
+  StructSpec s4 = s8;
+  s4.fields[0].array_elems = 4;
+  const auto f8 = arch::layout_format(s8, arch::abi_x86_64());
+  const auto f4 = arch::layout_format(s4, arch::abi_x86_64());
+  Record rec;
+  rec.set("t", Value("abcdefg"));
+  const auto wire = value::materialize(f8, rec);
+
+  // Shrink: first 4 chars survive.
+  auto out = convert_both(f8, f4, wire);
+  EXPECT_EQ(std::memcmp(out.data(), "abcd", 4), 0);
+
+  // Grow: the original 4 plus zero padding.
+  Record small;
+  small.set("t", Value("xyz"));
+  const auto wire4 = value::materialize(f4, small);
+  out = convert_both(f4, f8, wire4);
+  EXPECT_STREQ(reinterpret_cast<const char*>(out.data()), "xyz");
+  for (int i = 4; i < 8; ++i) EXPECT_EQ(out[i], 0) << i;
+}
+
+TEST(ConvertEdge, NumericArrayLengthMismatch) {
+  StructSpec s6;
+  s6.name = "r";
+  s6.fields = {{.name = "v", .type = CType::kInt, .array_elems = 6}};
+  StructSpec s3 = s6;
+  s3.fields[0].array_elems = 3;
+  const auto f6 = arch::layout_format(s6, arch::abi_sparc_v8());
+  const auto f3 = arch::layout_format(s3, arch::abi_x86_64());
+  Record rec;
+  rec.set("v", Value(Value::List{Value(1), Value(2), Value(3), Value(4),
+                                 Value(5), Value(6)}));
+  const auto wire = value::materialize(f6, rec);
+  // 6 -> 3: truncated to the first three, byte-swapped.
+  auto out = convert_both(f6, f3, wire);
+  auto back = value::read_record(f3, out);
+  ASSERT_TRUE(back.is_ok());
+  const auto& lst = back.value().find("v")->as_list();
+  ASSERT_EQ(lst.size(), 3u);
+  EXPECT_EQ(lst[0].as_int(), 1);
+  EXPECT_EQ(lst[2].as_int(), 3);
+
+  // 3 -> 6: three values plus zero fill.
+  Record small;
+  small.set("v", Value(Value::List{Value(7), Value(8), Value(9)}));
+  const auto wire3 = value::materialize(f3, small);
+  const auto f6le = arch::layout_format(s6, arch::abi_x86_64());
+  out = convert_both(f3, f6le, wire3);
+  back = value::read_record(f6le, out);
+  ASSERT_TRUE(back.is_ok());
+  const auto& lst6 = back.value().find("v")->as_list();
+  EXPECT_EQ(lst6[2].as_int(), 9);
+  EXPECT_EQ(lst6[3].as_int(), 0);
+  EXPECT_EQ(lst6[5].as_int(), 0);
+}
+
+TEST(ConvertEdge, SpecialFloatsSurviveByteSwap) {
+  StructSpec s;
+  s.name = "r";
+  s.fields = {{.name = "v", .type = CType::kDouble, .array_elems = 5}};
+  const auto be = arch::layout_format(s, arch::abi_sparc_v9());
+  const auto le = arch::layout_format(s, arch::abi_x86_64());
+  Record rec;
+  rec.set("v",
+          Value(Value::List{
+              Value(std::numeric_limits<double>::infinity()),
+              Value(-std::numeric_limits<double>::infinity()),
+              Value(std::numeric_limits<double>::quiet_NaN()),
+              Value(-0.0),
+              Value(std::numeric_limits<double>::denorm_min())}));
+  const auto wire = value::materialize(be, rec);
+  const auto out = convert_both(be, le, wire);
+  auto back = value::read_record(le, out);
+  ASSERT_TRUE(back.is_ok());
+  const auto& lst = back.value().find("v")->as_list();
+  EXPECT_TRUE(std::isinf(lst[0].as_double()));
+  EXPECT_GT(lst[0].as_double(), 0);
+  EXPECT_TRUE(std::isinf(lst[1].as_double()));
+  EXPECT_LT(lst[1].as_double(), 0);
+  EXPECT_TRUE(std::isnan(lst[2].as_double()));
+  EXPECT_EQ(lst[3].as_double(), 0.0);
+  EXPECT_TRUE(std::signbit(lst[3].as_double()));
+  EXPECT_EQ(lst[4].as_double(), std::numeric_limits<double>::denorm_min());
+}
+
+TEST(ConvertEdge, SpecialFloatsThroughWidthChange) {
+  StructSpec sf;
+  sf.name = "r";
+  sf.fields = {{.name = "v", .type = CType::kFloat, .array_elems = 3}};
+  StructSpec sd = sf;
+  sd.fields[0].type = CType::kDouble;
+  const auto src = arch::layout_format(sf, arch::abi_sparc_v8());
+  const auto dst = arch::layout_format(sd, arch::abi_x86_64());
+  Record rec;
+  rec.set("v", Value(Value::List{
+                   Value(std::numeric_limits<double>::infinity()),
+                   Value(std::numeric_limits<double>::quiet_NaN()),
+                   Value(-0.0)}));
+  const auto wire = value::materialize(src, rec);
+  const auto out = convert_both(src, dst, wire);
+  auto back = value::read_record(dst, out);
+  ASSERT_TRUE(back.is_ok());
+  const auto& lst = back.value().find("v")->as_list();
+  EXPECT_TRUE(std::isinf(lst[0].as_double()));
+  EXPECT_TRUE(std::isnan(lst[1].as_double()));
+  EXPECT_TRUE(std::signbit(lst[2].as_double()));
+}
+
+TEST(ConvertEdge, Int64ExtremesThroughSwap) {
+  StructSpec s;
+  s.name = "r";
+  s.fields = {{.name = "v", .type = CType::kLongLong, .array_elems = 4}};
+  const auto be = arch::layout_format(s, arch::abi_mips_be());
+  const auto le = arch::layout_format(s, arch::abi_x86_64());
+  Record rec;
+  rec.set("v", Value(Value::List{
+                   Value(std::numeric_limits<std::int64_t>::min()),
+                   Value(std::numeric_limits<std::int64_t>::max()),
+                   Value(std::int64_t{-1}), Value(std::int64_t{0})}));
+  const auto wire = value::materialize(be, rec);
+  const auto out = convert_both(be, le, wire);
+  auto back = value::read_record(le, out);
+  ASSERT_TRUE(back.is_ok());
+  const auto& lst = back.value().find("v")->as_list();
+  EXPECT_EQ(lst[0].as_int(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(lst[1].as_int(), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(lst[2].as_int(), -1);
+}
+
+TEST(ConvertEdge, UInt64ToDoubleAboveTwoPow63) {
+  // Exercises the JIT's branchy unsigned-conversion idiom with values the
+  // signed path would mangle.
+  StructSpec su;
+  su.name = "r";
+  su.fields = {{.name = "v", .type = CType::kULongLong, .array_elems = 3}};
+  StructSpec sd = su;
+  sd.fields[0].type = CType::kDouble;
+  const auto src = arch::layout_format(su, arch::abi_x86_64());
+  const auto dst = arch::layout_format(sd, arch::abi_x86_64());
+  Record rec;
+  rec.set("v", Value(Value::List{
+                   Value(std::uint64_t{0x8000000000000000ull}),
+                   Value(std::uint64_t{0xFFFFFFFFFFFFF800ull}),
+                   Value(std::uint64_t{1})}));
+  const auto wire = value::materialize(src, rec);
+  const auto out = convert_both(src, dst, wire);
+  auto back = value::read_record(dst, out);
+  ASSERT_TRUE(back.is_ok());
+  const auto& lst = back.value().find("v")->as_list();
+  EXPECT_EQ(lst[0].as_double(),
+            static_cast<double>(0x8000000000000000ull));
+  EXPECT_EQ(lst[1].as_double(),
+            static_cast<double>(0xFFFFFFFFFFFFF800ull));
+  EXPECT_EQ(lst[2].as_double(), 1.0);
+}
+
+TEST(ConvertEdge, FloatToIntOutOfRangeMatchesBothEngines) {
+  // Negative, NaN and out-of-range floats converted to integers must agree
+  // between engines (defined int64-truncation semantics; cvttsd2si's
+  // 0x8000000000000000 sentinel for unrepresentables).
+  StructSpec sf;
+  sf.name = "r";
+  sf.fields = {{.name = "v", .type = CType::kDouble, .array_elems = 5}};
+  StructSpec si = sf;
+  si.fields[0].type = CType::kULongLong;
+  const auto src = arch::layout_format(sf, arch::abi_x86_64());
+  const auto dst = arch::layout_format(si, arch::abi_x86_64());
+  Record rec;
+  rec.set("v", Value(Value::List{
+                   Value(-2.5), Value(1e300),
+                   Value(std::numeric_limits<double>::quiet_NaN()),
+                   Value(-1e300), Value(42.9)}));
+  const auto wire = value::materialize(src, rec);
+  const auto out = convert_both(src, dst, wire);  // asserts engine equality
+  auto back = value::read_record(dst, out);
+  ASSERT_TRUE(back.is_ok());
+  const auto& lst = back.value().find("v")->as_list();
+  EXPECT_EQ(lst[0].as_uint(), static_cast<std::uint64_t>(std::int64_t{-2}));
+  EXPECT_EQ(lst[1].as_uint(), 0x8000000000000000ull);  // overflow sentinel
+  EXPECT_EQ(lst[2].as_uint(), 0x8000000000000000ull);  // NaN sentinel
+  EXPECT_EQ(lst[3].as_uint(), 0x8000000000000000ull);
+  EXPECT_EQ(lst[4].as_uint(), 42u);
+}
+
+TEST(ConvertEdge, IntNarrowingTruncatesConsistently) {
+  StructSpec wide;
+  wide.name = "r";
+  wide.fields = {{.name = "v", .type = CType::kLongLong}};
+  StructSpec narrow = wide;
+  narrow.fields[0].type = CType::kShort;
+  const auto src = arch::layout_format(wide, arch::abi_sparc_v9());
+  const auto dst = arch::layout_format(narrow, arch::abi_x86_64());
+  Record rec;
+  rec.set("v", Value(std::int64_t{0x123456789ABCull}));
+  const auto wire = value::materialize(src, rec);
+  const auto out = convert_both(src, dst, wire);
+  auto back = value::read_record(dst, out);
+  ASSERT_TRUE(back.is_ok());
+  // Low 16 bits, sign-extended: 0x9ABC as int16 is negative.
+  EXPECT_EQ(back.value().find("v")->as_int(),
+            static_cast<std::int16_t>(0x9ABC));
+}
+
+TEST(ConvertEdge, ScalarVsArrayOfSameNameStillConverts) {
+  // A scalar on the wire and a 4-element array natively: PBIO converts the
+  // overlapping prefix (one element) and zero-fills the rest.
+  StructSpec scalar;
+  scalar.name = "r";
+  scalar.fields = {{.name = "v", .type = CType::kInt}};
+  StructSpec arr = scalar;
+  arr.fields[0].array_elems = 4;
+  const auto src = arch::layout_format(scalar, arch::abi_sparc_v8());
+  const auto dst = arch::layout_format(arr, arch::abi_x86_64());
+  Record rec;
+  rec.set("v", Value(77));
+  const auto wire = value::materialize(src, rec);
+  const auto out = convert_both(src, dst, wire);
+  auto back = value::read_record(dst, out);
+  ASSERT_TRUE(back.is_ok());
+  const auto& lst = back.value().find("v")->as_list();
+  EXPECT_EQ(lst[0].as_int(), 77);
+  EXPECT_EQ(lst[1].as_int(), 0);
+}
+
+}  // namespace
+}  // namespace pbio::convert

@@ -1,0 +1,142 @@
+#include "util/endian.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+
+namespace pbio {
+namespace {
+
+TEST(Endian, HostOrderIsConsistentWithStdEndian) {
+  const std::uint32_t v = 0x01020304;
+  std::uint8_t bytes[4];
+  std::memcpy(bytes, &v, 4);
+  if (host_byte_order() == ByteOrder::kLittle) {
+    EXPECT_EQ(bytes[0], 0x04);
+  } else {
+    EXPECT_EQ(bytes[0], 0x01);
+  }
+}
+
+TEST(Endian, ByteSwap16) {
+  EXPECT_EQ(byte_swap(std::uint16_t{0x1234}), 0x3412);
+  EXPECT_EQ(byte_swap(std::uint16_t{0x0000}), 0x0000);
+  EXPECT_EQ(byte_swap(std::uint16_t{0xFFFF}), 0xFFFF);
+}
+
+TEST(Endian, ByteSwap32) {
+  EXPECT_EQ(byte_swap(std::uint32_t{0x12345678}), 0x78563412u);
+}
+
+TEST(Endian, ByteSwap64) {
+  EXPECT_EQ(byte_swap(std::uint64_t{0x0102030405060708ull}),
+            0x0807060504030201ull);
+}
+
+TEST(Endian, ByteSwapIsInvolution) {
+  for (std::uint64_t v : {0ull, 1ull, 0xDEADBEEFCAFEBABEull, ~0ull}) {
+    EXPECT_EQ(byte_swap(byte_swap(v)), v);
+  }
+}
+
+TEST(Endian, ByteSwapInplaceOddWidth) {
+  std::uint8_t b[3] = {1, 2, 3};
+  byte_swap_inplace(b, 3);
+  EXPECT_EQ(b[0], 3);
+  EXPECT_EQ(b[1], 2);
+  EXPECT_EQ(b[2], 1);
+}
+
+TEST(Endian, StoreLoadRoundTripBothOrders) {
+  std::uint8_t buf[8];
+  for (ByteOrder order : {ByteOrder::kLittle, ByteOrder::kBig}) {
+    for (std::size_t width : {1u, 2u, 4u, 8u}) {
+      const std::uint64_t mask =
+          width == 8 ? ~0ull : ((1ull << (8 * width)) - 1);
+      for (std::uint64_t v :
+           {0ull, 1ull, 0x7Full, 0x80ull, 0xA5A5A5A5A5A5A5A5ull, ~0ull}) {
+        store_uint(buf, v, width, order);
+        EXPECT_EQ(load_uint(buf, width, order), v & mask)
+            << "width=" << width << " order=" << to_string(order);
+      }
+    }
+  }
+}
+
+TEST(Endian, BigEndianStoreLayout) {
+  std::uint8_t buf[4];
+  store_uint(buf, 0x01020304, 4, ByteOrder::kBig);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[1], 0x02);
+  EXPECT_EQ(buf[2], 0x03);
+  EXPECT_EQ(buf[3], 0x04);
+}
+
+TEST(Endian, LittleEndianStoreLayout) {
+  std::uint8_t buf[4];
+  store_uint(buf, 0x01020304, 4, ByteOrder::kLittle);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(buf[3], 0x01);
+}
+
+TEST(Endian, SignExtend) {
+  EXPECT_EQ(sign_extend(0xFF, 1), -1);
+  EXPECT_EQ(sign_extend(0x7F, 1), 127);
+  EXPECT_EQ(sign_extend(0x80, 1), -128);
+  EXPECT_EQ(sign_extend(0xFFFF, 2), -1);
+  EXPECT_EQ(sign_extend(0x8000, 2), -32768);
+  EXPECT_EQ(sign_extend(0xFFFFFFFF, 4), -1);
+  EXPECT_EQ(sign_extend(0x7FFFFFFF, 4), 2147483647);
+  EXPECT_EQ(sign_extend(0xFFFFFFFFFFFFFFFFull, 8), -1);
+}
+
+TEST(Endian, LoadIntNegativeValuesBothOrders) {
+  std::uint8_t buf[8];
+  for (ByteOrder order : {ByteOrder::kLittle, ByteOrder::kBig}) {
+    for (std::size_t width : {1u, 2u, 4u, 8u}) {
+      for (std::int64_t v : {-1ll, -128ll, -32768ll, 0ll, 42ll}) {
+        store_uint(buf, static_cast<std::uint64_t>(v), width, order);
+        EXPECT_EQ(load_int(buf, width, order),
+                  sign_extend(static_cast<std::uint64_t>(v), width));
+      }
+    }
+  }
+}
+
+TEST(Endian, FloatRoundTripBothOrders) {
+  std::uint8_t buf[8];
+  for (ByteOrder order : {ByteOrder::kLittle, ByteOrder::kBig}) {
+    for (double v : {0.0, 1.5, -3.25, 1e300, -1e-300}) {
+      store_float(buf, v, 8, order);
+      EXPECT_EQ(load_float(buf, 8, order), v);
+    }
+    for (double v : {0.0, 1.5, -3.25, 65504.0}) {
+      store_float(buf, v, 4, order);
+      EXPECT_EQ(load_float(buf, 4, order), static_cast<float>(v));
+    }
+  }
+}
+
+TEST(Endian, FloatBigEndianBitPattern) {
+  // 1.0f == 0x3F800000; big-endian puts the exponent byte first.
+  std::uint8_t buf[4];
+  store_float(buf, 1.0, 4, ByteOrder::kBig);
+  EXPECT_EQ(buf[0], 0x3F);
+  EXPECT_EQ(buf[1], 0x80);
+  EXPECT_EQ(buf[2], 0x00);
+  EXPECT_EQ(buf[3], 0x00);
+}
+
+TEST(Endian, OddWidthLoadStore) {
+  std::uint8_t buf[3];
+  store_uint(buf, 0x123456, 3, ByteOrder::kBig);
+  EXPECT_EQ(buf[0], 0x12);
+  EXPECT_EQ(load_uint(buf, 3, ByteOrder::kBig), 0x123456u);
+  store_uint(buf, 0x123456, 3, ByteOrder::kLittle);
+  EXPECT_EQ(buf[0], 0x56);
+  EXPECT_EQ(load_uint(buf, 3, ByteOrder::kLittle), 0x123456u);
+}
+
+}  // namespace
+}  // namespace pbio

@@ -1,0 +1,70 @@
+#include "util/error.h"
+
+#include <gtest/gtest.h>
+
+namespace pbio {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_TRUE(static_cast<bool>(s));
+  EXPECT_EQ(s.code(), Errc::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s(Errc::kTruncated, "only 3 bytes");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), Errc::kTruncated);
+  EXPECT_EQ(s.message(), "only 3 bytes");
+  EXPECT_EQ(s.to_string(), "truncated: only 3 bytes");
+}
+
+TEST(Status, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(Errc::kIo); ++c) {
+    EXPECT_STRNE(to_string(static_cast<Errc>(c)), "unknown");
+  }
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+  EXPECT_EQ(r.value_or(-1), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Errc::kParse, "bad digit");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), Errc::kParse);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, AccessingErrorValueThrows) {
+  Result<int> r(Status(Errc::kIo, "boom"));
+  EXPECT_THROW(r.value(), PbioError);
+}
+
+TEST(Result, TakeMovesValueOut) {
+  Result<std::string> r(std::string("moveme"));
+  std::string s = std::move(r).take();
+  EXPECT_EQ(s, "moveme");
+}
+
+TEST(Result, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(9));
+  ASSERT_TRUE(r.is_ok());
+  auto p = std::move(r).take();
+  EXPECT_EQ(*p, 9);
+}
+
+TEST(Result, MutableValueAccess) {
+  Result<std::string> r(std::string("a"));
+  r.value() += "b";
+  EXPECT_EQ(r.value(), "ab");
+}
+
+}  // namespace
+}  // namespace pbio

@@ -1,0 +1,139 @@
+#include "transport/file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "pbio/pbio.h"
+
+namespace pbio::transport {
+namespace {
+
+class FileChannelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("pbio_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+             ".log");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::string path() const { return path_.string(); }
+
+ private:
+  std::filesystem::path path_;
+};
+
+TEST_F(FileChannelTest, FramesRoundTripThroughDisk) {
+  {
+    auto w = FileWriteChannel::open(path());
+    ASSERT_TRUE(w.is_ok()) << w.status().to_string();
+    const std::uint8_t m1[] = {1, 2, 3};
+    const std::uint8_t m2[] = {4};
+    ASSERT_TRUE(w.value()->send(m1).is_ok());
+    ASSERT_TRUE(w.value()->send(m2).is_ok());
+    ASSERT_TRUE(w.value()->send({}).is_ok());  // empty frame
+  }
+  auto r = FileReadChannel::open(path());
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value()->recv().value(), (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(r.value()->recv().value(), (std::vector<std::uint8_t>{4}));
+  EXPECT_EQ(r.value()->recv().value().size(), 0u);
+  EXPECT_EQ(r.value()->recv().status().code(), Errc::kChannelClosed);
+}
+
+TEST_F(FileChannelTest, AppendModeExtendsLog) {
+  {
+    auto w = FileWriteChannel::open(path());
+    ASSERT_TRUE(w.is_ok());
+    const std::uint8_t m[] = {1};
+    ASSERT_TRUE(w.value()->send(m).is_ok());
+  }
+  {
+    auto w = FileWriteChannel::open(path(), /*append=*/true);
+    ASSERT_TRUE(w.is_ok());
+    const std::uint8_t m[] = {2};
+    ASSERT_TRUE(w.value()->send(m).is_ok());
+  }
+  auto r = FileReadChannel::open(path());
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value()->recv().value()[0], 1);
+  EXPECT_EQ(r.value()->recv().value()[0], 2);
+}
+
+TEST_F(FileChannelTest, WrongDirectionsFail) {
+  auto w = FileWriteChannel::open(path());
+  ASSERT_TRUE(w.is_ok());
+  EXPECT_EQ(w.value()->recv().status().code(), Errc::kUnsupported);
+  const std::uint8_t m[] = {1};
+  ASSERT_TRUE(w.value()->send(m).is_ok());
+  w.value()->flush();
+  auto r = FileReadChannel::open(path());
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value()->send(m).code(), Errc::kUnsupported);
+}
+
+TEST_F(FileChannelTest, MissingFileFailsCleanly) {
+  auto r = FileReadChannel::open("/nonexistent/dir/file.log");
+  EXPECT_EQ(r.status().code(), Errc::kIo);
+  auto w = FileWriteChannel::open("/nonexistent/dir/file.log");
+  EXPECT_EQ(w.status().code(), Errc::kIo);
+}
+
+TEST_F(FileChannelTest, TruncatedLogDetected) {
+  {
+    auto w = FileWriteChannel::open(path());
+    ASSERT_TRUE(w.is_ok());
+    const std::uint8_t m[] = {1, 2, 3, 4, 5, 6, 7, 8};
+    ASSERT_TRUE(w.value()->send(m).is_ok());
+  }
+  // Chop the file mid-frame.
+  std::filesystem::resize_file(path(), 7);
+  auto r = FileReadChannel::open(path());
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value()->recv().status().code(), Errc::kTruncated);
+}
+
+TEST_F(FileChannelTest, FullPbioStackOverFiles) {
+  // The original PBIO use case: write self-describing records to a file,
+  // read them back later in a different process (here: a fresh Context).
+  struct Step {
+    int n;
+    double t;
+  };
+  const NativeField fields[] = {
+      PBIO_FIELD(Step, n, arch::CType::kInt),
+      PBIO_FIELD(Step, t, arch::CType::kDouble),
+  };
+  {
+    Context ctx;
+    const auto id = ctx.register_format(native_format("step", fields,
+                                                      sizeof(Step)));
+    auto ch = FileWriteChannel::open(path());
+    ASSERT_TRUE(ch.is_ok());
+    Writer w(ctx, *ch.value());
+    for (int i = 0; i < 10; ++i) {
+      Step s{i, i * 0.5};
+      ASSERT_TRUE(w.write(id, &s).is_ok());
+    }
+  }
+  {
+    Context fresh;  // reader process knows nothing yet
+    const auto id = fresh.register_format(native_format("step", fields,
+                                                        sizeof(Step)));
+    auto ch = FileReadChannel::open(path());
+    ASSERT_TRUE(ch.is_ok());
+    Reader r(fresh, *ch.value());
+    r.expect(id);
+    for (int i = 0; i < 10; ++i) {
+      auto msg = r.next();
+      ASSERT_TRUE(msg.is_ok()) << i;
+      EXPECT_EQ(msg.value().view<Step>().value()->n, i);
+    }
+    EXPECT_EQ(r.next().status().code(), Errc::kChannelClosed);
+  }
+}
+
+}  // namespace
+}  // namespace pbio::transport

@@ -1,0 +1,163 @@
+#include "fmt/format.h"
+
+#include <gtest/gtest.h>
+
+namespace pbio::fmt {
+namespace {
+
+FormatDesc simple_format() {
+  FormatDesc f;
+  f.name = "simple";
+  f.fixed_size = 16;
+  f.byte_order = ByteOrder::kLittle;
+  f.pointer_size = 8;
+  f.fields = {
+      {.name = "a", .base = BaseType::kInt, .elem_size = 4, .offset = 0,
+       .slot_size = 4},
+      {.name = "b", .base = BaseType::kFloat, .elem_size = 8, .offset = 8,
+       .slot_size = 8},
+  };
+  return f;
+}
+
+TEST(Format, ValidFormatPassesValidation) {
+  EXPECT_NO_THROW(simple_format().validate());
+}
+
+TEST(Format, FindField) {
+  const auto f = simple_format();
+  ASSERT_NE(f.find_field("a"), nullptr);
+  EXPECT_EQ(f.find_field("a")->elem_size, 4u);
+  EXPECT_EQ(f.find_field("zzz"), nullptr);
+}
+
+TEST(Format, FieldPastEndFails) {
+  auto f = simple_format();
+  f.fields[1].offset = 12;  // 12 + 8 > 16
+  EXPECT_THROW(f.validate(), PbioError);
+}
+
+TEST(Format, OverlappingFieldsFail) {
+  auto f = simple_format();
+  f.fields[1].offset = 2;  // overlaps field a at [0,4)
+  EXPECT_THROW(f.validate(), PbioError);
+}
+
+TEST(Format, EmptyFieldsFail) {
+  FormatDesc f;
+  f.name = "empty";
+  f.fixed_size = 4;
+  EXPECT_THROW(f.validate(), PbioError);
+}
+
+TEST(Format, BadFloatSizeFails) {
+  auto f = simple_format();
+  f.fields[1].elem_size = 2;
+  f.fields[1].slot_size = 2;
+  EXPECT_THROW(f.validate(), PbioError);
+}
+
+TEST(Format, SlotSizeMismatchFails) {
+  auto f = simple_format();
+  f.fields[0].slot_size = 8;  // elem 4 x 1 != 8
+  EXPECT_THROW(f.validate(), PbioError);
+}
+
+TEST(Format, DanglingVarDimFails) {
+  auto f = simple_format();
+  f.fields.push_back({.name = "arr",
+                      .base = BaseType::kInt,
+                      .elem_size = 4,
+                      .var_dim_field = "missing",
+                      .offset = 4,
+                      .slot_size = 8});
+  EXPECT_THROW(f.validate(), PbioError);
+}
+
+TEST(Format, VarDimMustBeScalarInteger) {
+  auto f = simple_format();
+  f.fields.push_back({.name = "arr",
+                      .base = BaseType::kInt,
+                      .elem_size = 4,
+                      .var_dim_field = "b",  // b is a float
+                      .offset = 4,
+                      .slot_size = 8});
+  EXPECT_THROW(f.validate(), PbioError);
+}
+
+TEST(Format, DanglingSubformatFails) {
+  auto f = simple_format();
+  f.fields.push_back({.name = "s",
+                      .base = BaseType::kStruct,
+                      .subformat = "ghost",
+                      .elem_size = 4,
+                      .offset = 4,
+                      .slot_size = 4});
+  EXPECT_THROW(f.validate(), PbioError);
+}
+
+TEST(Format, VariableFieldInsideSubformatFails) {
+  auto f = simple_format();
+  FormatDesc sub;
+  sub.name = "sub";
+  sub.fixed_size = 8;
+  sub.pointer_size = 8;
+  sub.fields = {{.name = "s",
+                 .base = BaseType::kString,
+                 .elem_size = 1,
+                 .offset = 0,
+                 .slot_size = 8}};
+  f.subformats.push_back(sub);
+  f.fields.push_back({.name = "nested",
+                      .base = BaseType::kStruct,
+                      .subformat = "sub",
+                      .elem_size = 8,
+                      .offset = 4,
+                      .slot_size = 8});
+  EXPECT_THROW(f.validate(), PbioError);
+}
+
+TEST(Format, FingerprintDiffersOnContentChange) {
+  const auto a = simple_format();
+  auto b = simple_format();
+  b.fields[0].offset = 4;
+  b.fields[1].offset = 8;
+  ASSERT_NO_THROW(b.validate());
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Format, FingerprintStableAcrossCopies) {
+  const auto a = simple_format();
+  const FormatDesc b = a;
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Format, FingerprintSensitiveToByteOrder) {
+  auto a = simple_format();
+  auto b = simple_format();
+  b.byte_order = ByteOrder::kBig;
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+}
+
+TEST(Format, IsFixedLayout) {
+  auto f = simple_format();
+  EXPECT_TRUE(f.is_fixed_layout());
+  f.fields.push_back({.name = "s",
+                      .base = BaseType::kString,
+                      .elem_size = 1,
+                      .offset = 4,
+                      .slot_size = 8});
+  EXPECT_FALSE(f.is_fixed_layout());
+}
+
+TEST(Format, DescribeMentionsFieldsAndArch) {
+  auto f = simple_format();
+  f.arch_name = "sparc_v8";
+  const std::string text = describe(f);
+  EXPECT_NE(text.find("simple"), std::string::npos);
+  EXPECT_NE(text.find("sparc_v8"), std::string::npos);
+  EXPECT_NE(text.find("a"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pbio::fmt

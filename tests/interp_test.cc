@@ -1,0 +1,375 @@
+// Interpreted conversion engine: directed cases.
+#include "convert/interp.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/layout.h"
+#include "value/materialize.h"
+#include "value/random.h"
+#include "value/read.h"
+
+namespace pbio::convert {
+namespace {
+
+using arch::CType;
+using arch::StructSpec;
+using value::Record;
+using value::Value;
+
+StructSpec mixed_spec() {
+  StructSpec s;
+  s.name = "mixed";
+  s.fields = {
+      {.name = "a", .type = CType::kInt},
+      {.name = "x", .type = CType::kDouble},
+      {.name = "l", .type = CType::kLong},
+      {.name = "t", .type = CType::kChar, .array_elems = 6},
+  };
+  return s;
+}
+
+Record mixed_record() {
+  Record r;
+  r.set("a", Value(-123456));
+  r.set("x", Value(3.5));
+  r.set("l", Value(987654));
+  r.set("t", Value("abc"));
+  return r;
+}
+
+/// Convert `rec` from src ABI to dst ABI byte images and read it back.
+Record convert_via(const StructSpec& spec, const arch::Abi& src_abi,
+                   const arch::Abi& dst_abi, const Record& rec) {
+  const auto src = arch::layout_format(spec, src_abi);
+  const auto dst = arch::layout_format(spec, dst_abi);
+  const auto wire = value::materialize(src, rec);
+  const Plan plan = compile_plan(src, dst);
+
+  std::vector<std::uint8_t> out(dst.fixed_size, 0xCD);
+  ByteBuffer var;
+  ExecInput in;
+  in.src = wire.data();
+  in.src_size = wire.size();
+  in.dst = out.data();
+  in.dst_size = out.size();
+  in.mode = VarMode::kOffsets;
+  in.dst_var = &var;
+  Status st = run_plan(plan, in);
+  EXPECT_TRUE(st.is_ok()) << st.to_string();
+  out.insert(out.end(), var.data(), var.data() + var.size());
+  auto back = value::read_record(dst, out);
+  EXPECT_TRUE(back.is_ok()) << back.status().to_string();
+  return back.is_ok() ? back.value() : Record{};
+}
+
+TEST(Interp, HeterogeneousSparcToX86) {
+  const Record got = convert_via(mixed_spec(), arch::abi_sparc_v8(),
+                                 arch::abi_x86_64(), mixed_record());
+  EXPECT_TRUE(value::equivalent(got, mixed_record()))
+      << Value(got).to_string();
+}
+
+TEST(Interp, HeterogeneousX86ToSparc) {
+  const Record got = convert_via(mixed_spec(), arch::abi_x86_64(),
+                                 arch::abi_sparc_v8(), mixed_record());
+  EXPECT_TRUE(value::equivalent(got, mixed_record()));
+}
+
+TEST(Interp, HomogeneousIsExactCopy) {
+  const auto f = arch::layout_format(mixed_spec(), arch::abi_x86_64());
+  const auto wire = value::materialize(f, mixed_record());
+  const Plan plan = compile_plan(f, f);
+  ASSERT_TRUE(plan.identity);
+  std::vector<std::uint8_t> out(f.fixed_size, 0);
+  ExecInput in;
+  in.src = wire.data();
+  in.src_size = wire.size();
+  in.dst = out.data();
+  in.dst_size = out.size();
+  ASSERT_TRUE(run_plan(plan, in).is_ok());
+  // Field regions must be byte-identical (padding may differ).
+  for (const auto& fd : f.fields) {
+    EXPECT_EQ(std::memcmp(out.data() + fd.offset, wire.data() + fd.offset,
+                          fd.slot_size),
+              0);
+  }
+}
+
+TEST(Interp, TruncatedSourceRejected) {
+  const auto f = arch::layout_format(mixed_spec(), arch::abi_x86_64());
+  const auto wire = value::materialize(f, mixed_record());
+  const Plan plan = compile_plan(f, f);
+  std::vector<std::uint8_t> out(f.fixed_size);
+  ExecInput in;
+  in.src = wire.data();
+  in.src_size = 4;  // way short
+  in.dst = out.data();
+  in.dst_size = out.size();
+  const Status st = run_plan(plan, in);
+  EXPECT_EQ(st.code(), Errc::kTruncated);
+}
+
+TEST(Interp, SmallDestinationRejected) {
+  const auto f = arch::layout_format(mixed_spec(), arch::abi_x86_64());
+  const auto wire = value::materialize(f, mixed_record());
+  const Plan plan = compile_plan(f, f);
+  std::vector<std::uint8_t> out(4);
+  ExecInput in;
+  in.src = wire.data();
+  in.src_size = wire.size();
+  in.dst = out.data();
+  in.dst_size = out.size();
+  EXPECT_EQ(run_plan(plan, in).code(), Errc::kTruncated);
+}
+
+TEST(Interp, IntToFloatValueConversion) {
+  StructSpec a;
+  a.name = "r";
+  a.fields = {{.name = "v", .type = CType::kInt}};
+  StructSpec b;
+  b.name = "r";
+  b.fields = {{.name = "v", .type = CType::kDouble}};
+  const auto src = arch::layout_format(a, arch::abi_sparc_v8());
+  const auto dst = arch::layout_format(b, arch::abi_x86_64());
+  Record r;
+  r.set("v", Value(-77));
+  const auto wire = value::materialize(src, r);
+  const Plan plan = compile_plan(src, dst);
+  std::vector<std::uint8_t> out(dst.fixed_size, 0);
+  ExecInput in;
+  in.src = wire.data();
+  in.src_size = wire.size();
+  in.dst = out.data();
+  in.dst_size = out.size();
+  ASSERT_TRUE(run_plan(plan, in).is_ok());
+  auto back = value::read_record(dst, out);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().find("v")->as_double(), -77.0);
+}
+
+TEST(Interp, FloatToIntTruncates) {
+  StructSpec a;
+  a.name = "r";
+  a.fields = {{.name = "v", .type = CType::kDouble}};
+  StructSpec b;
+  b.name = "r";
+  b.fields = {{.name = "v", .type = CType::kLongLong}};
+  const auto src = arch::layout_format(a, arch::abi_x86_64());
+  const auto dst = arch::layout_format(b, arch::abi_x86_64());
+  Record r;
+  r.set("v", Value(42.75));
+  const auto wire = value::materialize(src, r);
+  const Plan plan = compile_plan(src, dst);
+  std::vector<std::uint8_t> out(dst.fixed_size, 0);
+  ExecInput in{wire.data(), wire.size(), out.data(), out.size()};
+  ASSERT_TRUE(run_plan(plan, in).is_ok());
+  auto back = value::read_record(dst, out);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().find("v")->as_int(), 42);
+}
+
+TEST(Interp, SignExtensionOnWidening) {
+  StructSpec a;
+  a.name = "r";
+  a.fields = {{.name = "v", .type = CType::kShort}};
+  StructSpec b;
+  b.name = "r";
+  b.fields = {{.name = "v", .type = CType::kLongLong}};
+  const auto src = arch::layout_format(a, arch::abi_sparc_v8());
+  const auto dst = arch::layout_format(b, arch::abi_x86_64());
+  Record r;
+  r.set("v", Value(-2));
+  const auto wire = value::materialize(src, r);
+  const Plan plan = compile_plan(src, dst);
+  std::vector<std::uint8_t> out(dst.fixed_size, 0);
+  ExecInput in{wire.data(), wire.size(), out.data(), out.size()};
+  ASSERT_TRUE(run_plan(plan, in).is_ok());
+  auto back = value::read_record(dst, out);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().find("v")->as_int(), -2);
+}
+
+TEST(Interp, UnsignedWideningDoesNotSignExtend) {
+  StructSpec a;
+  a.name = "r";
+  a.fields = {{.name = "v", .type = CType::kUShort}};
+  StructSpec b;
+  b.name = "r";
+  b.fields = {{.name = "v", .type = CType::kULongLong}};
+  const auto src = arch::layout_format(a, arch::abi_sparc_v8());
+  const auto dst = arch::layout_format(b, arch::abi_x86_64());
+  Record r;
+  r.set("v", Value(std::uint64_t{0xFFFE}));
+  const auto wire = value::materialize(src, r);
+  const Plan plan = compile_plan(src, dst);
+  std::vector<std::uint8_t> out(dst.fixed_size, 0);
+  ExecInput in{wire.data(), wire.size(), out.data(), out.size()};
+  ASSERT_TRUE(run_plan(plan, in).is_ok());
+  auto back = value::read_record(dst, out);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().find("v")->as_uint(), 0xFFFEu);
+}
+
+TEST(Interp, StringZeroCopyPointsIntoSourceBuffer) {
+  StructSpec s;
+  s.name = "msg";
+  s.fields = {{.name = "id", .type = CType::kInt},
+              {.name = "text", .type = CType::kString}};
+  const auto f = arch::layout_format(s, arch::abi_x86_64());
+  Record r;
+  r.set("id", Value(1));
+  r.set("text", Value("zero-copy"));
+  const auto wire = value::materialize(f, r);
+  const Plan plan = compile_plan(f, f);
+
+  struct Msg {
+    int id;
+    char* text;
+  };
+  Msg out{};
+  Arena arena;
+  ExecInput in;
+  in.src = wire.data();
+  in.src_size = wire.size();
+  in.dst = reinterpret_cast<std::uint8_t*>(&out);
+  in.dst_size = sizeof(out);
+  in.mode = VarMode::kPointers;
+  in.arena = &arena;
+  in.borrow_from_src = true;
+  ASSERT_TRUE(run_plan(plan, in).is_ok());
+  EXPECT_STREQ(out.text, "zero-copy");
+  // Borrowed: the pointer aims inside the wire buffer, no copy happened.
+  EXPECT_GE(reinterpret_cast<const std::uint8_t*>(out.text), wire.data());
+  EXPECT_LT(reinterpret_cast<const std::uint8_t*>(out.text),
+            wire.data() + wire.size());
+  EXPECT_EQ(arena.block_count(), 0u);
+}
+
+TEST(Interp, StringCopiedWhenBorrowDisallowed) {
+  StructSpec s;
+  s.name = "msg";
+  s.fields = {{.name = "id", .type = CType::kInt},
+              {.name = "text", .type = CType::kString}};
+  const auto f = arch::layout_format(s, arch::abi_x86_64());
+  Record r;
+  r.set("id", Value(1));
+  r.set("text", Value("copied"));
+  const auto wire = value::materialize(f, r);
+  const Plan plan = compile_plan(f, f);
+  struct Msg {
+    int id;
+    char* text;
+  };
+  Msg out{};
+  Arena arena;
+  ExecInput in;
+  in.src = wire.data();
+  in.src_size = wire.size();
+  in.dst = reinterpret_cast<std::uint8_t*>(&out);
+  in.dst_size = sizeof(out);
+  in.mode = VarMode::kPointers;
+  in.arena = &arena;
+  in.borrow_from_src = false;
+  ASSERT_TRUE(run_plan(plan, in).is_ok());
+  EXPECT_STREQ(out.text, "copied");
+  const bool inside_wire =
+      reinterpret_cast<const std::uint8_t*>(out.text) >= wire.data() &&
+      reinterpret_cast<const std::uint8_t*>(out.text) < wire.data() + wire.size();
+  EXPECT_FALSE(inside_wire);
+}
+
+TEST(Interp, CorruptStringOffsetRejected) {
+  StructSpec s;
+  s.name = "msg";
+  s.fields = {{.name = "id", .type = CType::kInt},
+              {.name = "text", .type = CType::kString}};
+  const auto f = arch::layout_format(s, arch::abi_x86_64());
+  Record r;
+  r.set("id", Value(1));
+  r.set("text", Value("x"));
+  auto wire = value::materialize(f, r);
+  // Corrupt the offset slot to point far out of range.
+  store_uint(wire.data() + f.find_field("text")->offset, 1 << 20, 8,
+             ByteOrder::kLittle);
+  const Plan plan = compile_plan(f, f);
+  struct Msg {
+    int id;
+    char* text;
+  };
+  Msg out{};
+  Arena arena;
+  ExecInput in;
+  in.src = wire.data();
+  in.src_size = wire.size();
+  in.dst = reinterpret_cast<std::uint8_t*>(&out);
+  in.dst_size = sizeof(out);
+  in.mode = VarMode::kPointers;
+  in.arena = &arena;
+  EXPECT_EQ(run_plan(plan, in).code(), Errc::kMalformed);
+}
+
+TEST(Interp, VarArrayZeroCopyWhenIdentical) {
+  StructSpec s;
+  s.name = "mesh";
+  s.fields = {{.name = "n", .type = CType::kUInt},
+              {.name = "vals", .type = CType::kDouble, .var_dim_field = "n"}};
+  const auto f = arch::layout_format(s, arch::abi_x86_64());
+  Record r;
+  r.set("n", Value(std::uint64_t{3}));
+  r.set("vals", Value(Value::List{Value(1.0), Value(2.0), Value(3.0)}));
+  const auto wire = value::materialize(f, r);
+  const Plan plan = compile_plan(f, f);
+  struct Mesh {
+    unsigned n;
+    double* vals;
+  };
+  Mesh out{};
+  Arena arena;
+  ExecInput in;
+  in.src = wire.data();
+  in.src_size = wire.size();
+  in.dst = reinterpret_cast<std::uint8_t*>(&out);
+  in.dst_size = sizeof(out);
+  in.mode = VarMode::kPointers;
+  in.arena = &arena;
+  ASSERT_TRUE(run_plan(plan, in).is_ok());
+  ASSERT_EQ(out.n, 3u);
+  EXPECT_EQ(out.vals[0], 1.0);
+  EXPECT_EQ(out.vals[2], 3.0);
+  EXPECT_EQ(arena.block_count(), 0u);  // borrowed, not copied
+}
+
+TEST(Interp, VarArrayConvertedWhenHeterogeneous) {
+  StructSpec s;
+  s.name = "mesh";
+  s.fields = {{.name = "n", .type = CType::kUInt},
+              {.name = "vals", .type = CType::kDouble, .var_dim_field = "n"}};
+  const auto src = arch::layout_format(s, arch::abi_sparc_v8());
+  const auto dst = arch::layout_format(s, arch::abi_x86_64());
+  Record r;
+  r.set("n", Value(std::uint64_t{2}));
+  r.set("vals", Value(Value::List{Value(0.5), Value(-8.25)}));
+  const auto wire = value::materialize(src, r);
+  const Plan plan = compile_plan(src, dst);
+  struct Mesh {
+    unsigned n;
+    double* vals;
+  };
+  Mesh out{};
+  Arena arena;
+  ExecInput in;
+  in.src = wire.data();
+  in.src_size = wire.size();
+  in.dst = reinterpret_cast<std::uint8_t*>(&out);
+  in.dst_size = sizeof(out);
+  in.mode = VarMode::kPointers;
+  in.arena = &arena;
+  ASSERT_TRUE(run_plan(plan, in).is_ok());
+  ASSERT_EQ(out.n, 2u);
+  EXPECT_EQ(out.vals[0], 0.5);
+  EXPECT_EQ(out.vals[1], -8.25);
+  EXPECT_GT(arena.block_count(), 0u);  // converted into arena
+}
+
+}  // namespace
+}  // namespace pbio::convert

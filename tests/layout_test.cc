@@ -1,0 +1,173 @@
+#include "arch/layout.h"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+#include "util/error.h"
+
+namespace pbio::arch {
+namespace {
+
+using fmt::BaseType;
+
+StructSpec mixed_spec() {
+  StructSpec s;
+  s.name = "mixed";
+  s.fields = {
+      {.name = "c", .type = CType::kChar},
+      {.name = "d", .type = CType::kDouble},
+      {.name = "i", .type = CType::kInt},
+      {.name = "l", .type = CType::kLong},
+      {.name = "f", .type = CType::kFloat, .array_elems = 3},
+  };
+  return s;
+}
+
+TEST(Layout, X8664MatchesCompiler) {
+  // The layout engine must agree with what this very compiler does for the
+  // equivalent C struct — that is the definition of "native format".
+  struct Mixed {
+    char c;
+    double d;
+    int i;
+    long l;
+    float f[3];
+  };
+  const auto desc = layout_format(mixed_spec(), abi_x86_64());
+  EXPECT_EQ(desc.fixed_size, sizeof(Mixed));
+  EXPECT_EQ(desc.find_field("c")->offset, offsetof(Mixed, c));
+  EXPECT_EQ(desc.find_field("d")->offset, offsetof(Mixed, d));
+  EXPECT_EQ(desc.find_field("i")->offset, offsetof(Mixed, i));
+  EXPECT_EQ(desc.find_field("l")->offset, offsetof(Mixed, l));
+  EXPECT_EQ(desc.find_field("f")->offset, offsetof(Mixed, f));
+  EXPECT_EQ(desc.find_field("f")->static_elems, 3u);
+  EXPECT_EQ(desc.find_field("f")->elem_size, 4u);
+}
+
+TEST(Layout, X86PacksDoublesTighter) {
+  // Same spec, i386 ABI: double aligns to 4, long shrinks to 4.
+  const auto desc = layout_format(mixed_spec(), abi_x86());
+  EXPECT_EQ(desc.find_field("d")->offset, 4u);   // not 8
+  EXPECT_EQ(desc.find_field("l")->elem_size, 4u);
+  EXPECT_EQ(desc.byte_order, ByteOrder::kLittle);
+}
+
+TEST(Layout, SparcV8BigEndianLayout) {
+  const auto desc = layout_format(mixed_spec(), abi_sparc_v8());
+  EXPECT_EQ(desc.byte_order, ByteOrder::kBig);
+  EXPECT_EQ(desc.find_field("d")->offset, 8u);   // natural alignment
+  EXPECT_EQ(desc.find_field("l")->elem_size, 4u);
+  EXPECT_EQ(desc.pointer_size, 4u);
+}
+
+TEST(Layout, DifferentAbisDifferentSizes) {
+  const auto spec = mixed_spec();
+  const auto x86 = layout_format(spec, abi_x86());
+  const auto x64 = layout_format(spec, abi_x86_64());
+  EXPECT_LT(x86.fixed_size, x64.fixed_size);
+}
+
+TEST(Layout, TrailingPaddingRoundsToStructAlignment) {
+  StructSpec s;
+  s.name = "padded";
+  s.fields = {
+      {.name = "d", .type = CType::kDouble},
+      {.name = "c", .type = CType::kChar},
+  };
+  struct Padded {
+    double d;
+    char c;
+  };
+  EXPECT_EQ(layout_size(s, abi_x86_64()), sizeof(Padded));  // 16, not 9
+}
+
+TEST(Layout, NestedStructsInlineAtElementStride) {
+  StructSpec point;
+  point.name = "point";
+  point.fields = {
+      {.name = "x", .type = CType::kDouble},
+      {.name = "y", .type = CType::kDouble},
+      {.name = "tag", .type = CType::kChar},
+  };
+  StructSpec tri;
+  tri.name = "tri";
+  tri.fields = {
+      {.name = "id", .type = CType::kInt},
+      {.name = "pts", .array_elems = 3, .subformat = "point"},
+  };
+  tri.subs = {point};
+
+  struct Point {
+    double x, y;
+    char tag;
+  };
+  struct Tri {
+    int id;
+    Point pts[3];
+  };
+  const auto desc = layout_format(tri, abi_x86_64());
+  EXPECT_EQ(desc.fixed_size, sizeof(Tri));
+  const auto* pts = desc.find_field("pts");
+  ASSERT_NE(pts, nullptr);
+  EXPECT_EQ(pts->base, BaseType::kStruct);
+  EXPECT_EQ(pts->offset, offsetof(Tri, pts));
+  EXPECT_EQ(pts->elem_size, sizeof(Point));
+  const auto* sub = desc.find_subformat("point");
+  ASSERT_NE(sub, nullptr);
+  EXPECT_EQ(sub->fixed_size, sizeof(Point));
+}
+
+TEST(Layout, StringFieldIsPointerSlot) {
+  StructSpec s;
+  s.name = "named";
+  s.fields = {
+      {.name = "id", .type = CType::kInt},
+      {.name = "label", .type = CType::kString},
+  };
+  struct Named {
+    int id;
+    char* label;
+  };
+  const auto d64 = layout_format(s, abi_x86_64());
+  EXPECT_EQ(d64.fixed_size, sizeof(Named));
+  EXPECT_EQ(d64.find_field("label")->offset, offsetof(Named, label));
+  EXPECT_EQ(d64.find_field("label")->slot_size, 8u);
+  // 32-bit ABI: 4-byte pointer, no padding after id.
+  const auto d32 = layout_format(s, abi_sparc_v8());
+  EXPECT_EQ(d32.find_field("label")->offset, 4u);
+  EXPECT_EQ(d32.find_field("label")->slot_size, 4u);
+  EXPECT_EQ(d32.fixed_size, 8u);
+}
+
+TEST(Layout, VarArrayUsesPointerSlot) {
+  StructSpec s;
+  s.name = "mesh";
+  s.fields = {
+      {.name = "n", .type = CType::kUInt},
+      {.name = "vals", .type = CType::kDouble, .var_dim_field = "n"},
+  };
+  const auto desc = layout_format(s, abi_x86_64());
+  const auto* vals = desc.find_field("vals");
+  ASSERT_NE(vals, nullptr);
+  EXPECT_EQ(vals->slot_size, 8u);
+  EXPECT_EQ(vals->elem_size, 8u);  // element is still a double
+  EXPECT_EQ(vals->var_dim_field, "n");
+}
+
+TEST(Layout, UnknownSubformatThrows) {
+  StructSpec s;
+  s.name = "bad";
+  s.fields = {{.name = "x", .subformat = "nope"}};
+  EXPECT_THROW(layout_format(s, abi_x86_64()), PbioError);
+}
+
+TEST(Layout, SameSpecSameAbiIsDeterministic) {
+  const auto a = layout_format(mixed_spec(), abi_sparc_v9());
+  const auto b = layout_format(mixed_spec(), abi_sparc_v9());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+}  // namespace
+}  // namespace pbio::arch

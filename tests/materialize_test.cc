@@ -1,0 +1,191 @@
+// Materialize + read_record: the reference semantics for byte images.
+#include <gtest/gtest.h>
+
+#include "arch/layout.h"
+#include "value/materialize.h"
+#include "value/random.h"
+#include "value/read.h"
+
+namespace pbio::value {
+namespace {
+
+using arch::CType;
+using arch::StructSpec;
+
+StructSpec particle_spec() {
+  StructSpec s;
+  s.name = "particle";
+  s.fields = {
+      {.name = "id", .type = CType::kInt},
+      {.name = "mass", .type = CType::kDouble},
+      {.name = "vel", .type = CType::kFloat, .array_elems = 3},
+      {.name = "tag", .type = CType::kChar, .array_elems = 8},
+  };
+  return s;
+}
+
+Record particle_record() {
+  Record r;
+  r.set("id", Value(7));
+  r.set("mass", Value(1.25));
+  r.set("vel", Value(Value::List{Value(1.5), Value(-2.0), Value(0.25)}));
+  r.set("tag", Value("ion"));
+  return r;
+}
+
+TEST(Materialize, RoundTripHostAbi) {
+  const auto f = arch::layout_format(particle_spec(), arch::abi_x86_64());
+  const auto bytes = materialize(f, particle_record());
+  EXPECT_EQ(bytes.size(), f.fixed_size);
+  auto back = read_record(f, bytes);
+  ASSERT_TRUE(back.is_ok()) << back.status().to_string();
+  EXPECT_TRUE(equivalent(back.value(), particle_record()));
+}
+
+TEST(Materialize, HostImageMatchesRealStruct) {
+  // The byte image for the host ABI must equal the compiler's own struct:
+  // that is the "natural data representation" the paper transmits.
+  struct Particle {
+    int id;
+    double mass;
+    float vel[3];
+    char tag[8];
+  };
+  Particle p{7, 1.25, {1.5f, -2.0f, 0.25f}, "ion"};
+  const auto f = arch::layout_format(particle_spec(), arch::abi_x86_64());
+  const auto bytes = materialize(f, particle_record());
+  ASSERT_EQ(bytes.size(), sizeof(Particle));
+  // Compare field regions (padding bytes are unspecified in the real
+  // struct, so compare slots, not the whole image).
+  for (const auto& fd : f.fields) {
+    EXPECT_EQ(std::memcmp(bytes.data() + fd.offset,
+                          reinterpret_cast<const std::uint8_t*>(&p) + fd.offset,
+                          fd.slot_size),
+              0)
+        << "field " << fd.name;
+  }
+}
+
+TEST(Materialize, BigEndianImageDiffersOnlyInByteOrder) {
+  const auto le = arch::layout_format(particle_spec(), arch::abi_x86_64());
+  const auto be = arch::layout_format(particle_spec(), arch::abi_sparc_v9());
+  ASSERT_EQ(le.fixed_size, be.fixed_size);  // same sizes, different order
+  const auto lb = materialize(le, particle_record());
+  const auto bb = materialize(be, particle_record());
+  EXPECT_NE(lb, bb);
+  // id occupies 4 bytes at offset 0 with mirrored bytes.
+  EXPECT_EQ(lb[0], bb[3]);
+  EXPECT_EQ(lb[3], bb[0]);
+  auto back = read_record(be, bb);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_TRUE(equivalent(back.value(), particle_record()));
+}
+
+TEST(Materialize, MissingFieldsAreZero) {
+  const auto f = arch::layout_format(particle_spec(), arch::abi_x86_64());
+  Record r;
+  r.set("id", Value(1));  // everything else omitted
+  const auto bytes = materialize(f, r);
+  auto back = read_record(f, bytes);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().find("mass")->as_double(), 0.0);
+  EXPECT_EQ(back.value().find("tag")->as_string(), "");
+}
+
+TEST(Materialize, StringsAppendAfterFixedPart) {
+  StructSpec s;
+  s.name = "msg";
+  s.fields = {{.name = "id", .type = CType::kInt},
+              {.name = "text", .type = CType::kString}};
+  const auto f = arch::layout_format(s, arch::abi_x86_64());
+  Record r;
+  r.set("id", Value(5));
+  r.set("text", Value("hello wire"));
+  const auto bytes = materialize(f, r);
+  EXPECT_GT(bytes.size(), f.fixed_size);
+  // The slot holds a record-relative offset pointing at the NUL-terminated
+  // string.
+  const auto off = load_uint(bytes.data() + f.find_field("text")->offset, 8,
+                             ByteOrder::kLittle);
+  ASSERT_LT(off, bytes.size());
+  EXPECT_STREQ(reinterpret_cast<const char*>(bytes.data() + off),
+               "hello wire");
+  auto back = read_record(f, bytes);
+  ASSERT_TRUE(back.is_ok());
+  EXPECT_EQ(back.value().find("text")->as_string(), "hello wire");
+}
+
+TEST(Materialize, VarArrayCountMismatchThrows) {
+  StructSpec s;
+  s.name = "mesh";
+  s.fields = {{.name = "n", .type = CType::kUInt},
+              {.name = "vals", .type = CType::kDouble, .var_dim_field = "n"}};
+  const auto f = arch::layout_format(s, arch::abi_x86_64());
+  Record r;
+  r.set("n", Value(std::uint64_t{3}));
+  r.set("vals", Value(Value::List{Value(1.0)}));  // says 3, has 1
+  EXPECT_THROW(materialize(f, r), PbioError);
+}
+
+TEST(Materialize, VarArrayRoundTrip) {
+  StructSpec s;
+  s.name = "mesh";
+  s.fields = {{.name = "n", .type = CType::kUInt},
+              {.name = "vals", .type = CType::kDouble, .var_dim_field = "n"}};
+  for (const auto* abi : arch::all_abis()) {
+    const auto f = arch::layout_format(s, *abi);
+    Record r;
+    r.set("n", Value(std::uint64_t{4}));
+    r.set("vals", Value(Value::List{Value(1.0), Value(2.5), Value(-3.0),
+                                    Value(4.75)}));
+    const auto bytes = materialize(f, r);
+    auto back = read_record(f, bytes);
+    ASSERT_TRUE(back.is_ok()) << abi->name << ": " << back.status().to_string();
+    EXPECT_TRUE(equivalent(back.value(), r)) << abi->name;
+  }
+}
+
+TEST(ReadRecord, TruncatedImageFails) {
+  const auto f = arch::layout_format(particle_spec(), arch::abi_x86_64());
+  const auto bytes = materialize(f, particle_record());
+  auto r = read_record(f, std::span(bytes.data(), bytes.size() - 1));
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), Errc::kTruncated);
+}
+
+TEST(ReadRecord, OutOfRangeStringOffsetFails) {
+  StructSpec s;
+  s.name = "msg";
+  s.fields = {{.name = "id", .type = CType::kInt},
+              {.name = "text", .type = CType::kString}};
+  const auto f = arch::layout_format(s, arch::abi_x86_64());
+  std::vector<std::uint8_t> bytes(f.fixed_size, 0);
+  store_uint(bytes.data() + f.find_field("text")->offset, 9999, 8,
+             ByteOrder::kLittle);
+  auto r = read_record(f, bytes);
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), Errc::kMalformed);
+}
+
+TEST(MaterializeProperty, RandomSpecsRoundTripOnEveryAbi) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 40; ++i) {
+    const auto spec = random_spec(rng);
+    const Record rec = random_record(spec, rng);
+    for (const auto* abi : arch::all_abis()) {
+      const auto f = arch::layout_format(spec, *abi);
+      const auto bytes = materialize(f, rec);
+      auto back = read_record(f, bytes);
+      ASSERT_TRUE(back.is_ok())
+          << "iter " << i << " abi " << abi->name << ": "
+          << back.status().to_string();
+      EXPECT_TRUE(equivalent(back.value(), rec))
+          << "iter " << i << " abi " << abi->name << "\n want "
+          << Value(rec).to_string() << "\n got "
+          << Value(back.value()).to_string();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pbio::value

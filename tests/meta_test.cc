@@ -1,0 +1,115 @@
+#include "fmt/meta.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/layout.h"
+#include "value/random.h"
+
+namespace pbio::fmt {
+namespace {
+
+FormatDesc sample() {
+  FormatDesc f;
+  f.name = "sample";
+  f.fixed_size = 24;
+  f.byte_order = ByteOrder::kBig;
+  f.pointer_size = 4;
+  f.arch_name = "sparc_v8";
+  f.fields = {
+      {.name = "count", .base = BaseType::kUInt, .elem_size = 4, .offset = 0,
+       .slot_size = 4},
+      {.name = "vals", .base = BaseType::kFloat, .elem_size = 8,
+       .var_dim_field = "count", .offset = 4, .slot_size = 4},
+      {.name = "tag", .base = BaseType::kChar, .elem_size = 1,
+       .static_elems = 8, .offset = 8, .slot_size = 8},
+      {.name = "label", .base = BaseType::kString, .elem_size = 1,
+       .offset = 16, .slot_size = 4},
+  };
+  f.validate();
+  return f;
+}
+
+TEST(Meta, RoundTripPreservesEverything) {
+  const auto original = sample();
+  const auto bytes = encode_meta(original);
+  auto decoded = decode_meta(bytes);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value(), original);
+}
+
+TEST(Meta, RoundTripWithSubformats) {
+  arch::StructSpec point;
+  point.name = "point";
+  point.fields = {{.name = "x", .type = arch::CType::kDouble},
+                  {.name = "y", .type = arch::CType::kDouble}};
+  arch::StructSpec top;
+  top.name = "top";
+  top.fields = {{.name = "id", .type = arch::CType::kInt},
+                {.name = "p", .array_elems = 2, .subformat = "point"}};
+  top.subs = {point};
+  const auto original = arch::layout_format(top, arch::abi_sparc_v9());
+  auto decoded = decode_meta(encode_meta(original));
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value(), original);
+}
+
+TEST(Meta, EmptyInputFails) {
+  auto r = decode_meta({});
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), Errc::kMalformed);
+}
+
+TEST(Meta, BadVersionFails) {
+  auto bytes = encode_meta(sample());
+  bytes[0] = 99;
+  EXPECT_FALSE(decode_meta(bytes).is_ok());
+}
+
+TEST(Meta, EveryTruncationFailsCleanly) {
+  // Chop the encoding at every length; none may crash, all must fail
+  // (a truncated prefix cannot be a valid complete encoding).
+  const auto bytes = encode_meta(sample());
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    auto r = decode_meta(std::span(bytes.data(), n));
+    EXPECT_FALSE(r.is_ok()) << "truncation at " << n << " decoded";
+  }
+}
+
+TEST(Meta, CorruptedFieldCountFails) {
+  auto bytes = encode_meta(sample());
+  // Flip high bits somewhere in the middle; decode must either fail or
+  // produce a format that still validates (decode_meta validates).
+  for (std::size_t i = 1; i < bytes.size(); i += 7) {
+    auto copy = bytes;
+    copy[i] ^= 0xFF;
+    auto r = decode_meta(copy);
+    if (r.is_ok()) {
+      EXPECT_NO_THROW(r.value().validate());
+    }
+  }
+}
+
+TEST(Meta, FingerprintMatchesAcrossEncodeDecode) {
+  const auto original = sample();
+  auto decoded = decode_meta(encode_meta(original));
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().fingerprint(), original.fingerprint());
+}
+
+TEST(Meta, RandomSpecsRoundTrip) {
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 50; ++i) {
+    const auto spec = value::random_spec(rng);
+    for (const auto* abi : arch::all_abis()) {
+      const auto original = arch::layout_format(spec, *abi);
+      auto decoded = decode_meta(encode_meta(original));
+      ASSERT_TRUE(decoded.is_ok())
+          << "iter " << i << " abi " << abi->name << ": "
+          << decoded.status().to_string();
+      EXPECT_EQ(decoded.value(), original);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pbio::fmt

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "util/hash.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace pbio {
+namespace {
+
+TEST(Hash, Deterministic) {
+  EXPECT_EQ(fnv1a("pbio"), fnv1a("pbio"));
+  EXPECT_NE(fnv1a("pbio"), fnv1a("pbiq"));
+  EXPECT_NE(fnv1a(""), 0u);  // offset basis, not zero
+}
+
+TEST(Hash, StringAndBytesAgree) {
+  const char data[] = {'a', 'b', 'c'};
+  EXPECT_EQ(fnv1a(data, 3), fnv1a(std::string_view("abc")));
+}
+
+TEST(Hash, MixChangesValue) {
+  const std::uint64_t h = fnv1a("seed");
+  EXPECT_NE(fnv1a_mix(h, 1), fnv1a_mix(h, 2));
+  EXPECT_EQ(fnv1a_mix(h, 7), fnv1a_mix(h, 7));
+}
+
+TEST(Hash, OrderSensitive) {
+  EXPECT_NE(fnv1a("ab"), fnv1a("ba"));
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  volatile double x = 1.0;
+  for (int i = 0; i < 100000; ++i) x = x * 1.0000001;
+  EXPECT_GT(sw.elapsed_ns(), 0u);
+  EXPECT_GT(sw.elapsed_us(), 0.0);
+  const auto before = sw.elapsed_ns();
+  sw.reset();
+  EXPECT_LE(sw.elapsed_ns(), before + 1000000);
+}
+
+TEST(Stopwatch, TimeOperationProducesStats) {
+  const auto r = time_operation([] {
+    volatile int x = 0;
+    for (int i = 0; i < 1000; ++i) x = x + i;
+  }, /*min_iters=*/8, /*min_total_ns=*/100000);
+  EXPECT_GE(r.iterations, 8u);
+  EXPECT_GT(r.median_ns, 0.0);
+  EXPECT_LE(r.min_ns, r.median_ns);
+  EXPECT_GT(r.mean_ns, 0.0);
+  EXPECT_EQ(r.median_us(), r.median_ns / 1e3);
+  EXPECT_EQ(r.median_ms(), r.median_ns / 1e6);
+}
+
+TEST(Logging, ThresholdReflectsEnvironment) {
+  // PBIO_LOG unset in the test environment -> logging disabled.
+  if (std::getenv("PBIO_LOG") == nullptr) {
+    EXPECT_EQ(log_threshold(), LogLevel::kOff);
+  }
+  // Emitting below threshold must be harmless (and cheap).
+  log_debug() << "invisible " << 42;
+  log_info() << "also invisible";
+  log_warn() << "still invisible";
+}
+
+TEST(Logging, EmitDoesNotCrash) {
+  log_emit(LogLevel::kWarn, "direct emission test line");
+}
+
+}  // namespace
+}  // namespace pbio

@@ -1,0 +1,258 @@
+#include "baselines/mpilite/comm.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/layout.h"
+#include "transport/loopback.h"
+
+namespace pbio::mpilite {
+namespace {
+
+using arch::abi_host;
+using arch::abi_sparc_v8;
+using arch::abi_x86_64;
+
+TEST(Datatype, BasicSizes) {
+  const auto d = Datatype::basic(Basic::kDouble, abi_host());
+  EXPECT_EQ(d.extent(), 8u);
+  EXPECT_EQ(d.packed_size(), 8u);
+  EXPECT_EQ(d.element_count(), 1u);
+  const auto l32 = Datatype::basic(Basic::kLong, abi_sparc_v8());
+  EXPECT_EQ(l32.extent(), 4u);
+  EXPECT_EQ(l32.packed_size(), 4u);  // external32 long = 4
+  const auto l64 = Datatype::basic(Basic::kLong, abi_x86_64());
+  EXPECT_EQ(l64.extent(), 8u);
+  EXPECT_EQ(l64.packed_size(), 4u);
+}
+
+TEST(Datatype, ContiguousFlattens) {
+  const auto d =
+      Datatype::contiguous(5, Datatype::basic(Basic::kInt, abi_host()));
+  EXPECT_EQ(d.element_count(), 5u);
+  EXPECT_EQ(d.extent(), 20u);
+  EXPECT_EQ(d.typemap()[3].offset, 12u);
+}
+
+TEST(Datatype, VectorStrides) {
+  // 3 blocks of 2 ints, stride 4 ints.
+  const auto d = Datatype::vector(3, 2, 4,
+                                  Datatype::basic(Basic::kInt, abi_host()));
+  EXPECT_EQ(d.element_count(), 6u);
+  EXPECT_EQ(d.typemap()[0].offset, 0u);
+  EXPECT_EQ(d.typemap()[1].offset, 4u);
+  EXPECT_EQ(d.typemap()[2].offset, 16u);
+  EXPECT_EQ(d.packed_size(), 24u);
+}
+
+struct Mixed {
+  int i;
+  double d;
+  float f[3];
+  char c[4];
+};
+
+Datatype mixed_type(const arch::Abi& abi) {
+  const auto t_int = Datatype::basic(Basic::kInt, abi);
+  const auto t_double = Datatype::basic(Basic::kDouble, abi);
+  const auto t_float = Datatype::basic(Basic::kFloat, abi);
+  const auto t_char = Datatype::basic(Basic::kChar, abi);
+  // Displacements computed for the host struct; identical on the modelled
+  // natural-alignment 64-bit ABIs.
+  return Datatype::create_struct(
+      {{1, offsetof(Mixed, i), &t_int},
+       {1, offsetof(Mixed, d), &t_double},
+       {3, offsetof(Mixed, f), &t_float},
+       {4, offsetof(Mixed, c), &t_char}},
+      sizeof(Mixed));
+}
+
+TEST(Datatype, HvectorUsesByteStride) {
+  // 3 blocks of 1 int, 16 bytes apart (e.g. every 4th int of a matrix row).
+  const auto d = Datatype::hvector(3, 1, 16,
+                                   Datatype::basic(Basic::kInt, abi_host()));
+  ASSERT_EQ(d.element_count(), 3u);
+  EXPECT_EQ(d.typemap()[0].offset, 0u);
+  EXPECT_EQ(d.typemap()[1].offset, 16u);
+  EXPECT_EQ(d.typemap()[2].offset, 32u);
+  EXPECT_EQ(d.extent(), 36u);
+  EXPECT_EQ(d.packed_size(), 12u);
+}
+
+TEST(Datatype, IndexedBlocksAtArbitraryDisplacements) {
+  // A lower-triangular-style selection: lengths 1,2,3 at rows 0,4,8.
+  const Datatype::IndexBlock blocks[] = {{1, 0}, {2, 4}, {3, 8}};
+  const auto d = Datatype::indexed(blocks,
+                                   Datatype::basic(Basic::kDouble, abi_host()));
+  ASSERT_EQ(d.element_count(), 6u);
+  EXPECT_EQ(d.typemap()[0].offset, 0u);
+  EXPECT_EQ(d.typemap()[1].offset, 32u);
+  EXPECT_EQ(d.typemap()[2].offset, 40u);
+  EXPECT_EQ(d.typemap()[3].offset, 64u);
+  EXPECT_EQ(d.extent(), 88u);
+  EXPECT_EQ(d.packed_size(), 48u);
+}
+
+TEST(Datatype, IndexedPackGathersScatteredElements) {
+  double data[11];
+  for (int i = 0; i < 11; ++i) data[i] = i * 1.5;
+  const Datatype::IndexBlock blocks[] = {{1, 0}, {2, 4}, {3, 8}};
+  const auto d = Datatype::indexed(blocks,
+                                   Datatype::basic(Basic::kDouble, abi_host()));
+  ByteBuffer packed;
+  ASSERT_TRUE(pack(d, data, 1, packed).is_ok());
+  double out[11] = {};
+  ASSERT_TRUE(unpack(d, packed.view(), out, sizeof(out), 1).is_ok());
+  for (int i : {0, 4, 5, 8, 9, 10}) EXPECT_EQ(out[i], data[i]) << i;
+  for (int i : {1, 2, 3, 6, 7}) EXPECT_EQ(out[i], 0.0) << i;
+}
+
+TEST(Datatype, ResizedChangesExtentOnly) {
+  const auto base = Datatype::basic(Basic::kInt, abi_host());
+  const auto r = Datatype::resized(base, 32);
+  EXPECT_EQ(r.extent(), 32u);
+  EXPECT_EQ(r.packed_size(), base.packed_size());
+  // count=2 packs elements 32 bytes apart.
+  std::uint8_t data[64] = {};
+  store_uint(data, 7, 4, ByteOrder::kLittle);
+  store_uint(data + 32, 9, 4, ByteOrder::kLittle);
+  ByteBuffer packed;
+  ASSERT_TRUE(pack(r, data, 2, packed).is_ok());
+  EXPECT_EQ(packed.size(), 8u);
+  std::uint8_t out[64] = {};
+  ASSERT_TRUE(unpack(r, packed.view(), out, sizeof(out), 2).is_ok());
+  EXPECT_EQ(load_uint(out, 4, ByteOrder::kLittle), 7u);
+  EXPECT_EQ(load_uint(out + 32, 4, ByteOrder::kLittle), 9u);
+}
+
+TEST(Pack, RoundTripHost) {
+  const auto t = mixed_type(abi_host());
+  Mixed in{42, 2.5, {1.f, 2.f, 3.f}, "ab"};
+  ByteBuffer packed;
+  ASSERT_TRUE(pack(t, &in, 1, packed).is_ok());
+  EXPECT_EQ(packed.size(), t.packed_size());
+  Mixed out{};
+  ASSERT_TRUE(unpack(t, packed.view(), &out, sizeof(out), 1).is_ok());
+  EXPECT_EQ(out.i, 42);
+  EXPECT_EQ(out.d, 2.5);
+  EXPECT_EQ(out.f[2], 3.f);
+  EXPECT_STREQ(out.c, "ab");
+}
+
+TEST(Pack, CanonicalFormIsBigEndianPacked) {
+  const auto t = Datatype::basic(Basic::kInt, abi_host());
+  int v = 0x01020304;
+  ByteBuffer packed;
+  ASSERT_TRUE(pack(t, &v, 1, packed).is_ok());
+  ASSERT_EQ(packed.size(), 4u);
+  EXPECT_EQ(packed.data()[0], 0x01);  // big-endian on the wire
+  EXPECT_EQ(packed.data()[3], 0x04);
+}
+
+TEST(Pack, PackedSizeSmallerThanNativeWithPadding) {
+  // Canonical form has no alignment gaps: packed < sizeof(struct).
+  const auto t = mixed_type(abi_host());
+  EXPECT_LT(t.packed_size(), sizeof(Mixed));
+}
+
+TEST(Pack, CountGreaterThanOne) {
+  const auto t = mixed_type(abi_host());
+  Mixed in[3];
+  for (int i = 0; i < 3; ++i) in[i] = {i, i * 0.5, {0, 0, 0}, "x"};
+  ByteBuffer packed;
+  ASSERT_TRUE(pack(t, in, 3, packed).is_ok());
+  Mixed out[3];
+  ASSERT_TRUE(unpack(t, packed.view(), out, sizeof(out), 3).is_ok());
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(out[i].i, i);
+    EXPECT_EQ(out[i].d, i * 0.5);
+  }
+}
+
+TEST(Pack, TruncatedBufferRejected) {
+  const auto t = mixed_type(abi_host());
+  Mixed in{};
+  ByteBuffer packed;
+  ASSERT_TRUE(pack(t, &in, 1, packed).is_ok());
+  Mixed out{};
+  auto st = unpack(t, std::span(packed.data(), packed.size() - 1), &out,
+                   sizeof(out), 1);
+  EXPECT_EQ(st.code(), Errc::kTruncated);
+}
+
+TEST(Pack, SmallOutputRejected) {
+  const auto t = mixed_type(abi_host());
+  Mixed in{};
+  ByteBuffer packed;
+  ASSERT_TRUE(pack(t, &in, 1, packed).is_ok());
+  char small[4];
+  EXPECT_EQ(unpack(t, packed.view(), small, sizeof(small), 1).code(),
+            Errc::kTruncated);
+}
+
+TEST(Pack, CrossAbiExchangeThroughCanonical) {
+  // "sparc" packs from a big-endian image; host unpacks to little-endian.
+  arch::StructSpec spec;
+  spec.name = "pair";
+  spec.fields = {{.name = "a", .type = arch::CType::kInt},
+                 {.name = "b", .type = arch::CType::kDouble}};
+  const auto sparc_fmt = arch::layout_format(spec, abi_sparc_v8());
+
+  // Build the sparc-native image by hand: int 7 then double 1.5, BE.
+  std::vector<std::uint8_t> sparc_img(sparc_fmt.fixed_size, 0);
+  store_uint(sparc_img.data() + sparc_fmt.find_field("a")->offset, 7, 4,
+             ByteOrder::kBig);
+  store_float(sparc_img.data() + sparc_fmt.find_field("b")->offset, 1.5, 8,
+              ByteOrder::kBig);
+
+  const auto t_int_s = Datatype::basic(Basic::kInt, abi_sparc_v8());
+  const auto t_dbl_s = Datatype::basic(Basic::kDouble, abi_sparc_v8());
+  const auto sparc_type = Datatype::create_struct(
+      {{1, sparc_fmt.find_field("a")->offset, &t_int_s},
+       {1, sparc_fmt.find_field("b")->offset, &t_dbl_s}},
+      sparc_fmt.fixed_size);
+
+  ByteBuffer packed;
+  ASSERT_TRUE(pack(sparc_type, sparc_img.data(), 1, packed).is_ok());
+
+  struct Pair {
+    int a;
+    double b;
+  };
+  const auto t_int_h = Datatype::basic(Basic::kInt, abi_host());
+  const auto t_dbl_h = Datatype::basic(Basic::kDouble, abi_host());
+  const auto host_type = Datatype::create_struct(
+      {{1, offsetof(Pair, a), &t_int_h}, {1, offsetof(Pair, b), &t_dbl_h}},
+      sizeof(Pair));
+  Pair out{};
+  ASSERT_TRUE(unpack(host_type, packed.view(), &out, sizeof(out), 1).is_ok());
+  EXPECT_EQ(out.a, 7);
+  EXPECT_EQ(out.b, 1.5);
+}
+
+TEST(Comm, SendRecvOverLoopback) {
+  auto [a, b] = transport::make_loopback_pair();
+  Comm sender(*a);
+  Comm receiver(*b);
+  const auto t = mixed_type(abi_host());
+  Mixed in{5, -1.25, {9.f, 8.f, 7.f}, "zz"};
+  ASSERT_TRUE(sender.send(t, &in, 1, /*tag=*/3).is_ok());
+  Mixed out{};
+  ASSERT_TRUE(receiver.recv(t, &out, sizeof(out), 1, 3).is_ok());
+  EXPECT_EQ(out.i, 5);
+  EXPECT_EQ(out.f[0], 9.f);
+}
+
+TEST(Comm, TagMismatchFails) {
+  auto [a, b] = transport::make_loopback_pair();
+  Comm sender(*a);
+  Comm receiver(*b);
+  const auto t = Datatype::basic(Basic::kInt, abi_host());
+  int v = 1;
+  ASSERT_TRUE(sender.send(t, &v, 1, 1).is_ok());
+  int out = 0;
+  EXPECT_EQ(receiver.recv(t, &out, sizeof(out), 1, 2).code(),
+            Errc::kTypeMismatch);
+}
+
+}  // namespace
+}  // namespace pbio::mpilite

@@ -1,0 +1,125 @@
+#include "pbio/native.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/layout.h"
+
+namespace pbio {
+namespace {
+
+struct Plain {
+  int a;
+  double b;
+  float c[3];
+  char d[8];
+};
+
+TEST(NativeFormat, BuildsValidatedDescription) {
+  const NativeField fields[] = {
+      PBIO_FIELD(Plain, a, arch::CType::kInt),
+      PBIO_FIELD(Plain, b, arch::CType::kDouble),
+      PBIO_ARRAY(Plain, c, arch::CType::kFloat, 3),
+      PBIO_ARRAY(Plain, d, arch::CType::kChar, 8),
+  };
+  const auto f = native_format("plain", fields, sizeof(Plain));
+  EXPECT_EQ(f.name, "plain");
+  EXPECT_EQ(f.fixed_size, sizeof(Plain));
+  EXPECT_EQ(f.byte_order, host_byte_order());
+  EXPECT_EQ(f.pointer_size, sizeof(void*));
+  EXPECT_EQ(f.find_field("a")->offset, offsetof(Plain, a));
+  EXPECT_EQ(f.find_field("b")->elem_size, 8u);
+  EXPECT_EQ(f.find_field("c")->static_elems, 3u);
+  EXPECT_EQ(f.find_field("d")->base, fmt::BaseType::kChar);
+}
+
+TEST(NativeFormat, AgreesWithLayoutEngine) {
+  // The offsetof-based description and the layout engine's x86-64 model
+  // must produce the same wire-relevant content (hence equal fingerprints
+  // up to the arch label).
+  const NativeField fields[] = {
+      PBIO_FIELD(Plain, a, arch::CType::kInt),
+      PBIO_FIELD(Plain, b, arch::CType::kDouble),
+      PBIO_ARRAY(Plain, c, arch::CType::kFloat, 3),
+      PBIO_ARRAY(Plain, d, arch::CType::kChar, 8),
+  };
+  const auto from_offsets = native_format("plain", fields, sizeof(Plain));
+
+  arch::StructSpec spec;
+  spec.name = "plain";
+  spec.fields = {
+      {.name = "a", .type = arch::CType::kInt},
+      {.name = "b", .type = arch::CType::kDouble},
+      {.name = "c", .type = arch::CType::kFloat, .array_elems = 3},
+      {.name = "d", .type = arch::CType::kChar, .array_elems = 8},
+  };
+  const auto from_engine = arch::layout_format(spec, arch::abi_x86_64());
+  ASSERT_EQ(from_offsets.fields.size(), from_engine.fields.size());
+  for (std::size_t i = 0; i < from_offsets.fields.size(); ++i) {
+    EXPECT_EQ(from_offsets.fields[i], from_engine.fields[i]) << i;
+  }
+  EXPECT_EQ(from_offsets.fixed_size, from_engine.fixed_size);
+}
+
+struct WithPointers {
+  unsigned n;
+  char* name;
+  double* vals;
+};
+
+TEST(NativeFormat, StringAndVarArrayMacros) {
+  const NativeField fields[] = {
+      PBIO_FIELD(WithPointers, n, arch::CType::kUInt),
+      PBIO_STRING(WithPointers, name),
+      PBIO_VARARRAY(WithPointers, vals, arch::CType::kDouble, "n"),
+  };
+  const auto f = native_format("wp", fields, sizeof(WithPointers));
+  EXPECT_EQ(f.find_field("name")->base, fmt::BaseType::kString);
+  EXPECT_EQ(f.find_field("name")->slot_size, sizeof(void*));
+  EXPECT_EQ(f.find_field("vals")->var_dim_field, "n");
+  EXPECT_EQ(f.find_field("vals")->elem_size, 8u);
+  EXPECT_FALSE(f.is_fixed_layout());
+}
+
+struct Inner {
+  double x, y;
+};
+struct Outer {
+  int id;
+  Inner points[2];
+};
+
+TEST(NativeFormat, SubstructMacros) {
+  const NativeField inner_fields[] = {
+      PBIO_FIELD(Inner, x, arch::CType::kDouble),
+      PBIO_FIELD(Inner, y, arch::CType::kDouble),
+  };
+  const auto inner = native_format("inner", inner_fields, sizeof(Inner));
+  const NativeField outer_fields[] = {
+      PBIO_FIELD(Outer, id, arch::CType::kInt),
+      PBIO_SUBSTRUCT_ARRAY(Outer, points, "inner", 2),
+  };
+  const fmt::FormatDesc subs[] = {inner};
+  const auto outer = native_format("outer", outer_fields, sizeof(Outer), subs);
+  EXPECT_EQ(outer.find_field("points")->base, fmt::BaseType::kStruct);
+  EXPECT_EQ(outer.find_field("points")->elem_size, sizeof(Inner));
+  EXPECT_EQ(outer.find_field("points")->static_elems, 2u);
+  ASSERT_NE(outer.find_subformat("inner"), nullptr);
+}
+
+TEST(NativeFormat, UnknownSubformatThrows) {
+  const NativeField fields[] = {
+      PBIO_SUBSTRUCT(Outer, points, "ghost"),
+  };
+  EXPECT_THROW(native_format("bad", fields, sizeof(Outer)), PbioError);
+}
+
+TEST(NativeFormat, MalformedFieldsRejectedByValidation) {
+  // Offset beyond the struct size must fail validation.
+  const NativeField fields[] = {
+      {"a", arch::CType::kDouble, 100, 1, nullptr, nullptr},
+  };
+  EXPECT_THROW(native_format("bad", fields, 16), PbioError);
+}
+
+}  // namespace
+}  // namespace pbio

@@ -1,0 +1,212 @@
+// Full-stack integration: random formats and values through the complete
+// pipeline (Writer -> channel -> Reader -> decode/reflect), multiple
+// formats interleaved on one channel, foreign-ABI senders, and concurrent
+// use of a shared Context.
+#include <gtest/gtest.h>
+
+#include <random>
+#include <thread>
+
+#include "pbio/pbio.h"
+#include "value/materialize.h"
+#include "value/random.h"
+
+namespace pbio {
+namespace {
+
+TEST(Integration, RandomForeignSendersReflectLosslessly) {
+  // Any record from any modelled architecture must be reflectable on the
+  // receiver with full fidelity — no native format registered at all.
+  std::mt19937_64 rng(101);
+  for (int iter = 0; iter < 30; ++iter) {
+    Context ctx;
+    auto [wch, rch] = transport::make_loopback_pair();
+    const auto spec = value::random_spec(rng);
+    const auto* abi = arch::all_abis()[rng() % arch::all_abis().size()];
+    const auto fmt = arch::layout_format(spec, *abi);
+    const auto id = ctx.register_format(fmt);
+    const auto rec = value::random_record(spec, rng);
+    const auto image = value::materialize(fmt, rec);
+
+    Writer w(ctx, *wch);
+    ASSERT_TRUE(w.write_image(id, image).is_ok());
+    Reader r(ctx, *rch);
+    auto msg = r.next();
+    ASSERT_TRUE(msg.is_ok()) << iter;
+    EXPECT_EQ(msg.value().wire_format().arch_name, abi->name);
+    auto back = msg.value().reflect();
+    ASSERT_TRUE(back.is_ok()) << iter;
+    EXPECT_TRUE(value::equivalent(back.value(), rec))
+        << iter << " abi " << abi->name;
+  }
+}
+
+TEST(Integration, InterleavedFormatsOnOneChannel) {
+  struct A {
+    int x;
+  };
+  struct B {
+    double y[4];
+  };
+  const NativeField a_fields[] = {PBIO_FIELD(A, x, arch::CType::kInt)};
+  const NativeField b_fields[] = {
+      PBIO_ARRAY(B, y, arch::CType::kDouble, 4)};
+  Context ctx;
+  const auto a_id = ctx.register_format(native_format("A", a_fields,
+                                                      sizeof(A)));
+  const auto b_id = ctx.register_format(native_format("B", b_fields,
+                                                      sizeof(B)));
+  auto [wch, rch] = transport::make_loopback_pair();
+  Writer w(ctx, *wch);
+  for (int i = 0; i < 50; ++i) {
+    if (i % 2 == 0) {
+      A a{i};
+      ASSERT_TRUE(w.write(a_id, &a).is_ok());
+    } else {
+      B b{{i + 0.5, 0, 0, 0}};
+      ASSERT_TRUE(w.write(b_id, &b).is_ok());
+    }
+  }
+  Reader r(ctx, *rch);
+  r.expect(a_id);
+  r.expect(b_id);
+  for (int i = 0; i < 50; ++i) {
+    auto msg = r.next();
+    ASSERT_TRUE(msg.is_ok()) << i;
+    if (i % 2 == 0) {
+      ASSERT_EQ(msg.value().format_name(), "A");
+      EXPECT_EQ(msg.value().view<A>().value()->x, i);
+    } else {
+      ASSERT_EQ(msg.value().format_name(), "B");
+      EXPECT_EQ(msg.value().view<B>().value()->y[0], i + 0.5);
+    }
+  }
+  EXPECT_EQ(r.formats_learned(), 2u);
+}
+
+TEST(Integration, ManyReadersShareOneContextConcurrently) {
+  // The Context (registry + conversion cache) is shared process state;
+  // concurrent readers on different channels must be safe.
+  struct S {
+    int a;
+    double b[8];
+  };
+  const NativeField fields[] = {
+      PBIO_FIELD(S, a, arch::CType::kInt),
+      PBIO_ARRAY(S, b, arch::CType::kDouble, 8),
+  };
+  Context ctx;
+  const auto id = ctx.register_format(native_format("s", fields, sizeof(S)));
+
+  constexpr int kThreads = 8;
+  constexpr int kRecords = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ctx, id, t] {
+      auto [wch, rch] = transport::make_loopback_pair();
+      Writer w(ctx, *wch);
+      Reader r(ctx, *rch);
+      r.expect(id);
+      for (int i = 0; i < kRecords; ++i) {
+        S rec{t * 1000 + i, {}};
+        ASSERT_TRUE(w.write(id, &rec).is_ok());
+        auto msg = r.next();
+        ASSERT_TRUE(msg.is_ok());
+        EXPECT_EQ(msg.value().view<S>().value()->a, t * 1000 + i);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  // One conversion for the single (wire, native) pair despite 8 threads.
+  EXPECT_EQ(ctx.stats().conversions_compiled, 1u);
+}
+
+TEST(Integration, ForeignSendersDecodeToNativeStructsOverSockets) {
+  struct Reading {
+    int id;
+    double vals[4];
+  };
+  const NativeField fields[] = {
+      PBIO_FIELD(Reading, id, arch::CType::kInt),
+      PBIO_ARRAY(Reading, vals, arch::CType::kDouble, 4),
+  };
+  arch::StructSpec spec;
+  spec.name = "reading";
+  spec.fields = {{.name = "id", .type = arch::CType::kInt},
+                 {.name = "vals", .type = arch::CType::kDouble,
+                  .array_elems = 4}};
+
+  Context ctx;
+  const auto native_id =
+      ctx.register_format(native_format("reading", fields, sizeof(Reading)));
+
+  transport::SocketListener listener;
+  std::thread sender([&ctx, &spec, port = listener.port()] {
+    auto ch = transport::socket_connect(port);
+    ASSERT_TRUE(ch.is_ok());
+    Writer w(ctx, *ch.value());
+    // Alternate between two simulated senders on the same socket.
+    for (const auto* abi : {&arch::abi_sparc_v9(), &arch::abi_mips_be()}) {
+      const auto fmt = arch::layout_format(spec, *abi);
+      const auto id = ctx.register_format(fmt);
+      for (int i = 0; i < 20; ++i) {
+        value::Record rec;
+        rec.set("id", value::Value(i));
+        rec.set("vals",
+                value::Value(value::Value::List{
+                    value::Value(i + 0.25), value::Value(i + 0.5),
+                    value::Value(i + 0.75), value::Value(i + 1.0)}));
+        const auto image = value::materialize(fmt, rec);
+        ASSERT_TRUE(w.write_image(id, image).is_ok());
+      }
+    }
+  });
+
+  auto ch = listener.accept();
+  ASSERT_TRUE(ch.is_ok());
+  Reader r(ctx, *ch.value());
+  r.expect(native_id);
+  for (int n = 0; n < 40; ++n) {
+    auto msg = r.next();
+    ASSERT_TRUE(msg.is_ok()) << n;
+    Reading out{};
+    ASSERT_TRUE(msg.value().decode_into(&out, sizeof(out)).is_ok()) << n;
+    EXPECT_EQ(out.id, n % 20);
+    EXPECT_EQ(out.vals[0], (n % 20) + 0.25);
+  }
+  sender.join();
+  // Two distinct wire formats -> two compiled conversions.
+  EXPECT_EQ(ctx.stats().conversions_compiled, 2u);
+}
+
+TEST(Integration, MessageOutlivesReaderAndChannel) {
+  // A Message owns its buffer: using it after the reader/channel are gone
+  // must be safe (zero-copy views point into the message's own storage).
+  struct S {
+    int a;
+    char t[8];
+  };
+  const NativeField fields[] = {
+      PBIO_FIELD(S, a, arch::CType::kInt),
+      PBIO_ARRAY(S, t, arch::CType::kChar, 8),
+  };
+  Context ctx;
+  const auto id = ctx.register_format(native_format("s", fields, sizeof(S)));
+  Message msg;
+  {
+    auto [wch, rch] = transport::make_loopback_pair();
+    Writer w(ctx, *wch);
+    S rec{77, "alive"};
+    ASSERT_TRUE(w.write(id, &rec).is_ok());
+    Reader r(ctx, *rch);
+    r.expect(id);
+    msg = std::move(r.next()).take();
+  }
+  auto view = msg.view<S>();
+  ASSERT_TRUE(view.is_ok());
+  EXPECT_EQ(view.value()->a, 77);
+  EXPECT_STREQ(view.value()->t, "alive");
+}
+
+}  // namespace
+}  // namespace pbio

@@ -1,0 +1,115 @@
+// Gross performance invariants — the orderings the paper's figures rest on,
+// asserted with 10x+ slack so they catch regressions (an accidentally
+// quadratic loop, a lost zero-copy path) without flaking on noisy machines.
+#include <gtest/gtest.h>
+
+#include "baselines/mpilite/pack.h"
+#include "baselines/xmlwire/encode.h"
+#include "bench_support/harness.h"
+#include "bench_support/workload.h"
+#include "pbio/pbio.h"
+#include "vcode/jit_convert.h"
+
+namespace pbio::bench {
+namespace {
+
+TEST(PerfInvariants, PbioSendIsFlatAcrossSizes) {
+  // NDR send cost must not scale with payload (allow 20x headroom for
+  // cache effects between 100B and 100KB).
+  Context ctx;
+  NullChannel ch;
+  Writer w(ctx, ch);
+  double small_ms = 0, large_ms = 0;
+  {
+    Workload wk = make_workload(Size::k100B, arch::abi_x86_64(),
+                                arch::abi_x86_64());
+    const auto id = ctx.register_format(wk.src_fmt);
+    (void)w.announce(id);
+    small_ms = measure_ms([&] { (void)w.write_image(id, wk.src_image); });
+  }
+  {
+    Workload wk = make_workload(Size::k100KB, arch::abi_x86_64(),
+                                arch::abi_x86_64());
+    const auto id = ctx.register_format(wk.src_fmt);
+    (void)w.announce(id);
+    large_ms = measure_ms([&] { (void)w.write_image(id, wk.src_image); });
+  }
+  EXPECT_LT(large_ms, small_ms * 20.0)
+      << "send cost scales with payload: NDR fast path lost";
+}
+
+TEST(PerfInvariants, MpichEncodeScalesWithSize) {
+  // The baseline *should* pay per-element costs (that is what it models).
+  Workload small = make_workload(Size::k100B, arch::abi_sparc_v8(),
+                                 arch::abi_x86());
+  Workload large = make_workload(Size::k100KB, arch::abi_sparc_v8(),
+                                 arch::abi_x86());
+  ByteBuffer out;
+  const auto dt_small = datatype_for(small.src_fmt);
+  const auto dt_large = datatype_for(large.src_fmt);
+  const double t_small = measure_ms([&] {
+    out.clear();
+    (void)mpilite::pack(dt_small, small.src_image.data(), 1, out);
+  });
+  const double t_large = measure_ms([&] {
+    out.clear();
+    (void)mpilite::pack(dt_large, large.src_image.data(), 1, out);
+  });
+  EXPECT_GT(t_large, t_small * 20.0)
+      << "mpilite pack no longer models per-element marshalling";
+}
+
+TEST(PerfInvariants, XmlEncodeCostlierThanMpich) {
+  Workload w = make_workload(Size::k10KB, arch::abi_sparc_v8(),
+                             arch::abi_x86());
+  ByteBuffer packed;
+  const auto dt = datatype_for(w.src_fmt);
+  const double t_mpich = measure_ms([&] {
+    packed.clear();
+    (void)mpilite::pack(dt, w.src_image.data(), 1, packed);
+  });
+  std::string xml;
+  const double t_xml = measure_ms([&] {
+    xml.clear();
+    (void)xmlwire::encode_xml(w.src_fmt, w.src_image, xml);
+  });
+  EXPECT_GT(t_xml, t_mpich * 3.0) << "XML should cost well above binary";
+}
+
+TEST(PerfInvariants, DcgBeatsPerElementInterpretation) {
+  Workload w = make_workload(Size::k100KB, arch::abi_x86(),
+                             arch::abi_sparc_v8());
+  ByteBuffer packed;
+  (void)mpilite::pack(datatype_for(w.src_fmt), w.src_image.data(), 1, packed);
+  const auto dt_dst = datatype_for(w.dst_fmt);
+  std::vector<std::uint8_t> out(w.dst_fmt.fixed_size);
+  const double t_mpich = measure_ms([&] {
+    (void)mpilite::unpack(dt_dst, packed.view(), out.data(), out.size(), 1);
+  });
+  const vcode::CompiledConvert dcg(
+      convert::compile_plan(w.src_fmt, w.dst_fmt));
+  convert::ExecInput in;
+  in.src = w.src_image.data();
+  in.src_size = w.src_image.size();
+  in.dst = out.data();
+  in.dst_size = out.size();
+  const double t_dcg = measure_ms([&] { (void)dcg.run(in); });
+  EXPECT_LT(t_dcg * 2.0, t_mpich)
+      << "generated conversion no faster than per-element interpretation";
+}
+
+TEST(PerfInvariants, IdentityPlanCostsNothing) {
+  Workload w = make_workload(Size::k100KB, arch::abi_x86_64(),
+                             arch::abi_x86_64());
+  const auto plan = convert::compile_plan(w.src_fmt, w.dst_fmt);
+  ASSERT_TRUE(plan.identity);
+  // Checking the flag is the whole homogeneous receive path; it must be
+  // well under a microsecond.
+  volatile bool flag = false;
+  const double t = measure_ms([&] { flag = plan.identity; });
+  (void)flag;
+  EXPECT_LT(t, 0.001);
+}
+
+}  // namespace
+}  // namespace pbio::bench

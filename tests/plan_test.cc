@@ -1,0 +1,238 @@
+// Plan compiler: shape of the generated conversion programs.
+#include "convert/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "arch/layout.h"
+
+namespace pbio::convert {
+namespace {
+
+using arch::CType;
+using arch::StructSpec;
+using fmt::FormatDesc;
+
+StructSpec mixed_spec() {
+  StructSpec s;
+  s.name = "mixed";
+  s.fields = {
+      {.name = "a", .type = CType::kInt},
+      {.name = "b", .type = CType::kInt},
+      {.name = "x", .type = CType::kDouble},
+      {.name = "t", .type = CType::kChar, .array_elems = 8},
+  };
+  return s;
+}
+
+TEST(Plan, HomogeneousSameFormatIsIdentity) {
+  const auto f = arch::layout_format(mixed_spec(), arch::abi_x86_64());
+  const Plan p = compile_plan(f, f);
+  EXPECT_TRUE(p.identity);
+  EXPECT_TRUE(p.missing_wire_fields.empty());
+  EXPECT_TRUE(p.ignored_wire_fields.empty());
+  // Optimizer collapses everything into one block copy.
+  ASSERT_EQ(p.ops.size(), 1u);
+  EXPECT_EQ(p.ops[0].code, OpCode::kCopy);
+  EXPECT_EQ(p.ops[0].src_off, 0u);
+  EXPECT_EQ(p.ops[0].byte_len, f.fixed_size);
+}
+
+TEST(Plan, UnoptimizedSameFormatStillIdentity) {
+  const auto f = arch::layout_format(mixed_spec(), arch::abi_x86_64());
+  CompileOptions opts;
+  opts.optimize = false;
+  const Plan p = compile_plan(f, f, opts);
+  EXPECT_TRUE(p.identity);
+  EXPECT_EQ(p.ops.size(), f.fields.size());
+}
+
+TEST(Plan, ByteSwapPlanForEndianPeers) {
+  // sparc_v9 <-> x86_64: same sizes/alignment, opposite byte order.
+  const auto be = arch::layout_format(mixed_spec(), arch::abi_sparc_v9());
+  const auto le = arch::layout_format(mixed_spec(), arch::abi_x86_64());
+  const Plan p = compile_plan(be, le);
+  EXPECT_FALSE(p.identity);
+  // a, b merge into one 4-byte swap run of two elements; x is an 8-byte
+  // swap; t copies unchanged.
+  bool saw_pair_swap = false;
+  bool saw_char_copy = false;
+  for (const Op& op : p.ops) {
+    if (op.code == OpCode::kSwap && op.width_src == 4 && op.count == 2) {
+      saw_pair_swap = true;
+    }
+    if (op.code == OpCode::kCopy && op.byte_len == 8) saw_char_copy = true;
+    EXPECT_NE(op.code, OpCode::kCvtNum);  // sizes match: no general conversion
+  }
+  EXPECT_TRUE(saw_pair_swap);
+  EXPECT_TRUE(saw_char_copy);
+}
+
+TEST(Plan, SizeChangeEmitsCvt) {
+  StructSpec s;
+  s.name = "l";
+  s.fields = {{.name = "v", .type = CType::kLong}};
+  const auto src = arch::layout_format(s, arch::abi_sparc_v8());  // 4-byte BE
+  const auto dst = arch::layout_format(s, arch::abi_x86_64());    // 8-byte LE
+  const Plan p = compile_plan(src, dst);
+  ASSERT_EQ(p.ops.size(), 1u);
+  EXPECT_EQ(p.ops[0].code, OpCode::kCvtNum);
+  EXPECT_EQ(p.ops[0].width_src, 4);
+  EXPECT_EQ(p.ops[0].width_dst, 8);
+  EXPECT_TRUE(p.ops[0].swap_src);
+}
+
+TEST(Plan, MissingWireFieldZeroFills) {
+  auto wire_spec = mixed_spec();
+  wire_spec.fields.erase(wire_spec.fields.begin());  // drop "a"
+  const auto src = arch::layout_format(wire_spec, arch::abi_x86_64());
+  const auto dst = arch::layout_format(mixed_spec(), arch::abi_x86_64());
+  const Plan p = compile_plan(src, dst);
+  EXPECT_FALSE(p.identity);
+  ASSERT_EQ(p.missing_wire_fields.size(), 1u);
+  EXPECT_EQ(p.missing_wire_fields[0], "a");
+  bool saw_zero = false;
+  for (const Op& op : p.ops) saw_zero |= op.code == OpCode::kZero;
+  EXPECT_TRUE(saw_zero);
+}
+
+TEST(Plan, UnexpectedWireFieldIgnored) {
+  // The paper's type-extension scenario: wire carries an extra field.
+  auto wire_spec = mixed_spec();
+  wire_spec.fields.insert(wire_spec.fields.begin(),
+                          {.name = "extra", .type = CType::kInt});
+  const auto src = arch::layout_format(wire_spec, arch::abi_x86_64());
+  const auto dst = arch::layout_format(mixed_spec(), arch::abi_x86_64());
+  const Plan p = compile_plan(src, dst);
+  ASSERT_EQ(p.ignored_wire_fields.size(), 1u);
+  EXPECT_EQ(p.ignored_wire_fields[0], "extra");
+  EXPECT_TRUE(p.missing_wire_fields.empty());
+  // Every expected field shifted: no identity, but still pure copies.
+  EXPECT_FALSE(p.identity);
+  for (const Op& op : p.ops) EXPECT_EQ(op.code, OpCode::kCopy);
+}
+
+TEST(Plan, ExtensionAtEndPreservesPrefixCopy) {
+  // Appending the new field (the paper's recommendation, §4.4) leaves all
+  // expected fields at unchanged offsets -> a single shift-free copy.
+  auto wire_spec = mixed_spec();
+  wire_spec.fields.push_back({.name = "extra", .type = CType::kDouble});
+  const auto src = arch::layout_format(wire_spec, arch::abi_x86_64());
+  const auto dst = arch::layout_format(mixed_spec(), arch::abi_x86_64());
+  const Plan p = compile_plan(src, dst);
+  ASSERT_EQ(p.ops.size(), 1u);
+  EXPECT_EQ(p.ops[0].code, OpCode::kCopy);
+  EXPECT_EQ(p.ops[0].src_off, 0u);
+  EXPECT_EQ(p.ops[0].dst_off, 0u);
+}
+
+TEST(Plan, TypeMismatchTreatedAsMissing) {
+  StructSpec a;
+  a.name = "r";
+  a.fields = {{.name = "v", .type = CType::kInt}};
+  StructSpec b;
+  b.name = "r";
+  b.fields = {{.name = "v", .type = CType::kString}};
+  const auto src = arch::layout_format(a, arch::abi_x86_64());
+  const auto dst = arch::layout_format(b, arch::abi_x86_64());
+  const Plan p = compile_plan(src, dst);
+  ASSERT_EQ(p.missing_wire_fields.size(), 1u);
+  ASSERT_EQ(p.ops.size(), 1u);
+  EXPECT_EQ(p.ops[0].code, OpCode::kZero);
+}
+
+TEST(Plan, IntToFloatConversionAllowed) {
+  StructSpec a;
+  a.name = "r";
+  a.fields = {{.name = "v", .type = CType::kInt}};
+  StructSpec b;
+  b.name = "r";
+  b.fields = {{.name = "v", .type = CType::kDouble}};
+  const auto src = arch::layout_format(a, arch::abi_x86_64());
+  const auto dst = arch::layout_format(b, arch::abi_x86_64());
+  const Plan p = compile_plan(src, dst);
+  ASSERT_EQ(p.ops.size(), 1u);
+  EXPECT_EQ(p.ops[0].code, OpCode::kCvtNum);
+  EXPECT_EQ(p.ops[0].src_kind, NumKind::kInt);
+  EXPECT_EQ(p.ops[0].dst_kind, NumKind::kFloat);
+}
+
+TEST(Plan, LargeStructArrayBecomesSubLoop) {
+  StructSpec point;
+  point.name = "pt";
+  point.fields = {{.name = "x", .type = CType::kDouble},
+                  {.name = "y", .type = CType::kFloat}};
+  StructSpec top;
+  top.name = "top";
+  top.fields = {{.name = "pts", .array_elems = 64, .subformat = "pt"}};
+  top.subs = {point};
+  const auto src = arch::layout_format(top, arch::abi_sparc_v9());
+  const auto dst = arch::layout_format(top, arch::abi_x86_64());
+  const Plan p = compile_plan(src, dst);
+  ASSERT_EQ(p.ops.size(), 1u);
+  EXPECT_EQ(p.ops[0].code, OpCode::kSubLoop);
+  EXPECT_EQ(p.ops[0].count, 64u);
+  EXPECT_FALSE(p.ops[0].sub.empty());
+}
+
+TEST(Plan, IdenticalStructArrayCollapsesToCopy) {
+  StructSpec point;
+  point.name = "pt";
+  point.fields = {{.name = "x", .type = CType::kDouble},
+                  {.name = "y", .type = CType::kFloat}};
+  StructSpec top;
+  top.name = "top";
+  top.fields = {{.name = "pts", .array_elems = 64, .subformat = "pt"}};
+  top.subs = {point};
+  const auto f = arch::layout_format(top, arch::abi_x86_64());
+  const Plan p = compile_plan(f, f);
+  EXPECT_TRUE(p.identity);
+  ASSERT_EQ(p.ops.size(), 1u);
+  EXPECT_EQ(p.ops[0].code, OpCode::kCopy);
+}
+
+TEST(Plan, VariableFieldsMarkPlan) {
+  StructSpec s;
+  s.name = "msg";
+  s.fields = {{.name = "n", .type = CType::kUInt},
+              {.name = "text", .type = CType::kString},
+              {.name = "vals", .type = CType::kDouble, .var_dim_field = "n"}};
+  const auto src = arch::layout_format(s, arch::abi_sparc_v8());
+  const auto dst = arch::layout_format(s, arch::abi_x86_64());
+  const Plan p = compile_plan(src, dst);
+  EXPECT_TRUE(p.has_variable);
+  EXPECT_FALSE(p.identity);
+  bool saw_string = false;
+  bool saw_var = false;
+  for (const Op& op : p.ops) {
+    saw_string |= op.code == OpCode::kString;
+    if (op.code == OpCode::kVarArray) {
+      saw_var = true;
+      EXPECT_EQ(op.src_stride, 8u);
+      EXPECT_EQ(op.dim_width, 4u);
+      EXPECT_FALSE(op.sub.empty());
+    }
+  }
+  EXPECT_TRUE(saw_string);
+  EXPECT_TRUE(saw_var);
+}
+
+TEST(Plan, OptimizerMergesAcrossEqualGaps) {
+  // char + (3 pad) + int with identical layouts merges across the padding.
+  StructSpec s;
+  s.name = "gap";
+  s.fields = {{.name = "c", .type = CType::kChar},
+              {.name = "i", .type = CType::kInt}};
+  const auto f = arch::layout_format(s, arch::abi_x86_64());
+  const Plan p = compile_plan(f, f);
+  ASSERT_EQ(p.ops.size(), 1u);
+  EXPECT_EQ(p.ops[0].byte_len, f.fixed_size);
+}
+
+TEST(Plan, DescribeIsHumanReadable) {
+  const auto f = arch::layout_format(mixed_spec(), arch::abi_x86_64());
+  const Plan p = compile_plan(f, f);
+  EXPECT_NE(p.describe().find("identity"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pbio::convert

@@ -1,0 +1,167 @@
+// Failure injection and adversarial-input robustness: random and mutated
+// bytes into every decoder in the system. Nothing may crash; everything
+// must fail cleanly or produce a validated result.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "baselines/cdr/giop.h"
+#include "baselines/xmlwire/decode.h"
+#include "baselines/xmlwire/sax.h"
+#include "fmt/meta.h"
+#include "pbio/pbio.h"
+#include "value/read.h"
+
+namespace pbio {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::mt19937_64& rng, std::size_t n) {
+  std::vector<std::uint8_t> v(n);
+  for (auto& b : v) b = static_cast<std::uint8_t>(rng());
+  return v;
+}
+
+TEST(Robustness, RandomBytesIntoMetaDecoder) {
+  std::mt19937_64 rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const auto bytes = random_bytes(rng, rng() % 300);
+    auto r = fmt::decode_meta(bytes);
+    if (r.is_ok()) {
+      EXPECT_NO_THROW(r.value().validate());
+    }
+  }
+}
+
+TEST(Robustness, MutatedMetaDecodesOrFailsCleanly) {
+  struct S {
+    int a;
+    double b;
+  };
+  const NativeField fields[] = {
+      PBIO_FIELD(S, a, arch::CType::kInt),
+      PBIO_FIELD(S, b, arch::CType::kDouble),
+  };
+  const auto f = native_format("s", fields, sizeof(S));
+  const auto good = fmt::encode_meta(f);
+  std::mt19937_64 rng(2);
+  for (int i = 0; i < 2000; ++i) {
+    auto mutated = good;
+    const std::size_t at = rng() % mutated.size();
+    mutated[at] ^= static_cast<std::uint8_t>(1 + rng() % 255);
+    auto r = fmt::decode_meta(mutated);
+    if (r.is_ok()) {
+      EXPECT_NO_THROW(r.value().validate());
+    }
+  }
+}
+
+TEST(Robustness, RandomBytesIntoSaxParser) {
+  std::mt19937_64 rng(3);
+  xmlwire::SaxHandlers handlers;  // null handlers
+  for (int i = 0; i < 500; ++i) {
+    const auto bytes = random_bytes(rng, rng() % 500);
+    const std::string_view text(reinterpret_cast<const char*>(bytes.data()),
+                                bytes.size());
+    (void)xmlwire::sax_parse(text, handlers);  // must not crash
+  }
+}
+
+TEST(Robustness, MutatedXmlIntoDecoder) {
+  arch::StructSpec spec;
+  spec.name = "r";
+  spec.fields = {{.name = "a", .type = arch::CType::kInt},
+                 {.name = "b", .type = arch::CType::kDouble,
+                  .array_elems = 4}};
+  const auto f = arch::layout_format(spec, arch::abi_x86_64());
+  const std::string good =
+      "<rec fmt=\"r\"><a>5</a><b>1 2 3 4</b></rec>";
+  std::mt19937_64 rng(4);
+  std::vector<std::uint8_t> out(f.fixed_size);
+  for (int i = 0; i < 2000; ++i) {
+    std::string mutated = good;
+    mutated[rng() % mutated.size()] =
+        static_cast<char>(rng() % 128);
+    (void)xmlwire::decode_xml(f, mutated, out);  // must not crash
+  }
+}
+
+TEST(Robustness, RandomFramesIntoReader) {
+  std::mt19937_64 rng(5);
+  for (int i = 0; i < 300; ++i) {
+    Context ctx;
+    auto [a, b] = transport::make_loopback_pair();
+    (void)a->send(random_bytes(rng, rng() % 200));
+    a->close();
+    Reader r(ctx, *b);
+    auto msg = r.next();  // must not crash; any Status is acceptable
+    if (msg.is_ok()) {
+      (void)msg.value().reflect();
+    }
+  }
+}
+
+TEST(Robustness, TruncatedDataFrames) {
+  struct S {
+    int a;
+    double b[16];
+  };
+  const NativeField fields[] = {
+      PBIO_FIELD(S, a, arch::CType::kInt),
+      PBIO_ARRAY(S, b, arch::CType::kDouble, 16),
+  };
+  Context ctx;
+  const auto id = ctx.register_format(native_format("s", fields, sizeof(S)));
+
+  // Build a legitimate frame pair, then truncate the data frame at every
+  // length.
+  auto [a, b] = transport::make_loopback_pair();
+  Writer w(ctx, *a);
+  S rec{1, {}};
+  ASSERT_TRUE(w.write(id, &rec).is_ok());
+  auto announce = b->recv().take();
+  auto data = b->recv().take();
+
+  for (std::size_t n = 0; n < data.size(); n += 7) {
+    Context fresh_ctx;
+    auto [c, d] = transport::make_loopback_pair();
+    (void)c->send(announce);
+    (void)c->send(std::span(data.data(), n));
+    c->close();
+    Reader r(fresh_ctx, *d);
+    auto msg = r.next();
+    if (msg.is_ok()) {
+      // Short payloads must be rejected before decode.
+      S out{};
+      (void)msg.value().decode_into(&out, sizeof(out));
+    }
+  }
+}
+
+TEST(Robustness, CorruptedGiopHeaders) {
+  std::mt19937_64 rng(6);
+  ByteBuffer buf;
+  cdr::write_giop_header(cdr::GiopHeader{}, buf);
+  for (int i = 0; i < 500; ++i) {
+    auto copy = std::vector<std::uint8_t>(buf.data(), buf.data() + buf.size());
+    copy[rng() % copy.size()] ^= static_cast<std::uint8_t>(rng());
+    (void)cdr::read_giop_header(copy);
+  }
+}
+
+TEST(Robustness, ReadRecordOnRandomImages) {
+  arch::StructSpec spec;
+  spec.name = "v";
+  spec.fields = {{.name = "n", .type = arch::CType::kUInt},
+                 {.name = "s", .type = arch::CType::kString},
+                 {.name = "vals", .type = arch::CType::kDouble,
+                  .var_dim_field = "n"}};
+  const auto f = arch::layout_format(spec, arch::abi_x86_64());
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 500; ++i) {
+    const auto bytes = random_bytes(rng, f.fixed_size + rng() % 64);
+    (void)value::read_record(f, bytes);  // must not crash
+  }
+}
+
+}  // namespace
+}  // namespace pbio

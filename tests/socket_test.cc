@@ -1,0 +1,125 @@
+#include "transport/socket.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+namespace pbio::transport {
+namespace {
+
+TEST(Socket, ConnectSendReceive) {
+  SocketListener listener;
+  std::thread client([port = listener.port()] {
+    auto ch = socket_connect(port);
+    ASSERT_TRUE(ch.is_ok()) << ch.status().to_string();
+    const std::uint8_t msg[] = {10, 20, 30};
+    ASSERT_TRUE(ch.value()->send(msg).is_ok());
+  });
+  auto server = listener.accept();
+  ASSERT_TRUE(server.is_ok());
+  auto m = server.value()->recv();
+  ASSERT_TRUE(m.is_ok());
+  EXPECT_EQ(m.value(), (std::vector<std::uint8_t>{10, 20, 30}));
+  client.join();
+}
+
+TEST(Socket, EmptyMessageRoundTrips) {
+  SocketListener listener;
+  std::thread client([port = listener.port()] {
+    auto ch = socket_connect(port);
+    ASSERT_TRUE(ch.is_ok());
+    ASSERT_TRUE(ch.value()->send({}).is_ok());
+    ASSERT_TRUE(ch.value()->send({}).is_ok());
+  });
+  auto server = listener.accept();
+  ASSERT_TRUE(server.is_ok());
+  EXPECT_TRUE(server.value()->recv().is_ok());
+  EXPECT_TRUE(server.value()->recv().is_ok());
+  client.join();
+}
+
+TEST(Socket, LargeMessagePreservesBytes) {
+  SocketListener listener;
+  std::vector<std::uint8_t> big(1 << 20);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+  }
+  std::thread client([port = listener.port(), &big] {
+    auto ch = socket_connect(port);
+    ASSERT_TRUE(ch.is_ok());
+    ASSERT_TRUE(ch.value()->send(big).is_ok());
+  });
+  auto server = listener.accept();
+  ASSERT_TRUE(server.is_ok());
+  auto m = server.value()->recv();
+  ASSERT_TRUE(m.is_ok());
+  EXPECT_EQ(m.value(), big);
+  client.join();
+}
+
+TEST(Socket, GatherSendFramesOnce) {
+  SocketListener listener;
+  std::thread client([port = listener.port()] {
+    auto ch = socket_connect(port);
+    ASSERT_TRUE(ch.is_ok());
+    const std::uint8_t a[] = {1};
+    const std::uint8_t b[] = {2, 3};
+    std::vector<std::uint8_t> c(100000, 7);
+    const std::span<const std::uint8_t> segs[] = {a, b, c};
+    ASSERT_TRUE(ch.value()->send_gather(segs).is_ok());
+  });
+  auto server = listener.accept();
+  ASSERT_TRUE(server.is_ok());
+  auto m = server.value()->recv();
+  ASSERT_TRUE(m.is_ok());
+  ASSERT_EQ(m.value().size(), 100003u);
+  EXPECT_EQ(m.value()[0], 1);
+  EXPECT_EQ(m.value()[1], 2);
+  EXPECT_EQ(m.value()[2], 3);
+  EXPECT_EQ(m.value()[3], 7);
+  EXPECT_EQ(m.value().back(), 7);
+  client.join();
+}
+
+TEST(Socket, PeerCloseYieldsChannelClosed) {
+  SocketListener listener;
+  std::thread client([port = listener.port()] {
+    auto ch = socket_connect(port);
+    ASSERT_TRUE(ch.is_ok());
+    ch.value()->close();
+  });
+  auto server = listener.accept();
+  ASSERT_TRUE(server.is_ok());
+  auto m = server.value()->recv();
+  EXPECT_FALSE(m.is_ok());
+  EXPECT_EQ(m.status().code(), Errc::kChannelClosed);
+  client.join();
+}
+
+TEST(Socket, ManySmallMessages) {
+  SocketListener listener;
+  constexpr int kCount = 2000;
+  std::thread client([port = listener.port()] {
+    auto ch = socket_connect(port);
+    ASSERT_TRUE(ch.is_ok());
+    for (int i = 0; i < kCount; ++i) {
+      std::uint8_t m[4];
+      std::memcpy(m, &i, 4);
+      ASSERT_TRUE(ch.value()->send(m).is_ok());
+    }
+  });
+  auto server = listener.accept();
+  ASSERT_TRUE(server.is_ok());
+  for (int i = 0; i < kCount; ++i) {
+    auto m = server.value()->recv();
+    ASSERT_TRUE(m.is_ok());
+    int got;
+    std::memcpy(&got, m.value().data(), 4);
+    ASSERT_EQ(got, i);
+  }
+  client.join();
+}
+
+}  // namespace
+}  // namespace pbio::transport

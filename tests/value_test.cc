@@ -1,0 +1,96 @@
+#include "value/value.h"
+
+#include <gtest/gtest.h>
+
+namespace pbio::value {
+namespace {
+
+TEST(Value, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_int());
+}
+
+TEST(Value, IntAccessWidens) {
+  Value v(std::int64_t{-42});
+  EXPECT_TRUE(v.is_int());
+  EXPECT_EQ(v.as_int(), -42);
+  EXPECT_EQ(v.as_double(), -42.0);
+}
+
+TEST(Value, UintKeepsFullRange) {
+  Value v(std::uint64_t{0xFFFFFFFFFFFFFFFFull});
+  EXPECT_TRUE(v.is_uint());
+  EXPECT_EQ(v.as_uint(), 0xFFFFFFFFFFFFFFFFull);
+}
+
+TEST(Value, StringAccess) {
+  Value v("hello");
+  EXPECT_TRUE(v.is_string());
+  EXPECT_EQ(v.as_string(), "hello");
+  EXPECT_THROW(v.as_int(), PbioError);
+}
+
+TEST(Value, NumericAccessOnStringThrows) {
+  Value v("text");
+  EXPECT_THROW(v.as_double(), PbioError);
+  EXPECT_THROW(v.as_uint(), PbioError);
+}
+
+TEST(Value, ListAccess) {
+  Value v(Value::List{Value(1), Value(2), Value(3)});
+  ASSERT_TRUE(v.is_list());
+  EXPECT_EQ(v.as_list().size(), 3u);
+  EXPECT_EQ(v.as_list()[1].as_int(), 2);
+}
+
+TEST(Record, SetAndFind) {
+  Record r;
+  r.set("x", Value(1));
+  r.set("y", Value(2.5));
+  EXPECT_EQ(r.find("x")->as_int(), 1);
+  EXPECT_EQ(r.find("y")->as_double(), 2.5);
+  EXPECT_EQ(r.find("z"), nullptr);
+}
+
+TEST(Record, SetOverwritesExisting) {
+  Record r;
+  r.set("x", Value(1));
+  r.set("x", Value(99));
+  EXPECT_EQ(r.find("x")->as_int(), 99);
+  EXPECT_EQ(r.fields().size(), 1u);
+}
+
+TEST(Record, PreservesInsertionOrder) {
+  Record r;
+  r.set("b", Value(1));
+  r.set("a", Value(2));
+  EXPECT_EQ(r.fields()[0].first, "b");
+  EXPECT_EQ(r.fields()[1].first, "a");
+}
+
+TEST(Value, EqualityIsStructural) {
+  Record r1;
+  r1.set("x", Value(1));
+  Record r2;
+  r2.set("x", Value(1));
+  EXPECT_EQ(Value(r1), Value(r2));
+  r2.set("x", Value(2));
+  EXPECT_NE(Value(r1), Value(r2));
+}
+
+TEST(Value, ToStringRendersNested) {
+  Record inner;
+  inner.set("x", Value(1.5));
+  Record outer;
+  outer.set("name", Value("probe"));
+  outer.set("pos", Value(inner));
+  outer.set("vals", Value(Value::List{Value(1), Value(2)}));
+  const std::string s = Value(outer).to_string();
+  EXPECT_NE(s.find("probe"), std::string::npos);
+  EXPECT_NE(s.find("pos"), std::string::npos);
+  EXPECT_NE(s.find("[1, 2]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pbio::value

@@ -1,0 +1,146 @@
+// Benchmark substrate: the workload generator must hit the paper's sizes
+// and the generic format->datatype mapping must agree with PBIO conversions.
+#include "bench_support/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "baselines/mpilite/pack.h"
+#include "bench_support/harness.h"
+#include "convert/interp.h"
+#include "value/materialize.h"
+#include "value/random.h"
+#include "value/read.h"
+
+namespace pbio::bench {
+namespace {
+
+TEST(Workload, SizesLandNearNominal) {
+  const double nominal[] = {100, 1024, 10 * 1024, 100 * 1024};
+  int i = 0;
+  for (Size s : all_sizes()) {
+    const auto f =
+        arch::layout_format(mech_spec(s), arch::abi_x86_64());
+    EXPECT_GT(f.fixed_size, nominal[i] * 0.9) << label(s);
+    EXPECT_LT(f.fixed_size, nominal[i] * 1.1) << label(s);
+    ++i;
+  }
+}
+
+TEST(Workload, RecordsAreMixedType) {
+  for (Size s : all_sizes()) {
+    const auto spec = mech_spec(s);
+    bool has_int = false, has_double = false, has_float = false,
+         has_char = false;
+    for (const auto& f : spec.fields) {
+      has_int |= f.type == arch::CType::kInt;
+      has_double |= f.type == arch::CType::kDouble;
+      has_float |= f.type == arch::CType::kFloat;
+      has_char |= f.type == arch::CType::kChar;
+    }
+    EXPECT_TRUE(has_int && has_double && has_float && has_char) << label(s);
+  }
+}
+
+TEST(Workload, RecordsAreDeterministic) {
+  const auto a = mech_record(Size::k1KB);
+  const auto b = mech_record(Size::k1KB);
+  EXPECT_TRUE(value::equivalent(a, b));
+}
+
+TEST(Workload, ImageMatchesRecord) {
+  for (Size s : {Size::k100B, Size::k1KB}) {
+    Workload w = make_workload(s, arch::abi_sparc_v8(), arch::abi_x86_64());
+    auto back = value::read_record(w.src_fmt, w.src_image);
+    ASSERT_TRUE(back.is_ok()) << label(s);
+    EXPECT_TRUE(value::equivalent(back.value(), w.record)) << label(s);
+  }
+}
+
+TEST(Workload, DatatypeForMatchesFormatGeometry) {
+  for (Size s : all_sizes()) {
+    for (const auto* abi : {&arch::abi_sparc_v8(), &arch::abi_x86_64()}) {
+      const auto f = arch::layout_format(mech_spec(s), *abi);
+      const auto dt = datatype_for(f);
+      EXPECT_EQ(dt.extent(), f.fixed_size) << label(s) << " " << abi->name;
+      // Every field contributes its elements to the flattened map.
+      std::size_t elems = 0;
+      for (const auto& fd : f.fields) elems += fd.static_elems;
+      EXPECT_EQ(dt.element_count(), elems);
+    }
+  }
+}
+
+TEST(Workload, MpilitePackAgreesWithPbioConversion) {
+  // Cross-system check: pack on sparc + unpack on x86-64 must produce the
+  // same native record as the PBIO conversion of the same wire image.
+  Workload w =
+      make_workload(Size::k1KB, arch::abi_sparc_v8(), arch::abi_x86_64());
+  // mpilite route
+  ByteBuffer packed;
+  ASSERT_TRUE(
+      mpilite::pack(datatype_for(w.src_fmt), w.src_image.data(), 1, packed)
+          .is_ok());
+  std::vector<std::uint8_t> via_mpi(w.dst_fmt.fixed_size, 0);
+  ASSERT_TRUE(mpilite::unpack(datatype_for(w.dst_fmt), packed.view(),
+                              via_mpi.data(), via_mpi.size(), 1)
+                  .is_ok());
+  // pbio route
+  const auto plan = convert::compile_plan(w.src_fmt, w.dst_fmt);
+  std::vector<std::uint8_t> via_pbio(w.dst_fmt.fixed_size, 0);
+  convert::ExecInput in;
+  in.src = w.src_image.data();
+  in.src_size = w.src_image.size();
+  in.dst = via_pbio.data();
+  in.dst_size = via_pbio.size();
+  ASSERT_TRUE(convert::run_plan(plan, in).is_ok());
+  // Compare field regions (padding unspecified).
+  for (const auto& fd : w.dst_fmt.fields) {
+    EXPECT_EQ(std::memcmp(via_mpi.data() + fd.offset,
+                          via_pbio.data() + fd.offset, fd.slot_size),
+              0)
+        << fd.name;
+  }
+}
+
+TEST(Harness, TablePrintsAlignedColumns) {
+  Table t("demo", {"col_a", "b"});
+  t.add_row({"1", "22"});
+  t.add_row({"333", "4"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("demo"), std::string::npos);
+  EXPECT_NE(out.find("col_a"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+}
+
+TEST(Harness, Formatters) {
+  EXPECT_EQ(fmt_ms(0.001234), "0.0012");
+  EXPECT_EQ(fmt_ms(0.1234), "0.123");
+  EXPECT_EQ(fmt_ms(12.345), "12.35");
+  EXPECT_EQ(fmt_ratio(2.04), "2.0x");
+  EXPECT_EQ(fmt_bytes(1024), "1024");
+}
+
+TEST(Harness, NullChannelCountsBytes) {
+  NullChannel ch;
+  const std::uint8_t a[10] = {};
+  ASSERT_TRUE(ch.send(a).is_ok());
+  const std::span<const std::uint8_t> segs[] = {a, a};
+  ASSERT_TRUE(ch.send_gather(segs).is_ok());
+  EXPECT_EQ(ch.bytes_sent(), 30u);
+  EXPECT_EQ(ch.messages(), 2u);
+  EXPECT_FALSE(ch.recv().is_ok());
+}
+
+TEST(Harness, MeasureMsReturnsPositive) {
+  volatile int x = 0;
+  const double ms = measure_ms([&] {
+    for (int i = 0; i < 100; ++i) x = x + i;
+  });
+  EXPECT_GT(ms, 0.0);
+  EXPECT_LT(ms, 10.0);
+}
+
+}  // namespace
+}  // namespace pbio::bench

@@ -1,0 +1,74 @@
+// pbio_dump — inspect a PBIO frame log without any a-priori format
+// knowledge: every record prints through the reflection API.
+//
+//   pbio_dump <frame-log> [--formats] [--max N]
+//     --formats  also print each format description as it is announced
+//     --max N    stop after N records
+//
+// Create a log with transport::FileWriteChannel + pbio::Writer (see
+// tests/file_channel_test.cc or the visualization example).
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "pbio/pbio.h"
+
+int main(int argc, char** argv) {
+  const char* path = nullptr;
+  bool show_formats = false;
+  long max_records = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--formats") == 0) {
+      show_formats = true;
+    } else if (std::strcmp(argv[i], "--max") == 0 && i + 1 < argc) {
+      max_records = std::strtol(argv[++i], nullptr, 10);
+    } else if (argv[i][0] != '-' && path == nullptr) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: pbio_dump <frame-log> [--formats] "
+                           "[--max N]\n");
+      return 2;
+    }
+  }
+  if (path == nullptr) {
+    std::fprintf(stderr, "usage: pbio_dump <frame-log> [--formats] "
+                         "[--max N]\n");
+    return 2;
+  }
+
+  auto ch = pbio::transport::FileReadChannel::open(path);
+  if (!ch.is_ok()) {
+    std::fprintf(stderr, "pbio_dump: %s\n", ch.status().to_string().c_str());
+    return 1;
+  }
+
+  pbio::Context ctx;
+  pbio::Reader reader(ctx, *ch.value());
+  long count = 0;
+  std::size_t formats_seen = 0;
+  while (max_records < 0 || count < max_records) {
+    auto msg = reader.next();
+    if (!msg.is_ok()) {
+      if (msg.status().code() == pbio::Errc::kChannelClosed) break;
+      std::fprintf(stderr, "pbio_dump: %s\n",
+                   msg.status().to_string().c_str());
+      return 1;
+    }
+    if (show_formats && reader.formats_learned() != formats_seen) {
+      formats_seen = reader.formats_learned();
+      std::printf("%s", pbio::fmt::describe(msg.value().wire_format()).c_str());
+    }
+    auto rec = msg.value().reflect();
+    if (!rec.is_ok()) {
+      std::fprintf(stderr, "pbio_dump: record %ld: %s\n", count,
+                   rec.status().to_string().c_str());
+      return 1;
+    }
+    std::printf("#%ld %s %s\n", count, msg.value().format_name().c_str(),
+                pbio::value::Value(rec.value()).to_string().c_str());
+    ++count;
+  }
+  std::printf("-- %ld records, %zu formats\n", count,
+              reader.formats_learned());
+  return 0;
+}
