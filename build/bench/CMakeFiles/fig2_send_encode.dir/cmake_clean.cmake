@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_send_encode.dir/fig2_send_encode.cc.o"
+  "CMakeFiles/fig2_send_encode.dir/fig2_send_encode.cc.o.d"
+  "fig2_send_encode"
+  "fig2_send_encode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_send_encode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

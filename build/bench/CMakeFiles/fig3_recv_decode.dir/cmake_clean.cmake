@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_recv_decode.dir/fig3_recv_decode.cc.o"
+  "CMakeFiles/fig3_recv_decode.dir/fig3_recv_decode.cc.o.d"
+  "fig3_recv_decode"
+  "fig3_recv_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_recv_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_dcg_decode.dir/fig4_dcg_decode.cc.o"
+  "CMakeFiles/fig4_dcg_decode.dir/fig4_dcg_decode.cc.o.d"
+  "fig4_dcg_decode"
+  "fig4_dcg_decode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dcg_decode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

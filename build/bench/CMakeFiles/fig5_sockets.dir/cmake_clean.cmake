@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sockets.dir/fig5_sockets.cc.o"
+  "CMakeFiles/fig5_sockets.dir/fig5_sockets.cc.o.d"
+  "fig5_sockets"
+  "fig5_sockets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sockets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_hetero_mismatch.dir/fig6_hetero_mismatch.cc.o"
+  "CMakeFiles/fig6_hetero_mismatch.dir/fig6_hetero_mismatch.cc.o.d"
+  "fig6_hetero_mismatch"
+  "fig6_hetero_mismatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_hetero_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_homo_mismatch.dir/fig7_homo_mismatch.cc.o"
+  "CMakeFiles/fig7_homo_mismatch.dir/fig7_homo_mismatch.cc.o.d"
+  "fig7_homo_mismatch"
+  "fig7_homo_mismatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_homo_mismatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

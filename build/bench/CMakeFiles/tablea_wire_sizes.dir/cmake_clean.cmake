@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tablea_wire_sizes.dir/tablea_wire_sizes.cc.o"
+  "CMakeFiles/tablea_wire_sizes.dir/tablea_wire_sizes.cc.o.d"
+  "tablea_wire_sizes"
+  "tablea_wire_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tablea_wire_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tablea_wire_sizes.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tableb_dcg_cost.dir/tableb_dcg_cost.cc.o"
+  "CMakeFiles/tableb_dcg_cost.dir/tableb_dcg_cost.cc.o.d"
+  "tableb_dcg_cost"
+  "tableb_dcg_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tableb_dcg_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

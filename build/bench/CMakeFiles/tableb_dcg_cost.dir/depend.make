@@ -1,0 +1,2 @@
+# Empty dependencies file for tableb_dcg_cost.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tablec_homogeneous.dir/tablec_homogeneous.cc.o"
+  "CMakeFiles/tablec_homogeneous.dir/tablec_homogeneous.cc.o.d"
+  "tablec_homogeneous"
+  "tablec_homogeneous.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tablec_homogeneous.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tablec_homogeneous.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tabled_varlen.dir/tabled_varlen.cc.o"
+  "CMakeFiles/tabled_varlen.dir/tabled_varlen.cc.o.d"
+  "tabled_varlen"
+  "tabled_varlen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tabled_varlen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

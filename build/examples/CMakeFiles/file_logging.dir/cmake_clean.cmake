@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_logging.dir/file_logging.cc.o"
+  "CMakeFiles/file_logging.dir/file_logging.cc.o.d"
+  "file_logging"
+  "file_logging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_logging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

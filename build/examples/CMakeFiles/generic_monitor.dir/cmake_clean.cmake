@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generic_monitor.dir/generic_monitor.cc.o"
+  "CMakeFiles/generic_monitor.dir/generic_monitor.cc.o.d"
+  "generic_monitor"
+  "generic_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generic_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

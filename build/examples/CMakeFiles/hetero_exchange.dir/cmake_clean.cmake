@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hetero_exchange.dir/hetero_exchange.cc.o"
+  "CMakeFiles/hetero_exchange.dir/hetero_exchange.cc.o.d"
+  "hetero_exchange"
+  "hetero_exchange.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hetero_exchange.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("fmt")
+subdirs("arch")
+subdirs("value")
+subdirs("convert")
+subdirs("vcode")
+subdirs("transport")
+subdirs("pbio")
+subdirs("baselines")
+subdirs("bench_support")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbio_arch.dir/abi.cc.o"
+  "CMakeFiles/pbio_arch.dir/abi.cc.o.d"
+  "CMakeFiles/pbio_arch.dir/layout.cc.o"
+  "CMakeFiles/pbio_arch.dir/layout.cc.o.d"
+  "libpbio_arch.a"
+  "libpbio_arch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbio_arch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/cdr/cdr.cc" "src/baselines/cdr/CMakeFiles/pbio_cdr.dir/cdr.cc.o" "gcc" "src/baselines/cdr/CMakeFiles/pbio_cdr.dir/cdr.cc.o.d"
+  "/root/repo/src/baselines/cdr/giop.cc" "src/baselines/cdr/CMakeFiles/pbio_cdr.dir/giop.cc.o" "gcc" "src/baselines/cdr/CMakeFiles/pbio_cdr.dir/giop.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fmt/CMakeFiles/pbio_fmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pbio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbio_cdr.dir/cdr.cc.o"
+  "CMakeFiles/pbio_cdr.dir/cdr.cc.o.d"
+  "CMakeFiles/pbio_cdr.dir/giop.cc.o"
+  "CMakeFiles/pbio_cdr.dir/giop.cc.o.d"
+  "libpbio_cdr.a"
+  "libpbio_cdr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbio_cdr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

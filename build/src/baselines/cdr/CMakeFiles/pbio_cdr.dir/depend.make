@@ -1,0 +1,2 @@
+# Empty dependencies file for pbio_cdr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbio_mpilite.dir/comm.cc.o"
+  "CMakeFiles/pbio_mpilite.dir/comm.cc.o.d"
+  "CMakeFiles/pbio_mpilite.dir/datatype.cc.o"
+  "CMakeFiles/pbio_mpilite.dir/datatype.cc.o.d"
+  "CMakeFiles/pbio_mpilite.dir/pack.cc.o"
+  "CMakeFiles/pbio_mpilite.dir/pack.cc.o.d"
+  "libpbio_mpilite.a"
+  "libpbio_mpilite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbio_mpilite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

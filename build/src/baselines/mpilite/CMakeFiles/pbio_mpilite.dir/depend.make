@@ -1,0 +1,2 @@
+# Empty dependencies file for pbio_mpilite.
+# This may be replaced when dependencies are built.

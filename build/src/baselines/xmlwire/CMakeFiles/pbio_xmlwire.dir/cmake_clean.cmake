@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbio_xmlwire.dir/decode.cc.o"
+  "CMakeFiles/pbio_xmlwire.dir/decode.cc.o.d"
+  "CMakeFiles/pbio_xmlwire.dir/encode.cc.o"
+  "CMakeFiles/pbio_xmlwire.dir/encode.cc.o.d"
+  "CMakeFiles/pbio_xmlwire.dir/sax.cc.o"
+  "CMakeFiles/pbio_xmlwire.dir/sax.cc.o.d"
+  "libpbio_xmlwire.a"
+  "libpbio_xmlwire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbio_xmlwire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bench_support/harness.cc" "src/bench_support/CMakeFiles/pbio_bench_support.dir/harness.cc.o" "gcc" "src/bench_support/CMakeFiles/pbio_bench_support.dir/harness.cc.o.d"
+  "/root/repo/src/bench_support/workload.cc" "src/bench_support/CMakeFiles/pbio_bench_support.dir/workload.cc.o" "gcc" "src/bench_support/CMakeFiles/pbio_bench_support.dir/workload.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pbio/CMakeFiles/pbio_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/mpilite/CMakeFiles/pbio_mpilite.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/cdr/CMakeFiles/pbio_cdr.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/xmlwire/CMakeFiles/pbio_xmlwire.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/pbio_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcode/CMakeFiles/pbio_vcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/convert/CMakeFiles/pbio_convert.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/pbio_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/pbio_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/fmt/CMakeFiles/pbio_fmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pbio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbio_bench_support.dir/harness.cc.o"
+  "CMakeFiles/pbio_bench_support.dir/harness.cc.o.d"
+  "CMakeFiles/pbio_bench_support.dir/workload.cc.o"
+  "CMakeFiles/pbio_bench_support.dir/workload.cc.o.d"
+  "libpbio_bench_support.a"
+  "libpbio_bench_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbio_bench_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

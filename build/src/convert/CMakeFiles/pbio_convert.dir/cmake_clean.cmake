@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbio_convert.dir/compile.cc.o"
+  "CMakeFiles/pbio_convert.dir/compile.cc.o.d"
+  "CMakeFiles/pbio_convert.dir/interp.cc.o"
+  "CMakeFiles/pbio_convert.dir/interp.cc.o.d"
+  "libpbio_convert.a"
+  "libpbio_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbio_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

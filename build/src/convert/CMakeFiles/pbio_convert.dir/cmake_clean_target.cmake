@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpbio_convert.a"
+)

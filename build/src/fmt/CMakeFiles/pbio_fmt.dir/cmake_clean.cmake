@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbio_fmt.dir/format.cc.o"
+  "CMakeFiles/pbio_fmt.dir/format.cc.o.d"
+  "CMakeFiles/pbio_fmt.dir/meta.cc.o"
+  "CMakeFiles/pbio_fmt.dir/meta.cc.o.d"
+  "CMakeFiles/pbio_fmt.dir/registry.cc.o"
+  "CMakeFiles/pbio_fmt.dir/registry.cc.o.d"
+  "libpbio_fmt.a"
+  "libpbio_fmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbio_fmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pbio/context.cc" "src/pbio/CMakeFiles/pbio_core.dir/context.cc.o" "gcc" "src/pbio/CMakeFiles/pbio_core.dir/context.cc.o.d"
+  "/root/repo/src/pbio/encode.cc" "src/pbio/CMakeFiles/pbio_core.dir/encode.cc.o" "gcc" "src/pbio/CMakeFiles/pbio_core.dir/encode.cc.o.d"
+  "/root/repo/src/pbio/format_service.cc" "src/pbio/CMakeFiles/pbio_core.dir/format_service.cc.o" "gcc" "src/pbio/CMakeFiles/pbio_core.dir/format_service.cc.o.d"
+  "/root/repo/src/pbio/message.cc" "src/pbio/CMakeFiles/pbio_core.dir/message.cc.o" "gcc" "src/pbio/CMakeFiles/pbio_core.dir/message.cc.o.d"
+  "/root/repo/src/pbio/native.cc" "src/pbio/CMakeFiles/pbio_core.dir/native.cc.o" "gcc" "src/pbio/CMakeFiles/pbio_core.dir/native.cc.o.d"
+  "/root/repo/src/pbio/reader.cc" "src/pbio/CMakeFiles/pbio_core.dir/reader.cc.o" "gcc" "src/pbio/CMakeFiles/pbio_core.dir/reader.cc.o.d"
+  "/root/repo/src/pbio/writer.cc" "src/pbio/CMakeFiles/pbio_core.dir/writer.cc.o" "gcc" "src/pbio/CMakeFiles/pbio_core.dir/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fmt/CMakeFiles/pbio_fmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/arch/CMakeFiles/pbio_arch.dir/DependInfo.cmake"
+  "/root/repo/build/src/convert/CMakeFiles/pbio_convert.dir/DependInfo.cmake"
+  "/root/repo/build/src/vcode/CMakeFiles/pbio_vcode.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/pbio_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/value/CMakeFiles/pbio_value.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pbio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

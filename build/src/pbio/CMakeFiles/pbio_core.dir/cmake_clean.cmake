@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbio_core.dir/context.cc.o"
+  "CMakeFiles/pbio_core.dir/context.cc.o.d"
+  "CMakeFiles/pbio_core.dir/encode.cc.o"
+  "CMakeFiles/pbio_core.dir/encode.cc.o.d"
+  "CMakeFiles/pbio_core.dir/format_service.cc.o"
+  "CMakeFiles/pbio_core.dir/format_service.cc.o.d"
+  "CMakeFiles/pbio_core.dir/message.cc.o"
+  "CMakeFiles/pbio_core.dir/message.cc.o.d"
+  "CMakeFiles/pbio_core.dir/native.cc.o"
+  "CMakeFiles/pbio_core.dir/native.cc.o.d"
+  "CMakeFiles/pbio_core.dir/reader.cc.o"
+  "CMakeFiles/pbio_core.dir/reader.cc.o.d"
+  "CMakeFiles/pbio_core.dir/writer.cc.o"
+  "CMakeFiles/pbio_core.dir/writer.cc.o.d"
+  "libpbio_core.a"
+  "libpbio_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbio_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transport/channel.cc" "src/transport/CMakeFiles/pbio_transport.dir/channel.cc.o" "gcc" "src/transport/CMakeFiles/pbio_transport.dir/channel.cc.o.d"
+  "/root/repo/src/transport/file.cc" "src/transport/CMakeFiles/pbio_transport.dir/file.cc.o" "gcc" "src/transport/CMakeFiles/pbio_transport.dir/file.cc.o.d"
+  "/root/repo/src/transport/loopback.cc" "src/transport/CMakeFiles/pbio_transport.dir/loopback.cc.o" "gcc" "src/transport/CMakeFiles/pbio_transport.dir/loopback.cc.o.d"
+  "/root/repo/src/transport/simnet.cc" "src/transport/CMakeFiles/pbio_transport.dir/simnet.cc.o" "gcc" "src/transport/CMakeFiles/pbio_transport.dir/simnet.cc.o.d"
+  "/root/repo/src/transport/socket.cc" "src/transport/CMakeFiles/pbio_transport.dir/socket.cc.o" "gcc" "src/transport/CMakeFiles/pbio_transport.dir/socket.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/pbio_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbio_transport.dir/channel.cc.o"
+  "CMakeFiles/pbio_transport.dir/channel.cc.o.d"
+  "CMakeFiles/pbio_transport.dir/file.cc.o"
+  "CMakeFiles/pbio_transport.dir/file.cc.o.d"
+  "CMakeFiles/pbio_transport.dir/loopback.cc.o"
+  "CMakeFiles/pbio_transport.dir/loopback.cc.o.d"
+  "CMakeFiles/pbio_transport.dir/simnet.cc.o"
+  "CMakeFiles/pbio_transport.dir/simnet.cc.o.d"
+  "CMakeFiles/pbio_transport.dir/socket.cc.o"
+  "CMakeFiles/pbio_transport.dir/socket.cc.o.d"
+  "libpbio_transport.a"
+  "libpbio_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbio_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

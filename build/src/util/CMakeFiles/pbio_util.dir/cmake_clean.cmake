@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbio_util.dir/buffer.cc.o"
+  "CMakeFiles/pbio_util.dir/buffer.cc.o.d"
+  "CMakeFiles/pbio_util.dir/error.cc.o"
+  "CMakeFiles/pbio_util.dir/error.cc.o.d"
+  "CMakeFiles/pbio_util.dir/logging.cc.o"
+  "CMakeFiles/pbio_util.dir/logging.cc.o.d"
+  "CMakeFiles/pbio_util.dir/stopwatch.cc.o"
+  "CMakeFiles/pbio_util.dir/stopwatch.cc.o.d"
+  "libpbio_util.a"
+  "libpbio_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbio_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

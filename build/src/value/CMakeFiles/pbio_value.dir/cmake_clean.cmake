@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbio_value.dir/materialize.cc.o"
+  "CMakeFiles/pbio_value.dir/materialize.cc.o.d"
+  "CMakeFiles/pbio_value.dir/random.cc.o"
+  "CMakeFiles/pbio_value.dir/random.cc.o.d"
+  "CMakeFiles/pbio_value.dir/read.cc.o"
+  "CMakeFiles/pbio_value.dir/read.cc.o.d"
+  "CMakeFiles/pbio_value.dir/value.cc.o"
+  "CMakeFiles/pbio_value.dir/value.cc.o.d"
+  "libpbio_value.a"
+  "libpbio_value.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbio_value.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vcode/execmem.cc" "src/vcode/CMakeFiles/pbio_vcode.dir/execmem.cc.o" "gcc" "src/vcode/CMakeFiles/pbio_vcode.dir/execmem.cc.o.d"
+  "/root/repo/src/vcode/jit_convert.cc" "src/vcode/CMakeFiles/pbio_vcode.dir/jit_convert.cc.o" "gcc" "src/vcode/CMakeFiles/pbio_vcode.dir/jit_convert.cc.o.d"
+  "/root/repo/src/vcode/vcode.cc" "src/vcode/CMakeFiles/pbio_vcode.dir/vcode.cc.o" "gcc" "src/vcode/CMakeFiles/pbio_vcode.dir/vcode.cc.o.d"
+  "/root/repo/src/vcode/x64.cc" "src/vcode/CMakeFiles/pbio_vcode.dir/x64.cc.o" "gcc" "src/vcode/CMakeFiles/pbio_vcode.dir/x64.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/convert/CMakeFiles/pbio_convert.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pbio_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/fmt/CMakeFiles/pbio_fmt.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

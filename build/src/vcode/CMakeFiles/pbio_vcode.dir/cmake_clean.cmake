@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbio_vcode.dir/execmem.cc.o"
+  "CMakeFiles/pbio_vcode.dir/execmem.cc.o.d"
+  "CMakeFiles/pbio_vcode.dir/jit_convert.cc.o"
+  "CMakeFiles/pbio_vcode.dir/jit_convert.cc.o.d"
+  "CMakeFiles/pbio_vcode.dir/vcode.cc.o"
+  "CMakeFiles/pbio_vcode.dir/vcode.cc.o.d"
+  "CMakeFiles/pbio_vcode.dir/x64.cc.o"
+  "CMakeFiles/pbio_vcode.dir/x64.cc.o.d"
+  "libpbio_vcode.a"
+  "libpbio_vcode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbio_vcode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

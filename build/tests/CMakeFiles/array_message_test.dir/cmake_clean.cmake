@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_message_test.dir/array_message_test.cc.o"
+  "CMakeFiles/array_message_test.dir/array_message_test.cc.o.d"
+  "array_message_test"
+  "array_message_test.pdb"
+  "array_message_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_message_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/conversion_edge_test.dir/conversion_edge_test.cc.o"
+  "CMakeFiles/conversion_edge_test.dir/conversion_edge_test.cc.o.d"
+  "conversion_edge_test"
+  "conversion_edge_test.pdb"
+  "conversion_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/conversion_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/convert_property_test.dir/convert_property_test.cc.o"
+  "CMakeFiles/convert_property_test.dir/convert_property_test.cc.o.d"
+  "convert_property_test"
+  "convert_property_test.pdb"
+  "convert_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/convert_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

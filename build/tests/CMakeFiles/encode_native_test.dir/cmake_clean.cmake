@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/encode_native_test.dir/encode_native_test.cc.o"
+  "CMakeFiles/encode_native_test.dir/encode_native_test.cc.o.d"
+  "encode_native_test"
+  "encode_native_test.pdb"
+  "encode_native_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/encode_native_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

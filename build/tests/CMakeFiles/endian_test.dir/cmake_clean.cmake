@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/endian_test.dir/endian_test.cc.o"
+  "CMakeFiles/endian_test.dir/endian_test.cc.o.d"
+  "endian_test"
+  "endian_test.pdb"
+  "endian_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/endian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

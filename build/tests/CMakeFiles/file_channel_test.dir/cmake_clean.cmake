@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/file_channel_test.dir/file_channel_test.cc.o"
+  "CMakeFiles/file_channel_test.dir/file_channel_test.cc.o.d"
+  "file_channel_test"
+  "file_channel_test.pdb"
+  "file_channel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/file_channel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

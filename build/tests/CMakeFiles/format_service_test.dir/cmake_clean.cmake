@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/format_service_test.dir/format_service_test.cc.o"
+  "CMakeFiles/format_service_test.dir/format_service_test.cc.o.d"
+  "format_service_test"
+  "format_service_test.pdb"
+  "format_service_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/format_service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jit_convert_test.dir/jit_convert_test.cc.o"
+  "CMakeFiles/jit_convert_test.dir/jit_convert_test.cc.o.d"
+  "jit_convert_test"
+  "jit_convert_test.pdb"
+  "jit_convert_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jit_convert_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/loopback_test.dir/loopback_test.cc.o"
+  "CMakeFiles/loopback_test.dir/loopback_test.cc.o.d"
+  "loopback_test"
+  "loopback_test.pdb"
+  "loopback_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/loopback_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_format_test.dir/native_format_test.cc.o"
+  "CMakeFiles/native_format_test.dir/native_format_test.cc.o.d"
+  "native_format_test"
+  "native_format_test.pdb"
+  "native_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

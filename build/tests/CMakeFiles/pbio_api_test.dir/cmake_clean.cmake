@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbio_api_test.dir/pbio_api_test.cc.o"
+  "CMakeFiles/pbio_api_test.dir/pbio_api_test.cc.o.d"
+  "pbio_api_test"
+  "pbio_api_test.pdb"
+  "pbio_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbio_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

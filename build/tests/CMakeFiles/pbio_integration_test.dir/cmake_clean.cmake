@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbio_integration_test.dir/pbio_integration_test.cc.o"
+  "CMakeFiles/pbio_integration_test.dir/pbio_integration_test.cc.o.d"
+  "pbio_integration_test"
+  "pbio_integration_test.pdb"
+  "pbio_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbio_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_invariants_test.dir/perf_invariants_test.cc.o"
+  "CMakeFiles/perf_invariants_test.dir/perf_invariants_test.cc.o.d"
+  "perf_invariants_test"
+  "perf_invariants_test.pdb"
+  "perf_invariants_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/x64_test.dir/x64_test.cc.o"
+  "CMakeFiles/x64_test.dir/x64_test.cc.o.d"
+  "x64_test"
+  "x64_test.pdb"
+  "x64_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/x64_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

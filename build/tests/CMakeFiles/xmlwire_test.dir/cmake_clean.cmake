@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xmlwire_test.dir/xmlwire_test.cc.o"
+  "CMakeFiles/xmlwire_test.dir/xmlwire_test.cc.o.d"
+  "xmlwire_test"
+  "xmlwire_test.pdb"
+  "xmlwire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xmlwire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

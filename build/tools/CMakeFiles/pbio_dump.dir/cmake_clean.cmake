@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pbio_dump.dir/pbio_dump.cc.o"
+  "CMakeFiles/pbio_dump.dir/pbio_dump.cc.o.d"
+  "pbio_dump"
+  "pbio_dump.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pbio_dump.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
