@@ -3,11 +3,23 @@
 #include <cstring>
 #include <limits>
 
+#include "convert/kernels/kernels.h"
 #include "util/endian.h"
 
 namespace pbio::convert {
 
 namespace {
+
+/// The batch kernels (convert/kernels) forbid partial overlap: they process
+/// blocks with all loads before all stores, so they are only sequentially
+/// equivalent to the per-element loops when src and dst element addresses
+/// coincide exactly (the dst == src in-place path) or the ranges are
+/// disjoint. Overlapping cases keep the per-element code below.
+bool batch_ranges_ok(const std::uint8_t* s, std::size_t src_bytes,
+                     const std::uint8_t* d, std::size_t dst_bytes) {
+  if (d == s) return src_bytes == dst_bytes;
+  return d + dst_bytes <= s || s + src_bytes <= d;
+}
 
 /// Hot inner loops. Each op converts a run of identically-typed elements,
 /// so the per-op dispatch cost is amortized across the run — this is what
@@ -93,6 +105,14 @@ class Executor {
   }
 
   void exec_swap(const Op& op, const std::uint8_t* s, std::uint8_t* d) {
+    if (op.count >= kernels::kMinCount) {
+      const std::size_t bytes = std::size_t{op.count} * op.width_src;
+      if (kernels::KernelFn fn = kernels::swap_kernel(op.width_src);
+          fn != nullptr && batch_ranges_ok(s, bytes, d, bytes)) {
+        fn(d, s, op.count);
+        return;
+      }
+    }
     switch (op.width_src) {
       case 2:
         for (std::uint32_t i = 0; i < op.count; ++i) {
@@ -131,6 +151,16 @@ class Executor {
   void exec_cvt(const Op& op, const std::uint8_t* s, std::uint8_t* d) {
     const ByteOrder so = plan_.src_order;
     const ByteOrder dord = plan_.dst_order;
+    if (op.count >= kernels::kMinCount) {
+      const kernels::CvtKey key = kernels::cvt_key(op, so, dord);
+      if (kernels::KernelFn fn = kernels::cvt_kernel(key);
+          fn != nullptr &&
+          batch_ranges_ok(s, std::size_t{op.count} * op.width_src, d,
+                          std::size_t{op.count} * op.width_dst)) {
+        fn(d, s, op.count);
+        return;
+      }
+    }
     for (std::uint32_t i = 0; i < op.count; ++i) {
       const std::uint8_t* sp = s + i * op.width_src;
       std::uint8_t* dp = d + i * op.width_dst;

@@ -1,0 +1,95 @@
+// Batch conversion kernels for the array ops the plan compiler produces
+// (kSwap / kCvtNum runs). Both conversion engines call these for large
+// arrays instead of iterating per element:
+//
+//  * the interpreter (convert/interp.cc) dispatches here from exec_swap /
+//    exec_cvt once `count >= kMinCount`, and
+//  * the DCG engine (vcode/jit_convert.cc) emits a direct call to the
+//    resolved kernel pointer instead of generating N scalar element bodies.
+//
+// Each kernel has a scalar unrolled baseline plus x86-64 SIMD variants
+// (SSSE3 pshufb byte-swap, SSE2/AVX2 converts), selected once per process
+// by cpuid (util/cpu.h). Non-x86 builds and pre-SSSE3 CPUs get the scalar
+// tier; tests can force any tier at or below the detected one.
+//
+// Contract (every kernel, every tier):
+//  * src and dst may be unaligned;
+//  * dst == src (identical element addresses, same element width) is
+//    allowed — the in-place receive-buffer path;
+//  * any other overlap is NOT allowed. Kernels process blocks with all
+//    loads before all stores, so partially-overlapping ranges would
+//    diverge from the interpreter's sequential per-element semantics.
+//    Callers check this (interp at run time, the JIT at codegen time)
+//    and keep the per-element path for the overlapping cases.
+//  * output is byte-identical to the scalar reference at every tier
+//    (asserted by tests/kernels_property_test.cc).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "convert/plan.h"
+
+namespace pbio::convert::kernels {
+
+/// Convert `count` elements from src to dst. Geometry (element widths) is
+/// baked into the kernel; see the lookup functions below.
+using KernelFn = void (*)(std::uint8_t* dst, const std::uint8_t* src,
+                          std::size_t count);
+
+/// Dispatch tiers, ordered. kSsse3 also assumes SSE2/SSE4.1-free encodings
+/// only; kAvx2 widens the swap and convert loops to 256 bits.
+enum class Isa : std::uint8_t { kScalar = 0, kSsse3 = 1, kAvx2 = 2 };
+
+const char* to_string(Isa isa);
+
+/// Best tier the running CPU supports (cpuid, cached).
+Isa detected_isa();
+
+/// Tier used by the no-Isa-argument lookups below.
+Isa active_isa();
+
+/// Force the active tier (clamped to detected_isa() — forcing down is
+/// always allowed, forcing up is ignored). For tests and benchmarks.
+/// Note the JIT resolves kernel pointers at codegen time: force the tier
+/// before compiling a plan to affect generated code.
+void force_isa(Isa isa);
+
+/// Restore active_isa() == detected_isa().
+void reset_isa();
+
+/// Element-count threshold below which callers keep their inline
+/// per-element code (loop setup + call overhead beats the win for tiny
+/// runs; the measured crossover is recorded in EXPERIMENTS.md).
+inline constexpr std::uint32_t kMinCount = 16;
+
+/// Byte-swap kernel for elements of `width` bytes (2, 4 or 8; other widths
+/// return nullptr). width_src == width_dst for kSwap ops.
+KernelFn swap_kernel(unsigned width);
+KernelFn swap_kernel(unsigned width, Isa isa);
+
+/// A kCvtNum op reduced to what a batch kernel needs: element kinds and
+/// widths plus whether the wire/native byte order differs from the host's
+/// on each side (exec_cvt's load-in-src-order / store-in-dst-order).
+struct CvtKey {
+  NumKind src_kind = NumKind::kInt;
+  std::uint8_t width_src = 0;
+  bool src_swap = false;
+  NumKind dst_kind = NumKind::kInt;
+  std::uint8_t width_dst = 0;
+  bool dst_swap = false;
+};
+
+/// Build the key for a kCvtNum op given the plan's byte orders.
+CvtKey cvt_key(const Op& op, ByteOrder src_order, ByteOrder dst_order);
+
+/// Batch kernel for a numeric conversion, or nullptr when the combination
+/// has no batch form (unusual widths, e.g. simulated 16-byte long-double
+/// slots) — callers keep their generic per-element loop. The scalar tier
+/// covers every 1/2/4/8-byte integer and 4/8-byte float pairing with
+/// monomorphized loops; SIMD tiers cover the common widen/narrow and
+/// f32<->f64 cases and otherwise fall back to the scalar form.
+KernelFn cvt_kernel(const CvtKey& key);
+KernelFn cvt_kernel(const CvtKey& key, Isa isa);
+
+}  // namespace pbio::convert::kernels

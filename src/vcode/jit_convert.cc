@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "convert/kernels/kernels.h"
 #include "util/endian.h"
 #include "vcode/execmem.h"
 #include "vcode/vcode.h"
@@ -9,6 +10,8 @@
 namespace pbio::vcode {
 
 namespace {
+
+namespace kernels = convert::kernels;
 
 using convert::ExecInput;
 using convert::NumKind;
@@ -74,12 +77,22 @@ class ConvertCompiler {
         emit_zero(ctx, op.dst_off, op.byte_len);
         return;
       case OpCode::kSwap:
+        if (try_emit_kernel_call(op, ctx,
+                                 kernels::swap_kernel(op.width_src))) {
+          return;
+        }
         emit_array(ctx, op, [this](Gp sb, std::int32_t so, Gp db,
                                    std::int32_t do_, const Op& o) {
           emit_swap_elem(sb, so, db, do_, o.width_src);
         });
         return;
       case OpCode::kCvtNum:
+        if (try_emit_kernel_call(
+                op, ctx,
+                kernels::cvt_kernel(kernels::cvt_key(op, plan_.src_order,
+                                                     plan_.dst_order)))) {
+          return;
+        }
         emit_array(ctx, op, [this](Gp sb, std::int32_t so, Gp db,
                                    std::int32_t do_, const Op& o) {
           emit_cvt_elem(sb, so, db, do_, o);
@@ -141,6 +154,45 @@ class ConvertCompiler {
   }
 
   // --- element arrays ----------------------------------------------------------
+
+  /// Large arrays: instead of generating `count` scalar element bodies (or
+  /// a scalar loop), emit one call to the batch kernel resolved for this
+  /// CPU at codegen time (convert/kernels — SIMD with scalar fallback).
+  /// Small arrays keep the inline code: it is branchless, costs no call,
+  /// and keeps the generated-code-size/codegen-cost story of
+  /// tableb_dcg_cost measurable.
+  ///
+  /// The kernel contract forbids partially-overlapping src/dst. Overlap can
+  /// only reach generated code through the in-place path (run() rejects any
+  /// other overlap), i.e. dst base == src base, so safety is decidable at
+  /// codegen time from the op's offsets. Top level only: inside a kSubLoop
+  /// the per-iteration bases make the intervals depend on the stride, and
+  /// per-record element runs are small anyway.
+  bool try_emit_kernel_call(const Op& op, const EmitCtx& ctx,
+                            kernels::KernelFn fn) {
+    if (fn == nullptr || ctx.loop_depth != 0 ||
+        op.count < kernels::kMinCount) {
+      return false;
+    }
+    if (plan_.inplace_safe) {
+      const std::uint64_t sbeg = op.src_off;
+      const std::uint64_t send =
+          sbeg + std::uint64_t{op.count} * op.width_src;
+      const std::uint64_t dbeg = op.dst_off;
+      const std::uint64_t dend =
+          dbeg + std::uint64_t{op.count} * op.width_dst;
+      const bool identical =
+          sbeg == dbeg && op.width_src == op.width_dst;
+      if (!identical && dend > sbeg && send > dbeg) return false;
+    }
+    // void kernel(uint8_t* dst, const uint8_t* src, size_t count) — the
+    // argument registers are scratch; loop registers are callee-saved.
+    b_.lea(Gp::rdi, ctx.dst_base, static_cast<std::int32_t>(op.dst_off));
+    b_.lea(Gp::rsi, ctx.src_base, static_cast<std::int32_t>(op.src_off));
+    b_.ld_imm32(Gp::rdx, op.count);
+    b_.call(reinterpret_cast<const void*>(fn));
+    return true;
+  }
 
   template <typename ElemFn>
   void emit_array(const EmitCtx& ctx, const Op& op, ElemFn&& elem) {

@@ -3,7 +3,11 @@
 // quadratic loop, a lost zero-copy path) without flaking on noisy machines.
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <vector>
+
 #include "baselines/mpilite/pack.h"
+#include "convert/interp.h"
 #include "baselines/xmlwire/encode.h"
 #include "bench_support/harness.h"
 #include "bench_support/workload.h"
@@ -96,6 +100,41 @@ TEST(PerfInvariants, DcgBeatsPerElementInterpretation) {
   const double t_dcg = measure_ms([&] { (void)dcg.run(in); });
   EXPECT_LT(t_dcg * 2.0, t_mpich)
       << "generated conversion no faster than per-element interpretation";
+}
+
+TEST(PerfInvariants, LargeArraySwapWithinConstantFactorOfMemcpy) {
+  // The interpreter's swap path for large arrays dispatches to the batch
+  // kernels (convert/kernels); a byte swap is at worst a shuffling copy,
+  // so it must stay within a small constant factor of memcpy on the same
+  // buffer — this guards against regressing to per-element dispatch
+  // (which is ~an order of magnitude off memcpy at this size).
+  constexpr std::uint32_t kCount = 256 * 1024;  // 1 MiB of uint32
+  convert::Plan plan;
+  plan.src_order = host_byte_order() == ByteOrder::kLittle
+                       ? ByteOrder::kBig
+                       : ByteOrder::kLittle;
+  plan.dst_order = host_byte_order();
+  plan.src_fixed_size = kCount * 4;
+  plan.dst_fixed_size = kCount * 4;
+  convert::Op op;
+  op.code = convert::OpCode::kSwap;
+  op.width_src = 4;
+  op.width_dst = 4;
+  op.count = kCount;
+  plan.ops.push_back(op);
+
+  std::vector<std::uint8_t> src(plan.src_fixed_size, 0x5C);
+  std::vector<std::uint8_t> dst(plan.dst_fixed_size);
+  convert::ExecInput in;
+  in.src = src.data();
+  in.src_size = src.size();
+  in.dst = dst.data();
+  in.dst_size = dst.size();
+  const double t_swap = measure_ms([&] { (void)convert::run_plan(plan, in); });
+  const double t_memcpy = measure_ms(
+      [&] { std::memcpy(dst.data(), src.data(), src.size()); });
+  EXPECT_LT(t_swap, t_memcpy * 8.0)
+      << "large-array swap fell back to per-element conversion";
 }
 
 TEST(PerfInvariants, IdentityPlanCostsNothing) {
