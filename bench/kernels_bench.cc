@@ -10,7 +10,10 @@
 #include <vector>
 
 #include "bench_support/harness.h"
+#include "bench_support/workload.h"
+#include "convert/interp.h"
 #include "convert/kernels/kernels.h"
+#include "obs/obs.h"
 #include "util/cpu.h"
 #include "util/endian.h"
 
@@ -167,6 +170,25 @@ int run() {
   }
   t.print();
 
+  // --- wire-path metrics snapshot -------------------------------------------
+  // Drive the interpreted decode over the heterogeneous workload set (the
+  // fig3 direction: x86 wire into sparc native) so the per-tier kernel
+  // dispatch counters reflect a realistic mix, then embed the registry
+  // snapshot in the JSON. With PBIO_OBS=OFF this is an empty snapshot.
+  obs::reset();
+  for (Size s : all_sizes()) {
+    Workload w = make_workload(s, arch::abi_x86(), arch::abi_sparc_v8());
+    const convert::Plan plan = convert::compile_plan(w.src_fmt, w.dst_fmt);
+    std::vector<std::uint8_t> out(w.dst_fmt.fixed_size);
+    convert::ExecInput in;
+    in.src = w.src_image.data();
+    in.src_size = w.src_image.size();
+    in.dst = out.data();
+    in.dst_size = out.size();
+    for (int i = 0; i < 32; ++i) (void)convert::run_plan(plan, in);
+  }
+  const std::string metrics = obs::to_json(obs::snapshot());
+
   // --- machine-readable trajectory ------------------------------------------
   std::FILE* f = std::fopen("BENCH_kernels.json", "w");
   if (f == nullptr) {
@@ -186,7 +208,8 @@ int run() {
                  r.kernel.c_str(), r.width, r.count, r.isa.c_str(), r.ns_elem,
                  r.speedup_vs_scalar, i + 1 == json.size() ? "" : ",");
   }
-  std::fprintf(f, "  ]\n}\n");
+  std::fprintf(f, "  ],\n  \"obs_enabled\": %s,\n  \"metrics\": %s\n}\n",
+               PBIO_OBS_ENABLED ? "true" : "false", metrics.c_str());
   std::fclose(f);
   std::printf("wrote BENCH_kernels.json (%zu rows)\n", json.size());
   return 0;

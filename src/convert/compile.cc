@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "convert/plan.h"
+#include "obs/span.h"
 #include "util/error.h"
 
 namespace pbio::convert {
@@ -503,6 +504,7 @@ std::string Plan::describe() const {
 
 Plan compile_plan(const fmt::FormatDesc& src, const fmt::FormatDesc& dst,
                   const CompileOptions& opts) {
+  OBS_SPAN("convert.plan.compile");
   return PlanCompiler(src, dst, opts).run();
 }
 

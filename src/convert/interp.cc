@@ -4,11 +4,34 @@
 #include <limits>
 
 #include "convert/kernels/kernels.h"
+#include "obs/span.h"
 #include "util/endian.h"
 
 namespace pbio::convert {
 
 namespace {
+
+#if PBIO_OBS_ENABLED
+/// Per-tier kernel usage (convert.kernels.<isa>.{calls,elems}). One add
+/// per dispatched op — amortized over >= kMinCount elements.
+void count_kernel_use(kernels::Isa isa, std::uint64_t elems) {
+  using obs::MetricId;
+  static const MetricId calls[3] = {
+      obs::counter("convert.kernels.scalar.calls"),
+      obs::counter("convert.kernels.ssse3.calls"),
+      obs::counter("convert.kernels.avx2.calls"),
+  };
+  static const MetricId counts[3] = {
+      obs::counter("convert.kernels.scalar.elems"),
+      obs::counter("convert.kernels.ssse3.elems"),
+      obs::counter("convert.kernels.avx2.elems"),
+  };
+  obs::counter_add(calls[static_cast<int>(isa)], 1);
+  obs::counter_add(counts[static_cast<int>(isa)], elems);
+}
+#else
+inline void count_kernel_use(kernels::Isa, std::uint64_t) {}
+#endif
 
 /// The batch kernels (convert/kernels) forbid partial overlap: they process
 /// blocks with all loads before all stores, so they are only sequentially
@@ -107,12 +130,14 @@ class Executor {
   void exec_swap(const Op& op, const std::uint8_t* s, std::uint8_t* d) {
     if (op.count >= kernels::kMinCount) {
       const std::size_t bytes = std::size_t{op.count} * op.width_src;
-      if (kernels::KernelFn fn = kernels::swap_kernel(op.width_src);
-          fn != nullptr && batch_ranges_ok(s, bytes, d, bytes)) {
-        fn(d, s, op.count);
+      if (const auto k = kernels::resolve_swap_kernel(op.width_src);
+          k.fn != nullptr && batch_ranges_ok(s, bytes, d, bytes)) {
+        k.fn(d, s, op.count);
+        count_kernel_use(k.isa, op.count);
         return;
       }
     }
+    OBS_COUNT("convert.interp.per_elem.elems", op.count);
     switch (op.width_src) {
       case 2:
         for (std::uint32_t i = 0; i < op.count; ++i) {
@@ -153,14 +178,16 @@ class Executor {
     const ByteOrder dord = plan_.dst_order;
     if (op.count >= kernels::kMinCount) {
       const kernels::CvtKey key = kernels::cvt_key(op, so, dord);
-      if (kernels::KernelFn fn = kernels::cvt_kernel(key);
-          fn != nullptr &&
+      if (const auto k = kernels::resolve_cvt_kernel(key);
+          k.fn != nullptr &&
           batch_ranges_ok(s, std::size_t{op.count} * op.width_src, d,
                           std::size_t{op.count} * op.width_dst)) {
-        fn(d, s, op.count);
+        k.fn(d, s, op.count);
+        count_kernel_use(k.isa, op.count);
         return;
       }
     }
+    OBS_COUNT("convert.interp.per_elem.elems", op.count);
     for (std::uint32_t i = 0; i < op.count; ++i) {
       const std::uint8_t* sp = s + i * op.width_src;
       std::uint8_t* dp = d + i * op.width_dst;

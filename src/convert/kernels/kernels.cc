@@ -135,32 +135,48 @@ CvtKey cvt_key(const Op& op, ByteOrder src_order, ByteOrder dst_order) {
   return k;
 }
 
-KernelFn swap_kernel(unsigned width, Isa isa) {
+Resolved resolve_swap_kernel(unsigned width, Isa isa) {
   if (isa >= Isa::kAvx2) {
-    if (KernelFn fn = avx2_swap_kernel(width)) return fn;
+    if (KernelFn fn = avx2_swap_kernel(width)) return {fn, Isa::kAvx2};
   }
   if (isa >= Isa::kSsse3) {
-    if (KernelFn fn = ssse3_swap_kernel(width)) return fn;
+    if (KernelFn fn = ssse3_swap_kernel(width)) return {fn, Isa::kSsse3};
   }
-  return scalar_swap_kernel(width);
+  return {scalar_swap_kernel(width), Isa::kScalar};
+}
+
+Resolved resolve_swap_kernel(unsigned width) {
+  return resolve_swap_kernel(width, active_isa());
+}
+
+Resolved resolve_cvt_kernel(const CvtKey& key, Isa isa) {
+  if (isa >= Isa::kAvx2) {
+    if (KernelFn fn = avx2_cvt_kernel(key)) return {fn, Isa::kAvx2};
+  }
+  if (isa >= Isa::kSsse3) {
+    if (KernelFn fn = ssse3_cvt_kernel(key)) return {fn, Isa::kSsse3};
+  }
+  return {scalar_cvt_kernel(key), Isa::kScalar};
+}
+
+Resolved resolve_cvt_kernel(const CvtKey& key) {
+  return resolve_cvt_kernel(key, active_isa());
+}
+
+KernelFn swap_kernel(unsigned width, Isa isa) {
+  return resolve_swap_kernel(width, isa).fn;
 }
 
 KernelFn swap_kernel(unsigned width) {
-  return swap_kernel(width, active_isa());
+  return resolve_swap_kernel(width, active_isa()).fn;
 }
 
 KernelFn cvt_kernel(const CvtKey& key, Isa isa) {
-  if (isa >= Isa::kAvx2) {
-    if (KernelFn fn = avx2_cvt_kernel(key)) return fn;
-  }
-  if (isa >= Isa::kSsse3) {
-    if (KernelFn fn = ssse3_cvt_kernel(key)) return fn;
-  }
-  return scalar_cvt_kernel(key);
+  return resolve_cvt_kernel(key, isa).fn;
 }
 
 KernelFn cvt_kernel(const CvtKey& key) {
-  return cvt_kernel(key, active_isa());
+  return resolve_cvt_kernel(key, active_isa()).fn;
 }
 
 }  // namespace pbio::convert::kernels

@@ -92,4 +92,19 @@ CvtKey cvt_key(const Op& op, ByteOrder src_order, ByteOrder dst_order);
 KernelFn cvt_kernel(const CvtKey& key);
 KernelFn cvt_kernel(const CvtKey& key, Isa isa);
 
+/// A resolved kernel plus the tier that actually provides it. Requested
+/// SIMD tiers fall through to lower tiers per shape (e.g. a width with no
+/// AVX2 form resolves to the SSSE3 or scalar kernel), so `isa` here is the
+/// tier of the returned function — what per-tier usage accounting wants —
+/// not the tier that was asked for.
+struct Resolved {
+  KernelFn fn = nullptr;
+  Isa isa = Isa::kScalar;
+};
+
+Resolved resolve_swap_kernel(unsigned width, Isa isa);
+Resolved resolve_swap_kernel(unsigned width);
+Resolved resolve_cvt_kernel(const CvtKey& key, Isa isa);
+Resolved resolve_cvt_kernel(const CvtKey& key);
+
 }  // namespace pbio::convert::kernels

@@ -1,0 +1,324 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <unordered_map>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#define PBIO_OBS_HAVE_RDTSC 1
+#else
+#define PBIO_OBS_HAVE_RDTSC 0
+#endif
+
+namespace pbio::obs {
+
+namespace {
+
+// Overflow slots: metric registrations past the fixed capacity all alias
+// index kMax-1 so recording stays safe without bounds checks on every add.
+constexpr std::uint32_t kCounterSink = kMaxCounters - 1;
+constexpr std::uint32_t kHistSink = kMaxHistograms - 1;
+
+struct HistSlot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t buckets[kHistBuckets] = {};
+};
+
+struct ThreadSlab {
+  std::uint64_t counters[kMaxCounters] = {};
+  HistSlot hists[kMaxHistograms];
+  std::uint32_t tid = 0;
+};
+
+// Producer side: single-writer relaxed load+store (compiles to a plain
+// add on x86). Snapshot side: relaxed loads, so concurrent reads are
+// torn-free without perturbing the writer.
+inline void slot_add(std::uint64_t& slot, std::uint64_t v) {
+  std::atomic_ref<std::uint64_t> ref(slot);
+  ref.store(ref.load(std::memory_order_relaxed) + v,
+            std::memory_order_relaxed);
+}
+
+inline std::uint64_t slot_load(std::uint64_t& slot) {
+  return std::atomic_ref<std::uint64_t>(slot).load(std::memory_order_relaxed);
+}
+
+struct Registry {
+  std::mutex mu;
+  std::vector<std::string> counter_names;
+  std::vector<std::string> hist_names;
+  std::unordered_map<std::string, MetricId> counter_ids;
+  std::unordered_map<std::string, MetricId> hist_ids;
+  std::vector<ThreadSlab*> live;
+  ThreadSlab retired;  // merged totals of exited threads
+  std::uint32_t next_tid = 1;
+};
+
+// Intentionally leaked: thread_local slab destructors (including ones on
+// threads that outlive main) and atexit hooks merge into the registry, so
+// it must survive static destruction.
+Registry& reg() {
+  static Registry* r = new Registry;
+  return *r;
+}
+
+struct SlabOwner {
+  ThreadSlab* slab;
+  SlabOwner() : slab(new ThreadSlab()) {
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    slab->tid = r.next_tid++;
+    r.live.push_back(slab);
+  }
+  ~SlabOwner() {
+    Registry& r = reg();
+    std::lock_guard<std::mutex> lock(r.mu);
+    for (std::uint32_t i = 0; i < kMaxCounters; ++i) {
+      r.retired.counters[i] += slab->counters[i];
+    }
+    for (std::uint32_t i = 0; i < kMaxHistograms; ++i) {
+      r.retired.hists[i].count += slab->hists[i].count;
+      r.retired.hists[i].sum += slab->hists[i].sum;
+      for (std::uint32_t b = 0; b < kHistBuckets; ++b) {
+        r.retired.hists[i].buckets[b] += slab->hists[i].buckets[b];
+      }
+    }
+    r.live.erase(std::find(r.live.begin(), r.live.end(), slab));
+    delete slab;
+  }
+};
+
+ThreadSlab& slab() {
+  thread_local SlabOwner owner;
+  return *owner.slab;
+}
+
+MetricId register_metric(std::vector<std::string>& names,
+                         std::unordered_map<std::string, MetricId>& ids,
+                         std::uint32_t capacity, std::uint32_t sink,
+                         std::string_view name) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = ids.find(std::string(name));
+  if (it != ids.end()) return it->second;
+  if (names.size() >= capacity) return sink;
+  const MetricId id = static_cast<MetricId>(names.size());
+  names.emplace_back(name);
+  ids.emplace(std::string(name), id);
+  return id;
+}
+
+}  // namespace
+
+MetricId counter(std::string_view name) {
+  Registry& r = reg();
+  return register_metric(r.counter_names, r.counter_ids, kMaxCounters,
+                         kCounterSink, name);
+}
+
+MetricId histogram(std::string_view name) {
+  Registry& r = reg();
+  return register_metric(r.hist_names, r.hist_ids, kMaxHistograms, kHistSink,
+                         name);
+}
+
+void counter_add(MetricId id, std::uint64_t v) {
+  slot_add(slab().counters[id < kMaxCounters ? id : kCounterSink], v);
+}
+
+void histogram_record(MetricId id, std::uint64_t ns) {
+  HistSlot& h = slab().hists[id < kMaxHistograms ? id : kHistSink];
+  slot_add(h.count, 1);
+  slot_add(h.sum, ns);
+  slot_add(h.buckets[hist_bucket(ns)], 1);
+}
+
+std::uint32_t thread_tid() { return slab().tid; }
+
+std::uint64_t HistogramSample::percentile_ns(double p) const {
+  if (count == 0) return 0;
+  const double want = p * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::uint32_t b = 0; b < kHistBuckets; ++b) {
+    seen += buckets[b];
+    if (static_cast<double>(seen) >= want) return hist_bucket_upper(b);
+  }
+  return hist_bucket_upper(kHistBuckets - 1);
+}
+
+const CounterSample* Snapshot::find_counter(std::string_view name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) return &c;
+  }
+  return nullptr;
+}
+
+const HistogramSample* Snapshot::find_histogram(std::string_view name) const {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+Snapshot snapshot() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  Snapshot s;
+  s.counters.reserve(r.counter_names.size());
+  for (std::size_t i = 0; i < r.counter_names.size(); ++i) {
+    CounterSample c;
+    c.name = r.counter_names[i];
+    c.value = r.retired.counters[i];
+    for (ThreadSlab* t : r.live) c.value += slot_load(t->counters[i]);
+    s.counters.push_back(std::move(c));
+  }
+  s.histograms.reserve(r.hist_names.size());
+  for (std::size_t i = 0; i < r.hist_names.size(); ++i) {
+    HistogramSample h;
+    h.name = r.hist_names[i];
+    h.count = r.retired.hists[i].count;
+    h.sum_ns = r.retired.hists[i].sum;
+    for (std::uint32_t b = 0; b < kHistBuckets; ++b) {
+      h.buckets[b] = r.retired.hists[i].buckets[b];
+    }
+    for (ThreadSlab* t : r.live) {
+      h.count += slot_load(t->hists[i].count);
+      h.sum_ns += slot_load(t->hists[i].sum);
+      for (std::uint32_t b = 0; b < kHistBuckets; ++b) {
+        h.buckets[b] += slot_load(t->hists[i].buckets[b]);
+      }
+    }
+    s.histograms.push_back(std::move(h));
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(s.counters.begin(), s.counters.end(), by_name);
+  std::sort(s.histograms.begin(), s.histograms.end(), by_name);
+  return s;
+}
+
+void reset() {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto zero = [](ThreadSlab& t) {
+    for (auto& c : t.counters) c = 0;
+    for (auto& h : t.hists) h = HistSlot{};
+  };
+  zero(r.retired);
+  for (ThreadSlab* t : r.live) zero(*t);
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+}
+
+}  // namespace
+
+std::string to_json(const Snapshot& snap) {
+  std::string out = "{\n  \"counters\": {";
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    out += i == 0 ? "\n" : ",\n";
+    out += "    \"";
+    append_json_escaped(out, snap.counters[i].name);
+    out += "\": " + std::to_string(snap.counters[i].value);
+  }
+  out += snap.counters.empty() ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  bool first = true;
+  for (const auto& h : snap.histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    append_json_escaped(out, h.name);
+    out += "\": {\"count\": " + std::to_string(h.count) +
+           ", \"sum_ns\": " + std::to_string(h.sum_ns) + ", \"buckets\": [";
+    std::uint32_t last = 0;
+    for (std::uint32_t b = 0; b < kHistBuckets; ++b) {
+      if (h.buckets[b] != 0) last = b + 1;
+    }
+    for (std::uint32_t b = 0; b < last; ++b) {
+      if (b != 0) out += ", ";
+      out += std::to_string(h.buckets[b]);
+    }
+    out += "]}";
+  }
+  out += first ? "}\n}" : "\n  }\n}";
+  return out;
+}
+
+// --- timing -----------------------------------------------------------------
+
+namespace {
+
+// ns = ticks * mult >> 20, fixed point. 0 means "not yet calibrated".
+std::atomic<std::uint64_t> g_tick_mult{0};
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+std::uint64_t ticks() {
+#if PBIO_OBS_HAVE_RDTSC
+  return __rdtsc();
+#else
+  return steady_ns();
+#endif
+}
+
+void calibrate() {
+#if PBIO_OBS_HAVE_RDTSC
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const std::uint64_t ns0 = steady_ns();
+    const std::uint64_t c0 = __rdtsc();
+    // ~2 ms busy wait: long enough to swamp clock granularity, short
+    // enough to be invisible at process scale. Runs once per process.
+    while (steady_ns() - ns0 < 2'000'000) {
+    }
+    const std::uint64_t ns1 = steady_ns();
+    const std::uint64_t c1 = __rdtsc();
+    const double ns_per_tick = static_cast<double>(ns1 - ns0) /
+                               static_cast<double>(c1 - c0 ? c1 - c0 : 1);
+    std::uint64_t mult =
+        static_cast<std::uint64_t>(ns_per_tick * (1 << 20) + 0.5);
+    if (mult == 0) mult = 1;
+    g_tick_mult.store(mult, std::memory_order_relaxed);
+  });
+#else
+  g_tick_mult.store(1 << 20, std::memory_order_relaxed);
+#endif
+}
+
+std::uint64_t ticks_to_ns(std::uint64_t delta) {
+  std::uint64_t mult = g_tick_mult.load(std::memory_order_relaxed);
+  if (mult == 0) {
+    calibrate();
+    mult = g_tick_mult.load(std::memory_order_relaxed);
+  }
+  return static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(delta) * mult) >> 20);
+}
+
+}  // namespace pbio::obs

@@ -1,0 +1,123 @@
+// Wire-path observability: a process-wide metrics registry with per-thread
+// lock-free counters and power-of-2-ns histograms, aggregated on snapshot.
+//
+// Hot-path contract: recording a counter or histogram sample touches only
+// this thread's slab — no atomics RMW, no locks, no allocation. The
+// registration side (naming a metric, first use on a thread) takes a mutex
+// once and is strictly cold. Snapshots aggregate the retired totals plus
+// every live thread slab under the same mutex; in-flight increments may or
+// may not be visible (monotonic counters, torn-free via relaxed
+// std::atomic_ref), so a snapshot taken after the producing threads joined
+// is exact.
+//
+// The span instrumentation layered on top lives in obs/span.h and is
+// compiled out entirely when the PBIO_OBS CMake option is OFF; this
+// registry API itself stays available in both configurations (it also
+// backs Context::stats()-style cold accounting and the pbio_stat tool).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pbio::obs {
+
+using MetricId = std::uint32_t;
+
+inline constexpr std::uint32_t kMaxCounters = 256;
+inline constexpr std::uint32_t kMaxHistograms = 64;
+/// Bucket 0 holds the value 0; bucket i (i >= 1) holds values in
+/// [2^(i-1), 2^i). 64 buckets cover the full uint64 ns range.
+inline constexpr std::uint32_t kHistBuckets = 64;
+
+/// Register (or look up) a counter / histogram by name. Idempotent; the
+/// returned id is stable for the process lifetime. Exceeding kMaxCounters /
+/// kMaxHistograms aliases everything onto a sink slot (never crashes).
+MetricId counter(std::string_view name);
+MetricId histogram(std::string_view name);
+
+/// Hot-path recording. `counter_add` bumps this thread's slot; `
+/// histogram_record` files `ns` into its power-of-2 bucket and maintains
+/// per-metric count and sum.
+void counter_add(MetricId id, std::uint64_t v);
+void histogram_record(MetricId id, std::uint64_t ns);
+
+/// Bucket index for a nanosecond value (exposed for tests).
+constexpr std::uint32_t hist_bucket(std::uint64_t ns) {
+  if (ns == 0) return 0;
+  std::uint32_t b = 0;
+  while (ns != 0) {
+    ns >>= 1;
+    ++b;
+  }
+  return b < kHistBuckets ? b : kHistBuckets - 1;
+}
+
+/// Inclusive upper bound of a bucket, for percentile reporting.
+constexpr std::uint64_t hist_bucket_upper(std::uint32_t bucket) {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+struct CounterSample {
+  std::string name;
+  std::uint64_t value = 0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::uint64_t count = 0;
+  std::uint64_t sum_ns = 0;
+  std::array<std::uint64_t, kHistBuckets> buckets{};
+
+  double mean_ns() const {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum_ns) / static_cast<double>(count);
+  }
+  /// Upper bound of the bucket where the cumulative count crosses p
+  /// (0 < p <= 1). An over-estimate by at most 2x — enough for the
+  /// order-of-magnitude questions this layer answers.
+  std::uint64_t percentile_ns(double p) const;
+};
+
+/// A consistent, name-sorted view of every registered metric.
+struct Snapshot {
+  std::vector<CounterSample> counters;
+  std::vector<HistogramSample> histograms;
+
+  const CounterSample* find_counter(std::string_view name) const;
+  const HistogramSample* find_histogram(std::string_view name) const;
+};
+
+Snapshot snapshot();
+
+/// Zero every slot (live slabs and retired totals). Racy against concurrent
+/// writers by design — tools and tests call it between quiescent phases.
+void reset();
+
+/// JSON exporter: {"counters": {...}, "histograms": {...}}. Histogram
+/// bucket arrays are trimmed after the last non-zero bucket.
+std::string to_json(const Snapshot& snap);
+
+/// Small dense id (1, 2, ...) for the calling thread — used as the trace
+/// "tid" and stable for the thread's lifetime.
+std::uint32_t thread_tid();
+
+// --- timing -----------------------------------------------------------------
+
+/// Raw timestamp: rdtsc on x86-64, steady_clock ns elsewhere.
+std::uint64_t ticks();
+
+/// Convert a tick *delta* to nanoseconds. Calibrated lazily (first span
+/// site or first explicit calibrate() call).
+std::uint64_t ticks_to_ns(std::uint64_t delta);
+
+/// One-time TSC-vs-steady_clock calibration (~2 ms busy measurement).
+/// Idempotent and thread-safe; span sites call it from their cold
+/// constructor so the record path never checks.
+void calibrate();
+
+}  // namespace pbio::obs

@@ -1,0 +1,118 @@
+#include "obs/trace.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace pbio::obs {
+
+namespace {
+
+struct TraceEvent {
+  const char* name;
+  std::uint32_t tid;
+  std::uint64_t start_ticks;
+  std::uint64_t end_ticks;
+  std::uint64_t arg;
+};
+
+struct TraceSink {
+  std::mutex mu;
+  std::vector<TraceEvent> events;
+  std::string path;
+  bool running = false;
+};
+
+std::atomic<bool> g_trace_on{false};
+
+// Intentionally leaked: the atexit flush hook and span destructors in other
+// translation units may run after this TU's static destructors, so the sink
+// must never be destroyed.
+TraceSink& sink() {
+  static TraceSink* s = new TraceSink;
+  return *s;
+}
+
+// PBIO_TRACE=<path> arms tracing before main(); the atexit hook flushes
+// whatever was collected when the process ends (covering benches and tools
+// that never call trace_stop() themselves).
+struct TraceEnvInit {
+  TraceEnvInit() {
+    std::atexit([] { trace_stop(); });
+    if (const char* p = std::getenv("PBIO_TRACE"); p != nullptr && *p != 0) {
+      trace_start(p);
+    }
+  }
+} g_trace_env_init;
+
+}  // namespace
+
+bool trace_enabled() { return g_trace_on.load(std::memory_order_relaxed); }
+
+bool trace_start(const std::string& path) {
+  TraceSink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.running) return false;
+  s.path = path;
+  s.events.clear();
+  s.events.reserve(4096);
+  s.running = true;
+  calibrate();
+  g_trace_on.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+void trace_emit(const char* name, std::uint64_t start_ticks,
+                std::uint64_t end_ticks, std::uint64_t arg) {
+  TraceSink& s = sink();
+  const std::uint32_t tid = thread_tid();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.running) return;
+  s.events.push_back({name, tid, start_ticks, end_ticks, arg});
+}
+
+std::size_t trace_stop() {
+  TraceSink& s = sink();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.running) return 0;
+  g_trace_on.store(false, std::memory_order_relaxed);
+  s.running = false;
+
+  std::FILE* f = std::fopen(s.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "pbio/obs: cannot write trace to '%s'\n",
+                 s.path.c_str());
+    s.events.clear();
+    return 0;
+  }
+  std::uint64_t t0 = ~std::uint64_t{0};
+  for (const TraceEvent& e : s.events) {
+    if (e.start_ticks < t0) t0 = e.start_ticks;
+  }
+  std::fprintf(f, "{\"traceEvents\": [\n");
+  for (std::size_t i = 0; i < s.events.size(); ++i) {
+    const TraceEvent& e = s.events[i];
+    const double ts_us =
+        static_cast<double>(ticks_to_ns(e.start_ticks - t0)) / 1e3;
+    const double dur_us =
+        static_cast<double>(ticks_to_ns(e.end_ticks - e.start_ticks)) / 1e3;
+    std::fprintf(f,
+                 "  {\"name\": \"%s\", \"cat\": \"pbio\", \"ph\": \"X\", "
+                 "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u, "
+                 "\"args\": {\"arg\": %llu}}%s\n",
+                 e.name, ts_us, dur_us, e.tid,
+                 static_cast<unsigned long long>(e.arg),
+                 i + 1 == s.events.size() ? "" : ",");
+  }
+  std::fprintf(f, "]}\n");
+  std::fclose(f);
+  const std::size_t n = s.events.size();
+  s.events.clear();
+  return n;
+}
+
+}  // namespace pbio::obs

@@ -1,0 +1,35 @@
+// chrome://tracing / Perfetto trace-event export.
+//
+// Activation: set PBIO_TRACE=<path> in the environment (the file is
+// written at process exit), or call trace_start()/trace_stop()
+// programmatically. While tracing is off, trace_enabled() is one relaxed
+// bool load — span destructors branch on it and pay nothing else.
+//
+// The output is the Trace Event Format's "complete" (ph: "X") events,
+// one per span, with microsecond timestamps relative to the first event:
+// load the file at chrome://tracing or https://ui.perfetto.dev.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pbio::obs {
+
+/// Cheap check spans use to skip event recording entirely.
+bool trace_enabled();
+
+/// Begin buffering trace events, to be written to `path` on trace_stop()
+/// (or process exit). Returns false if tracing is already running.
+bool trace_start(const std::string& path);
+
+/// Flush buffered events to the file given at trace_start() and disable
+/// tracing. No-op when tracing is off. Returns the number of events
+/// written.
+std::size_t trace_stop();
+
+/// Record one complete span. `name` must outlive the trace (string
+/// literals; span sites guarantee this). Tick values come from obs::ticks().
+void trace_emit(const char* name, std::uint64_t start_ticks,
+                std::uint64_t end_ticks, std::uint64_t arg);
+
+}  // namespace pbio::obs

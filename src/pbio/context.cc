@@ -1,6 +1,7 @@
 #include "pbio/context.h"
 
 #include "convert/plan.h"
+#include "obs/span.h"
 
 namespace pbio {
 
@@ -10,7 +11,8 @@ std::shared_ptr<const Conversion> Context::conversion(FormatId wire,
     std::lock_guard<std::mutex> lock(mu_);
     auto it = conversions_.find({wire, native});
     if (it != conversions_.end()) {
-      ++stats_.conversion_cache_hits;
+      conversion_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      OBS_COUNT("pbio.conv.cache_hits", 1);
       return it->second;
     }
   }
@@ -22,20 +24,31 @@ std::shared_ptr<const Conversion> Context::conversion(FormatId wire,
   // Compile outside the lock: compilation can take microseconds-to-
   // milliseconds and concurrent readers must not serialize on it. A racing
   // duplicate compile is tolerated; first one in wins.
-  auto conv =
-      std::make_shared<const Conversion>(convert::compile_plan(*src, *dst));
+  std::shared_ptr<const Conversion> conv;
+  {
+    OBS_SPAN("pbio.conv.compile");
+    conv =
+        std::make_shared<const Conversion>(convert::compile_plan(*src, *dst));
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = conversions_.try_emplace({wire, native}, conv);
   if (inserted) {
-    ++stats_.conversions_compiled;
-    stats_.jit_code_bytes += conv->code_size();
+    conversions_compiled_.fetch_add(1, std::memory_order_relaxed);
+    jit_code_bytes_.fetch_add(conv->code_size(), std::memory_order_relaxed);
+    OBS_COUNT("pbio.conv.compiled", 1);
+    OBS_COUNT("pbio.conv.jit_code_bytes", conv->code_size());
   }
   return it->second;
 }
 
 Context::Stats Context::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats s;
+  s.conversions_compiled =
+      conversions_compiled_.load(std::memory_order_relaxed);
+  s.conversion_cache_hits =
+      conversion_cache_hits_.load(std::memory_order_relaxed);
+  s.jit_code_bytes = jit_code_bytes_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace pbio

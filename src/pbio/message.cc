@@ -3,9 +3,30 @@
 #include <algorithm>
 #include <cstring>
 
+#include "obs/span.h"
 #include "value/read.h"
 
 namespace pbio {
+
+namespace {
+
+/// Engine-split decode spans: one histogram per engine so snapshots show
+/// where conversion time goes (kDcg vs kInterpreted), with the source size
+/// riding on the trace event. Span sites latch their name at first use, so
+/// the conditional needs two distinct sites rather than one dynamic name.
+Status run_conversion(const Conversion& conv, const convert::ExecInput& in,
+                      Engine engine) {
+  if (engine == Engine::kDcg) {
+    OBS_SPAN("pbio.decode.dcg", in.src_size);
+    OBS_COUNT("pbio.decode.records.dcg", 1);
+    return conv.run(in, engine);
+  }
+  OBS_SPAN("pbio.decode.interp", in.src_size);
+  OBS_COUNT("pbio.decode.records.interp", 1);
+  return conv.run(in, engine);
+}
+
+}  // namespace
 
 Status Message::decode_into(void* out, std::size_t size, Engine engine) {
   if (!has_native() || conv_ == nullptr) {
@@ -17,6 +38,7 @@ Status Message::decode_into(void* out, std::size_t size, Engine engine) {
     if (size < native_->fixed_size) {
       return Status(Errc::kTruncated, "output smaller than record");
     }
+    OBS_COUNT("pbio.decode.identity_hits", 1);
     std::memcpy(out, payload_.data(),
                 std::min<std::size_t>(payload_.size(), native_->fixed_size));
     return Status::ok();
@@ -29,7 +51,7 @@ Status Message::decode_into(void* out, std::size_t size, Engine engine) {
   in.mode = convert::VarMode::kPointers;
   in.arena = arena_.get();
   in.borrow_from_src = true;  // pointers may alias this message's buffer
-  return conv_->run(in, engine);
+  return run_conversion(*conv_, in, engine);
 }
 
 Status Message::decode_at(std::size_t index, void* out, std::size_t size,
@@ -45,6 +67,7 @@ Status Message::decode_at(std::size_t index, void* out, std::size_t size,
     if (size < native_->fixed_size) {
       return Status(Errc::kTruncated, "output smaller than record");
     }
+    OBS_COUNT("pbio.decode.identity_hits", 1);
     std::memcpy(out, payload_.data() + at, native_->fixed_size);
     return Status::ok();
   }
@@ -56,7 +79,7 @@ Status Message::decode_at(std::size_t index, void* out, std::size_t size,
   in.mode = convert::VarMode::kPointers;
   in.arena = arena_.get();
   in.borrow_from_src = true;
-  return conv_->run(in, engine);
+  return run_conversion(*conv_, in, engine);
 }
 
 Status Message::convert_in_place(Engine engine) {
@@ -74,7 +97,7 @@ Status Message::convert_in_place(Engine engine) {
   in.src_size = payload_.size();
   in.dst = base;
   in.dst_size = payload_.size();
-  Status st = conv_->run(in, engine);
+  Status st = run_conversion(*conv_, in, engine);
   if (st.is_ok()) converted_in_place_ = true;
   return st;
 }

@@ -14,6 +14,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "obs/span.h"
 #include "pbio/context.h"
 #include "value/value.h"
 
@@ -58,6 +59,7 @@ class Message {
       return Status(Errc::kTypeMismatch, "T smaller than native format");
     }
     if (zero_copy()) {
+      OBS_COUNT("pbio.decode.identity_hits", 1);
       return reinterpret_cast<const T*>(payload_.data());
     }
     if (decoded_.empty()) {
@@ -94,6 +96,7 @@ class Message {
                     "indexed views require matching layouts; decode records "
                     "individually via decode_at");
     }
+    OBS_COUNT("pbio.decode.identity_hits", 1);
     return reinterpret_cast<const T*>(payload_.data() +
                                       index * wire_->fixed_size);
   }

@@ -1,6 +1,7 @@
 #include "pbio/reader.h"
 
 #include "fmt/meta.h"
+#include "obs/span.h"
 #include "pbio/encode.h"
 
 namespace pbio {
@@ -14,6 +15,9 @@ void Reader::expect(Context::FormatId native_id) {
 }
 
 Result<Message> Reader::next() {
+  // Spans the whole fetch — including any transport wait, which is exactly
+  // what a round-trip trace wants to show between encode and decode.
+  OBS_SPAN("pbio.recv.next");
   while (true) {
     auto frame_result = channel_.recv();
     if (!frame_result.is_ok()) return frame_result.status();
@@ -22,8 +26,11 @@ Result<Message> Reader::next() {
       return Status(Errc::kMalformed, "empty frame");
     }
     const std::uint8_t kind = frame[0];
+    OBS_COUNT("pbio.recv.frames", 1);
+    OBS_COUNT("pbio.recv.bytes", frame.size());
 
     if (kind == kFrameFormat) {
+      OBS_COUNT("pbio.recv.format_frames", 1);
       auto meta = fmt::decode_meta(
           std::span(frame.data() + 1, frame.size() - 1));
       if (!meta.is_ok()) return meta.status();
@@ -38,6 +45,7 @@ Result<Message> Reader::next() {
     if (frame.size() < kDataHeaderSize) {
       return Status(Errc::kTruncated, "short data frame");
     }
+    OBS_COUNT("pbio.recv.data_frames", 1);
     const Context::FormatId wire_id = load_uint(
         frame.data() + kDataHeaderIdOffset, 8, ByteOrder::kLittle);
     const fmt::FormatDesc* wire = ctx_.find(wire_id);

@@ -1,6 +1,7 @@
 #include "pbio/writer.h"
 
 #include "fmt/meta.h"
+#include "obs/span.h"
 
 namespace pbio {
 
@@ -14,6 +15,7 @@ Status Writer::announce(Context::FormatId fmt_id) {
   frame.append_uint(kFrameFormat, 1, ByteOrder::kLittle);
   const auto meta = fmt::encode_meta(*f);
   frame.append(meta.data(), meta.size());
+  OBS_COUNT("pbio.encode.meta_bytes", frame.view().size());
   Status st = channel_.send(frame.view());
   if (st.is_ok()) announced_.insert(fmt_id);
   return st;
@@ -29,11 +31,16 @@ Status Writer::send_payload(Context::FormatId fmt_id,
   const std::span<const std::uint8_t> segs[] = {
       {header, kDataHeaderSize}, image};
   st = channel_.send_gather(segs);
-  if (st.is_ok()) ++records_written_;
+  if (st.is_ok()) {
+    ++records_written_;
+    OBS_COUNT("pbio.encode.records", 1);
+    OBS_COUNT("pbio.encode.data_bytes", kDataHeaderSize + image.size());
+  }
   return st;
 }
 
 Status Writer::write(Context::FormatId fmt_id, const void* record) {
+  OBS_SPAN("pbio.encode");
   const fmt::FormatDesc* f = ctx_.find(fmt_id);
   if (f == nullptr) {
     return Status(Errc::kUnknownFormat, "write: format not registered");
@@ -51,6 +58,7 @@ Status Writer::write(Context::FormatId fmt_id, const void* record) {
 
 Status Writer::write_image(Context::FormatId fmt_id,
                            std::span<const std::uint8_t> image) {
+  OBS_SPAN("pbio.encode", image.size());
   if (ctx_.find(fmt_id) == nullptr) {
     return Status(Errc::kUnknownFormat, "write_image: format not registered");
   }
@@ -59,6 +67,7 @@ Status Writer::write_image(Context::FormatId fmt_id,
 
 Status Writer::write_array(Context::FormatId fmt_id, const void* records,
                            std::uint32_t count) {
+  OBS_SPAN("pbio.encode", count);
   const fmt::FormatDesc* f = ctx_.find(fmt_id);
   if (f == nullptr) {
     return Status(Errc::kUnknownFormat, "write_array: format not registered");

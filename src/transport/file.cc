@@ -1,5 +1,6 @@
 #include "transport/file.h"
 
+#include "obs/span.h"
 #include "util/endian.h"
 
 namespace pbio::transport {
@@ -30,6 +31,8 @@ Status FileWriteChannel::send(std::span<const std::uint8_t> bytes) {
     return Status(Errc::kIo, "short write to frame log");
   }
   bytes_sent_ += bytes.size();
+  OBS_COUNT("transport.file.msgs_out", 1);
+  OBS_COUNT("transport.file.bytes_out", bytes.size());
   return Status::ok();
 }
 
@@ -79,6 +82,8 @@ Result<std::vector<std::uint8_t>> FileReadChannel::recv() {
       std::fread(frame.data(), 1, frame.size(), file_) != frame.size()) {
     return Status(Errc::kTruncated, "truncated frame body");
   }
+  OBS_COUNT("transport.file.msgs_in", 1);
+  OBS_COUNT("transport.file.bytes_in", frame.size());
   return frame;
 }
 

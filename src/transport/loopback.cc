@@ -1,5 +1,7 @@
 #include "transport/loopback.h"
 
+#include "obs/span.h"
+
 namespace pbio::transport {
 
 std::pair<std::unique_ptr<LoopbackChannel>, std::unique_ptr<LoopbackChannel>>
@@ -22,6 +24,8 @@ Status LoopbackChannel::send(std::span<const std::uint8_t> bytes) {
   }
   out_->messages.emplace_back(bytes.begin(), bytes.end());
   bytes_sent_ += bytes.size();
+  OBS_COUNT("transport.loopback.msgs_out", 1);
+  OBS_COUNT("transport.loopback.bytes_out", bytes.size());
   out_->cv.notify_one();
   return Status::ok();
 }
@@ -34,6 +38,8 @@ Result<std::vector<std::uint8_t>> LoopbackChannel::recv() {
   }
   std::vector<std::uint8_t> msg = std::move(in_->messages.front());
   in_->messages.pop_front();
+  OBS_COUNT("transport.loopback.msgs_in", 1);
+  OBS_COUNT("transport.loopback.bytes_in", msg.size());
   return msg;
 }
 

@@ -10,6 +10,7 @@
 #include <cerrno>
 #include <cstring>
 
+#include "obs/span.h"
 #include "util/endian.h"
 
 namespace pbio::transport {
@@ -95,6 +96,8 @@ Status SocketChannel::send_gather(
     }
   }
   bytes_sent_ += total;
+  OBS_COUNT("transport.socket.msgs_out", 1);
+  OBS_COUNT("transport.socket.bytes_out", total);
   return Status::ok();
 }
 
@@ -130,6 +133,8 @@ Result<std::vector<std::uint8_t>> SocketChannel::recv() {
     }
     at += static_cast<std::size_t>(r);
   }
+  OBS_COUNT("transport.socket.msgs_in", 1);
+  OBS_COUNT("transport.socket.bytes_in", msg.size());
   return msg;
 }
 

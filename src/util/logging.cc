@@ -1,5 +1,7 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -8,19 +10,43 @@
 namespace pbio {
 
 namespace {
-LogLevel parse_env() {
-  const char* v = std::getenv("PBIO_LOG");
-  if (v == nullptr) return LogLevel::kOff;
-  if (std::strcmp(v, "debug") == 0) return LogLevel::kDebug;
-  if (std::strcmp(v, "info") == 0) return LogLevel::kInfo;
-  if (std::strcmp(v, "warn") == 0) return LogLevel::kWarn;
-  return LogLevel::kOff;
-}
+
 std::mutex g_log_mutex;
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Monotonic origin for the +N.NNNms column: the first emitted line.
+std::uint64_t log_epoch_ns() {
+  static const std::uint64_t t0 = now_ns();
+  return t0;
+}
+
+/// Small dense per-thread id (t1, t2, ...), assigned on first log line.
+std::uint32_t log_thread_id() {
+  static std::atomic<std::uint32_t> next{1};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
 
+LogLevel parse_log_level(const char* value) {
+  if (value == nullptr) return LogLevel::kOff;
+  if (std::strcmp(value, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(value, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(value, "warn") == 0) return LogLevel::kWarn;
+  return LogLevel::kOff;
+}
+
 LogLevel log_threshold() {
-  static const LogLevel level = parse_env();
+  // One getenv + parse per process, not per line.
+  static const LogLevel level = parse_log_level(std::getenv("PBIO_LOG"));
   return level;
 }
 
@@ -28,8 +54,15 @@ void log_emit(LogLevel level, const std::string& msg) {
   const char* tag = level == LogLevel::kDebug  ? "D"
                     : level == LogLevel::kInfo ? "I"
                                                : "W";
+  // Latch the epoch before reading the clock: with the operands the other
+  // way round the first line could sample `now` before the epoch exists
+  // and underflow the subtraction.
+  const std::uint64_t epoch = log_epoch_ns();
+  const double ms = static_cast<double>(now_ns() - epoch) / 1e6;
+  const std::uint32_t tid = log_thread_id();
   std::lock_guard<std::mutex> lock(g_log_mutex);
-  std::fprintf(stderr, "[pbio:%s] %s\n", tag, msg.c_str());
+  std::fprintf(stderr, "[pbio:%s +%.3fms t%u] %s\n", tag, ms, tid,
+               msg.c_str());
 }
 
 }  // namespace pbio

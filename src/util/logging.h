@@ -1,5 +1,9 @@
 // Minimal leveled logging. Off by default; enabled via PBIO_LOG env var
 // (PBIO_LOG=debug|info|warn). Never used on data-path hot loops.
+//
+// Each emitted line carries the level tag, a monotonic timestamp relative
+// to the first log line, and a small dense thread id:
+//   [pbio:I +12.345ms t1] message
 #pragma once
 
 #include <sstream>
@@ -9,24 +13,36 @@ namespace pbio {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
 
+/// Parse a PBIO_LOG value ("debug"/"info"/"warn"); anything else — including
+/// nullptr — is kOff. Exposed for tests; log_threshold() caches one call.
+LogLevel parse_log_level(const char* value);
+
+/// The active threshold. The PBIO_LOG environment variable is read and
+/// parsed exactly once per process, on first use.
 LogLevel log_threshold();
+
 void log_emit(LogLevel level, const std::string& msg);
 
 namespace detail {
 class LogLine {
  public:
-  explicit LogLine(LogLevel level) : level_(level) {}
+  // Latch the threshold comparison once per line: streaming into a
+  // disabled line is a single dead branch per operator<<, with no repeated
+  // threshold lookups.
+  explicit LogLine(LogLevel level)
+      : level_(level), enabled_(level >= log_threshold()) {}
   ~LogLine() {
-    if (level_ >= log_threshold()) log_emit(level_, os_.str());
+    if (enabled_) log_emit(level_, os_.str());
   }
   template <typename T>
   LogLine& operator<<(const T& v) {
-    if (level_ >= log_threshold()) os_ << v;
+    if (enabled_) os_ << v;
     return *this;
   }
 
  private:
   LogLevel level_;
+  bool enabled_;
   std::ostringstream os_;
 };
 }  // namespace detail

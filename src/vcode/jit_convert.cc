@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "convert/kernels/kernels.h"
+#include "obs/span.h"
 #include "util/endian.h"
 #include "vcode/execmem.h"
 #include "vcode/vcode.h"
@@ -191,6 +192,11 @@ class ConvertCompiler {
     b_.lea(Gp::rsi, ctx.src_base, static_cast<std::int32_t>(op.src_off));
     b_.ld_imm32(Gp::rdx, op.count);
     b_.call(reinterpret_cast<const void*>(fn));
+    // Runtime calls through generated code are invisible to the interp
+    // dispatch counters, so account the callsite (and the per-record
+    // element count it will convert) here at codegen time.
+    OBS_COUNT("vcode.jit.kernel_callsites", 1);
+    OBS_COUNT("vcode.jit.kernel_callsite_elems", op.count);
     return true;
   }
 
@@ -337,8 +343,11 @@ struct CompiledConvert::Impl {
 CompiledConvert::CompiledConvert(Plan plan) : impl_(std::make_unique<Impl>()) {
   impl_->plan = std::move(plan);
   if (!jit_supported()) return;
+  OBS_SPAN("vcode.jit.compile");
+  OBS_COUNT("vcode.jit.compiles", 1);
   ConvertCompiler compiler(impl_->plan);
   const std::vector<std::uint8_t> code = compiler.compile();
+  OBS_COUNT("vcode.jit.code_bytes", code.size());
   impl_->buf = std::make_unique<ExecBuffer>(code.size());
   std::memcpy(impl_->buf->data(), code.data(), code.size());
   impl_->buf->make_executable();

@@ -1,0 +1,92 @@
+// Tests for util/logging: PBIO_LOG parsing, one-shot threshold caching,
+// and the emitted line format ([pbio:<LVL> +<ms> t<tid>] message).
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <regex>
+#include <string>
+
+namespace pbio {
+namespace {
+
+TEST(Logging, ParseLevel) {
+  EXPECT_EQ(parse_log_level("debug"), LogLevel::kDebug);
+  EXPECT_EQ(parse_log_level("info"), LogLevel::kInfo);
+  EXPECT_EQ(parse_log_level("warn"), LogLevel::kWarn);
+  EXPECT_EQ(parse_log_level(nullptr), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level(""), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("verbose"), LogLevel::kOff);
+  EXPECT_EQ(parse_log_level("INFO"), LogLevel::kOff);  // case-sensitive
+}
+
+TEST(Logging, ThresholdIsCachedAcrossEnvChanges) {
+  const LogLevel first = log_threshold();
+  // The PBIO_LOG parse is latched on first use: later env changes must not
+  // alter the active threshold (no getenv on the log path).
+  ::setenv("PBIO_LOG", first == LogLevel::kDebug ? "warn" : "debug", 1);
+  EXPECT_EQ(log_threshold(), first);
+  ::unsetenv("PBIO_LOG");
+  EXPECT_EQ(log_threshold(), first);
+}
+
+TEST(Logging, EmitFormatCarriesLevelTimestampAndThread) {
+  testing::internal::CaptureStderr();
+  log_emit(LogLevel::kWarn, "hello wire");
+  const std::string out = testing::internal::GetCapturedStderr();
+  const std::regex re(
+      R"(\[pbio:W \+[0-9]+\.[0-9]{3}ms t[0-9]+\] hello wire\n)");
+  EXPECT_TRUE(std::regex_match(out, re)) << "got: " << out;
+}
+
+TEST(Logging, EmitTagsMatchLevels) {
+  testing::internal::CaptureStderr();
+  log_emit(LogLevel::kDebug, "d");
+  log_emit(LogLevel::kInfo, "i");
+  log_emit(LogLevel::kWarn, "w");
+  const std::string out = testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[pbio:D "), std::string::npos);
+  EXPECT_NE(out.find("[pbio:I "), std::string::npos);
+  EXPECT_NE(out.find("[pbio:W "), std::string::npos);
+}
+
+TEST(Logging, SameThreadKeepsOneId) {
+  testing::internal::CaptureStderr();
+  log_emit(LogLevel::kInfo, "a");
+  log_emit(LogLevel::kInfo, "b");
+  const std::string out = testing::internal::GetCapturedStderr();
+  const std::regex re(R"( (t[0-9]+)\] a\n.* (t[0-9]+)\] b\n)");
+  std::smatch m;
+  ASSERT_TRUE(std::regex_search(out, m, re)) << "got: " << out;
+  EXPECT_EQ(m[1].str(), m[2].str());
+}
+
+TEST(Logging, MonotonicTimestampsNeverDecrease) {
+  testing::internal::CaptureStderr();
+  log_emit(LogLevel::kInfo, "first");
+  log_emit(LogLevel::kInfo, "second");
+  const std::string out = testing::internal::GetCapturedStderr();
+  const std::regex re(R"(\+([0-9]+\.[0-9]{3})ms)");
+  std::sregex_iterator it(out.begin(), out.end(), re), end;
+  ASSERT_NE(it, end);
+  const double t1 = std::stod((*it)[1].str());
+  ++it;
+  ASSERT_NE(it, end);
+  const double t2 = std::stod((*it)[1].str());
+  EXPECT_GE(t2, t1);
+}
+
+TEST(Logging, DisabledLinesEmitNothing) {
+  if (log_threshold() != LogLevel::kOff) {
+    GTEST_SKIP() << "PBIO_LOG set in the environment";
+  }
+  testing::internal::CaptureStderr();
+  log_debug() << "invisible " << 42;
+  log_info() << "also invisible";
+  log_warn() << "still invisible";
+  EXPECT_EQ(testing::internal::GetCapturedStderr(), "");
+}
+
+}  // namespace
+}  // namespace pbio

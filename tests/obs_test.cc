@@ -1,0 +1,221 @@
+// Tests for the observability layer: multi-thread counter aggregation,
+// histogram bucket math, snapshot determinism, the JSON exporter, the
+// chrome-trace writer, and the span macros (the latter only when
+// PBIO_OBS=ON — the registry API itself works in both configurations).
+#include "obs/obs.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/span.h"
+#include "obs/trace.h"
+
+namespace pbio::obs {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+TEST(ObsCounters, AggregateExactlyAcrossThreads) {
+  reset();
+  const MetricId id = counter("test.obs.mt_counter");
+  constexpr int kThreads = 8;
+  constexpr int kIters = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([id] {
+      for (int i = 0; i < kIters; ++i) counter_add(id, 3);
+    });
+  }
+  for (auto& t : threads) t.join();
+  // All producers joined: the snapshot must be exact, including the merged
+  // totals of the already-retired thread slabs.
+  const Snapshot snap = snapshot();
+  const CounterSample* c = snap.find_counter("test.obs.mt_counter");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, static_cast<std::uint64_t>(kThreads) * kIters * 3);
+}
+
+TEST(ObsCounters, RegistrationIsIdempotent) {
+  const MetricId a = counter("test.obs.same");
+  const MetricId b = counter("test.obs.same");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, counter("test.obs.other"));
+}
+
+TEST(ObsHistogram, BucketMath) {
+  // Bucket 0 = {0}; bucket i = [2^(i-1), 2^i).
+  EXPECT_EQ(hist_bucket(0), 0u);
+  EXPECT_EQ(hist_bucket(1), 1u);
+  EXPECT_EQ(hist_bucket(2), 2u);
+  EXPECT_EQ(hist_bucket(3), 2u);
+  EXPECT_EQ(hist_bucket(4), 3u);
+  EXPECT_EQ(hist_bucket(1023), 10u);
+  EXPECT_EQ(hist_bucket(1024), 11u);
+  EXPECT_EQ(hist_bucket(~std::uint64_t{0}), kHistBuckets - 1);
+
+  EXPECT_EQ(hist_bucket_upper(0), 0u);
+  EXPECT_EQ(hist_bucket_upper(1), 1u);
+  EXPECT_EQ(hist_bucket_upper(2), 3u);
+  EXPECT_EQ(hist_bucket_upper(11), 2047u);
+  // Every value lands in a bucket whose bounds contain it.
+  for (std::uint64_t v : {0ull, 1ull, 7ull, 4096ull, 1234567ull}) {
+    const std::uint32_t b = hist_bucket(v);
+    EXPECT_LE(v, hist_bucket_upper(b));
+    if (b > 0) EXPECT_GT(v, hist_bucket_upper(b - 1));
+  }
+}
+
+TEST(ObsHistogram, RecordCountSumAndPercentiles) {
+  reset();
+  const MetricId id = histogram("test.obs.hist");
+  for (std::uint64_t v : {0ull, 1ull, 3ull, 1024ull}) histogram_record(id, v);
+  const Snapshot snap = snapshot();
+  const HistogramSample* h = snap.find_histogram("test.obs.hist");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 4u);
+  EXPECT_EQ(h->sum_ns, 1028u);
+  EXPECT_EQ(h->buckets[0], 1u);
+  EXPECT_EQ(h->buckets[1], 1u);
+  EXPECT_EQ(h->buckets[2], 1u);
+  EXPECT_EQ(h->buckets[11], 1u);
+  EXPECT_DOUBLE_EQ(h->mean_ns(), 257.0);
+  // Cumulative crossing: p50 lands in bucket 1 (cum 2 of 4), p100 in the
+  // 1024 bucket.
+  EXPECT_EQ(h->percentile_ns(0.5), hist_bucket_upper(1));
+  EXPECT_EQ(h->percentile_ns(1.0), hist_bucket_upper(11));
+}
+
+TEST(ObsSnapshot, SortedByNameAndDeterministic) {
+  reset();
+  counter_add(counter("test.obs.zz"), 1);
+  counter_add(counter("test.obs.aa"), 2);
+  histogram_record(histogram("test.obs.h_b"), 10);
+  histogram_record(histogram("test.obs.h_a"), 10);
+  const Snapshot s1 = snapshot();
+  for (std::size_t i = 1; i < s1.counters.size(); ++i) {
+    EXPECT_LT(s1.counters[i - 1].name, s1.counters[i].name);
+  }
+  for (std::size_t i = 1; i < s1.histograms.size(); ++i) {
+    EXPECT_LT(s1.histograms[i - 1].name, s1.histograms[i].name);
+  }
+  // No traffic in between: a second snapshot is identical.
+  const Snapshot s2 = snapshot();
+  EXPECT_EQ(to_json(s1), to_json(s2));
+}
+
+TEST(ObsSnapshot, ResetZeroesValuesButKeepsNames) {
+  counter_add(counter("test.obs.reset_me"), 41);
+  reset();
+  const Snapshot snap = snapshot();
+  const CounterSample* c = snap.find_counter("test.obs.reset_me");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, 0u);
+}
+
+TEST(ObsJson, ExportsCountersAndTrimmedHistograms) {
+  reset();
+  counter_add(counter("test.obs.json_c"), 7);
+  histogram_record(histogram("test.obs.json_h"), 5);  // bucket 3
+  const std::string json = to_json(snapshot());
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.json_c\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.json_h\""), std::string::npos);
+  EXPECT_NE(json.find("\"sum_ns\": 5"), std::string::npos);
+  // Bucket array trimmed after the last non-zero bucket (index 3).
+  EXPECT_NE(json.find("[0, 0, 0, 1]"), std::string::npos);
+}
+
+TEST(ObsTrace, WriterProducesChromeTraceEvents) {
+  const std::string path = testing::TempDir() + "obs_trace_test.json";
+  ASSERT_TRUE(trace_start(path));
+  EXPECT_TRUE(trace_enabled());
+  const std::uint64_t t0 = ticks();
+  const std::uint64_t t1 = ticks();
+  trace_emit("test.obs.span_a", t0, t1, 42);
+  trace_emit("test.obs.span_b", t0, t1, 0);
+  EXPECT_EQ(trace_stop(), 2u);
+  EXPECT_FALSE(trace_enabled());
+
+  const std::string body = slurp(path);
+  EXPECT_NE(body.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(body.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\": \"test.obs.span_a\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\": \"test.obs.span_b\""), std::string::npos);
+  EXPECT_NE(body.find("\"args\": {\"arg\": 42}"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ObsTrace, StopWithoutStartIsNoop) { EXPECT_EQ(trace_stop(), 0u); }
+
+TEST(ObsTiming, TicksMonotonicAndCalibrated) {
+  calibrate();
+  const auto wall0 = std::chrono::steady_clock::now();
+  const std::uint64_t t0 = ticks();
+  while (std::chrono::steady_clock::now() - wall0 <
+         std::chrono::milliseconds(2)) {
+  }
+  const std::uint64_t t1 = ticks();
+  ASSERT_GT(t1, t0);
+  const std::uint64_t ns = ticks_to_ns(t1 - t0);
+  // 2 ms busy wait: accept a generous window for noisy CI machines.
+  EXPECT_GT(ns, 500'000u);
+  EXPECT_LT(ns, 200'000'000u);
+}
+
+TEST(ObsThreads, TidsAreSmallDenseAndStable) {
+  const std::uint32_t here = thread_tid();
+  EXPECT_GT(here, 0u);
+  EXPECT_EQ(thread_tid(), here);
+  std::uint32_t other = 0;
+  std::thread([&] { other = thread_tid(); }).join();
+  EXPECT_GT(other, 0u);
+  EXPECT_NE(other, here);
+}
+
+#if PBIO_OBS_ENABLED
+TEST(ObsSpan, MacroRecordsIntoNamedHistogram) {
+  reset();
+  for (int i = 0; i < 5; ++i) {
+    OBS_SPAN("test.obs.macro_span");
+  }
+  OBS_COUNT("test.obs.macro_count", 2);
+  OBS_COUNT("test.obs.macro_count", 3);
+  const Snapshot snap = snapshot();
+  const HistogramSample* h = snap.find_histogram("test.obs.macro_span");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 5u);
+  const CounterSample* c = snap.find_counter("test.obs.macro_count");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->value, 5u);
+}
+
+TEST(ObsSpan, SpansFeedTraceSinkWhenEnabled) {
+  const std::string path = testing::TempDir() + "obs_span_trace.json";
+  ASSERT_TRUE(trace_start(path));
+  {
+    OBS_SPAN("test.obs.traced_span", 7);
+  }
+  EXPECT_EQ(trace_stop(), 1u);
+  const std::string body = slurp(path);
+  EXPECT_NE(body.find("\"name\": \"test.obs.traced_span\""),
+            std::string::npos);
+  EXPECT_NE(body.find("\"args\": {\"arg\": 7}"), std::string::npos);
+  std::remove(path.c_str());
+}
+#endif  // PBIO_OBS_ENABLED
+
+}  // namespace
+}  // namespace pbio::obs

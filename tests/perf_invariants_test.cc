@@ -11,6 +11,7 @@
 #include "baselines/xmlwire/encode.h"
 #include "bench_support/harness.h"
 #include "bench_support/workload.h"
+#include "obs/span.h"
 #include "pbio/pbio.h"
 #include "vcode/jit_convert.h"
 
@@ -136,6 +137,50 @@ TEST(PerfInvariants, LargeArraySwapWithinConstantFactorOfMemcpy) {
   EXPECT_LT(t_swap, t_memcpy * 8.0)
       << "large-array swap fell back to per-element conversion";
 }
+
+#if PBIO_OBS_ENABLED
+TEST(PerfInvariants, EnabledIdleSpanOverheadUnder2PercentOfDecode) {
+  // The observability contract: an OBS_SPAN whose trace sink is idle costs
+  // a predicted branch + two rdtsc + one per-thread histogram bump. Pin
+  // that against the work it instruments — the fig3 large-message
+  // interpreted decode — so instrumentation creep shows up as a test
+  // failure, not a silent bench regression.
+  obs::calibrate();
+  Workload w = make_workload(Size::k100KB, arch::abi_x86(),
+                             arch::abi_sparc_v8());
+  const convert::Plan plan = convert::compile_plan(w.src_fmt, w.dst_fmt);
+  std::vector<std::uint8_t> out(w.dst_fmt.fixed_size);
+  convert::ExecInput in;
+  in.src = w.src_image.data();
+  in.src_size = w.src_image.size();
+  in.dst = out.data();
+  in.dst_size = out.size();
+  const double decode_ms = measure_ms([&] { (void)convert::run_plan(plan, in); });
+
+  constexpr int kSpans = 1000;
+  const double spans_ms = measure_ms([&] {
+    for (int i = 0; i < kSpans; ++i) {
+      OBS_SPAN("test.perf.idle_span");
+    }
+  });
+  const double per_span_ms = spans_ms / kSpans;
+  EXPECT_LT(per_span_ms, decode_ms * 0.02)
+      << "idle span costs " << per_span_ms * 1e6 << " ns vs decode "
+      << decode_ms * 1e6 << " ns";
+}
+#else   // !PBIO_OBS_ENABLED
+TEST(PerfInvariants, DisabledSpansCompileToNothing) {
+  // With PBIO_OBS=OFF the macros expand to ((void)0); a million of them
+  // must be unmeasurable (well under a microsecond for the whole loop).
+  const double ms = measure_ms([&] {
+    for (int i = 0; i < 1000000; ++i) {
+      OBS_SPAN("test.perf.compiled_out");
+      OBS_COUNT("test.perf.compiled_out", 1);
+    }
+  });
+  EXPECT_LT(ms, 0.001);
+}
+#endif  // PBIO_OBS_ENABLED
 
 TEST(PerfInvariants, IdentityPlanCostsNothing) {
   Workload w = make_workload(Size::k100KB, arch::abi_x86_64(),

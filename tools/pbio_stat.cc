@@ -1,0 +1,115 @@
+// pbio_stat — run a canned loopback workload through the full wire path
+// (announce, encode, transport, decode via both engines, identity fast
+// path) and print the observability snapshot. Doubles as the exporters'
+// smoke test: --json emits the obs::to_json snapshot, and setting
+// PBIO_TRACE=<file> in the environment records a chrome://tracing /
+// Perfetto trace of the run.
+//
+//   pbio_stat [--json] [--messages N]
+//     --json        print the JSON snapshot instead of the human tables
+//     --messages N  messages per (size, direction) cell (default 64)
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "bench_support/harness.h"
+#include "bench_support/workload.h"
+#include "obs/obs.h"
+#include "pbio/pbio.h"
+#include "transport/loopback.h"
+
+namespace pbio {
+namespace {
+
+void run_cell(bench::Size s, const arch::Abi& src, const arch::Abi& dst,
+              int messages) {
+  Context ctx;
+  auto [wch, rch] = transport::make_loopback_pair();
+  bench::Workload w = bench::make_workload(s, src, dst);
+  const auto wire_id = ctx.register_format(w.src_fmt);
+  const auto native_id = ctx.register_format(w.dst_fmt);
+  Writer writer(ctx, *wch);
+  Reader reader(ctx, *rch);
+  reader.expect(native_id);
+
+  std::vector<std::uint8_t> out(w.dst_fmt.fixed_size);
+  for (int i = 0; i < messages; ++i) {
+    if (!writer.write_image(wire_id, w.src_image).is_ok()) return;
+    auto msg = reader.next();
+    if (!msg.is_ok()) return;
+    // Both engines on every message so the snapshot shows the DCG-vs-
+    // interpreted split (identity pairs count fast-path hits instead).
+    (void)msg.value().decode_into(out.data(), out.size(), Engine::kDcg);
+    (void)msg.value().decode_into(out.data(), out.size(),
+                                  Engine::kInterpreted);
+  }
+}
+
+std::string fmt_us_cell(double ns) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", ns / 1e3);
+  return buf;
+}
+
+int run(bool json, int messages) {
+  // Canned workload: every size, a heterogeneous direction (x86 wire into
+  // x86-64 native: swaps-free but size-changing conversion) and a
+  // homogeneous one (identity, the zero-copy path).
+  for (bench::Size s : bench::all_sizes()) {
+    run_cell(s, arch::abi_x86(), arch::abi_x86_64(), messages);
+    run_cell(s, arch::abi_x86_64(), arch::abi_x86_64(), messages);
+  }
+
+  const obs::Snapshot snap = obs::snapshot();
+  if (json) {
+    std::printf("%s\n", obs::to_json(snap).c_str());
+    return 0;
+  }
+
+#if !PBIO_OBS_ENABLED
+  std::printf("note: built with PBIO_OBS=OFF — span histograms and hot-path "
+              "counters are compiled out;\nonly always-on accounting "
+              "appears below.\n");
+#endif
+  bench::Table counters("Counters", {"metric", "value"});
+  for (const auto& c : snap.counters) {
+    counters.add_row({c.name, std::to_string(c.value)});
+  }
+  counters.print();
+
+  bench::Table spans("Span histograms (us)",
+                     {"span", "count", "mean", "p50<=", "p99<=", "total_ms"});
+  for (const auto& h : snap.histograms) {
+    if (h.count == 0) continue;
+    spans.add_row({h.name, std::to_string(h.count), fmt_us_cell(h.mean_ns()),
+                   fmt_us_cell(static_cast<double>(h.percentile_ns(0.5))),
+                   fmt_us_cell(static_cast<double>(h.percentile_ns(0.99))),
+                   bench::fmt_ms(static_cast<double>(h.sum_ns) / 1e6)});
+  }
+  spans.print();
+  std::printf(
+      "\np50/p99 are power-of-2 bucket upper bounds. Set PBIO_TRACE=out.json "
+      "to record\na chrome://tracing / Perfetto trace of this workload.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace pbio
+
+int main(int argc, char** argv) {
+  bool json = false;
+  int messages = 64;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (std::strcmp(argv[i], "--messages") == 0 && i + 1 < argc) {
+      messages = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+      if (messages <= 0) messages = 1;
+    } else {
+      std::fprintf(stderr, "usage: pbio_stat [--json] [--messages N]\n");
+      return 2;
+    }
+  }
+  return pbio::run(json, messages);
+}
