@@ -70,7 +70,7 @@ int run() {
         Writer fresh(ctx, ch);
         Stopwatch sw;
         (void)fresh.write_image(id, w.src_image);
-        total += sw.elapsed_ns() / 1e6;
+        total += static_cast<double>(sw.elapsed_ns()) / 1e6;
       }
       return total / kRounds;
     }();

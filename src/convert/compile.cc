@@ -168,6 +168,17 @@ class PlanCompiler {
     compile_atomic_array(s, d, src_base, dst_base, ops);
   }
 
+  /// Widths the conversion engines (and their batch kernels / generated
+  /// code) can load and store as elements. Anything else must be rejected
+  /// here, at plan-build time: emitting a kSwap/kCvtNum with, say, a 3- or
+  /// 16-byte width would pass format validation yet be UB (or silently
+  /// truncating) at execution time. The static verifier enforces the same
+  /// vocabulary as a backstop.
+  static bool convertible_width(std::uint32_t elem_size) {
+    return elem_size == 1 || elem_size == 2 || elem_size == 4 ||
+           elem_size == 8;
+  }
+
   void compile_atomic_array(const FieldDesc& s, const FieldDesc& d,
                             std::uint32_t src_base, std::uint32_t dst_base,
                             std::vector<Op>& ops) {
@@ -175,6 +186,14 @@ class PlanCompiler {
     const std::uint32_t src_off = src_base + s.offset;
     const std::uint32_t dst_off = dst_base + d.offset;
     if (count > 0) {
+      if (!elem_identical(s, d) &&
+          (!convertible_width(s.elem_size) || !convertible_width(d.elem_size))) {
+        throw PlanBuildError(d.name, "element size " +
+                                         std::to_string(s.elem_size) + "->" +
+                                         std::to_string(d.elem_size) +
+                                         " is not convertible (engines "
+                                         "handle 1/2/4/8-byte elements)");
+      }
       if (elem_identical(s, d)) {
         Op op;
         op.code = OpCode::kCopy;
@@ -291,6 +310,18 @@ class PlanCompiler {
     const FieldDesc* dim = src_fmt.find_field(s.var_dim_field);
     if (dim == nullptr) {
       throw PbioError("compile: dangling var-dim reference");
+    }
+    // Element counts are loaded with load_uint at decode time and the
+    // interpreter divides the received byte count by src_stride — both
+    // need the vocabulary the engines actually support.
+    if (!convertible_width(dim->elem_size)) {
+      throw PlanBuildError(s.var_dim_field,
+                           "variable-array dim width " +
+                               std::to_string(dim->elem_size) +
+                               " not in {1,2,4,8}");
+    }
+    if (s.elem_size == 0 || d.elem_size == 0) {
+      throw PlanBuildError(d.name, "variable array with zero element size");
     }
     Op op;
     op.code = OpCode::kVarArray;

@@ -269,6 +269,11 @@ class Executor {
       std::memset(dst_slot, 0, plan_.dst_pointer_size);
       return Status::ok();
     }
+    // The verifier rejects zero-stride plans before execution; keep a
+    // guard here anyway so the division below can never be UB.
+    if (op.src_stride == 0) {
+      return Status(Errc::kMalformed, "variable array with zero stride");
+    }
     if (off > in_.src_size || count > (in_.src_size - off) / op.src_stride) {
       return Status(Errc::kMalformed, "variable array out of range");
     }

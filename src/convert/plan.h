@@ -17,6 +17,23 @@
 
 namespace pbio::convert {
 
+/// Thrown by compile_plan when a *validated* pair of format descriptions
+/// still yields an op the execution engines cannot run safely (element
+/// width outside the engines' vocabulary, degenerate stride, ...). Distinct
+/// from PbioError so callers can tell "malformed format description" from
+/// "format describable but not convertible"; carries the offending field.
+class PlanBuildError : public PbioError {
+ public:
+  PlanBuildError(const std::string& field, const std::string& what)
+      : PbioError("plan build: field '" + field + "': " + what),
+        field_(field) {}
+
+  const std::string& field() const { return field_; }
+
+ private:
+  std::string field_;
+};
+
 /// Element kind for numeric conversion ops.
 enum class NumKind : std::uint8_t { kInt = 0, kUInt = 1, kFloat = 2 };
 
@@ -92,6 +109,13 @@ struct Plan {
   /// op's unread source bytes.
   bool inplace_safe = false;
 
+  /// Set once the plan has passed verify::verify_plan (src/verify) — the
+  /// static bounds/width/overlap analysis that must run before either
+  /// engine executes the plan. Context sets it after compiling and
+  /// verifying; vcode::CompiledConvert refuses to emit or run code for a
+  /// plan that is neither pre-verified nor verifiable.
+  bool verified = false;
+
   /// Fields in the wire record with no counterpart in the native record
   /// (ignored, per the type-extension rules) and vice versa (zero-filled).
   std::vector<std::string> ignored_wire_fields;
@@ -112,7 +136,10 @@ struct CompileOptions {
 /// Compile a conversion from wire format `src` to native format `dst`.
 /// Field correspondence is by name; unmatched wire fields are ignored,
 /// unmatched native fields zero-filled. Throws PbioError only on malformed
-/// format descriptions (validate() failures), never on honest mismatches.
+/// format descriptions (validate() failures), never on honest mismatches;
+/// throws PlanBuildError when a validated format pair still demands an op
+/// outside the engines' vocabulary (element or dim widths not in
+/// {1,2,4,8}, zero variable-element sizes).
 Plan compile_plan(const fmt::FormatDesc& src, const fmt::FormatDesc& dst,
                   const CompileOptions& opts = {});
 

@@ -66,7 +66,9 @@ void validate_fields(const FormatDesc& root, const FormatDesc& f,
     const std::string where = "format '" + f.name + "' field '" + fd.name + "'";
     if (fd.name.empty()) throw PbioError("format '" + f.name + "': empty field name");
     if (fd.slot_size == 0) throw PbioError(where + ": zero slot size");
-    if (fd.offset + fd.slot_size > f.fixed_size) {
+    // 64-bit sum: offset + slot_size near UINT32_MAX must not wrap back
+    // under fixed_size and slip through.
+    if (std::uint64_t{fd.offset} + fd.slot_size > f.fixed_size) {
       throw PbioError(where + ": slot extends past fixed_size");
     }
     if (fd.is_variable()) {
@@ -79,7 +81,8 @@ void validate_fields(const FormatDesc& root, const FormatDesc& f,
       }
     } else if (fd.base != BaseType::kStruct) {
       if (fd.elem_size == 0) throw PbioError(where + ": zero element size");
-      if (fd.slot_size != fd.elem_size * fd.static_elems) {
+      if (fd.slot_size !=
+          std::uint64_t{fd.elem_size} * fd.static_elems) {
         throw PbioError(where + ": slot size != elem_size * static_elems");
       }
     }
@@ -130,7 +133,8 @@ void validate_no_overlap(const FormatDesc& f) {
               return a->offset < b->offset;
             });
   for (std::size_t i = 1; i < sorted.size(); ++i) {
-    if (sorted[i - 1]->offset + sorted[i - 1]->slot_size > sorted[i]->offset) {
+    if (std::uint64_t{sorted[i - 1]->offset} + sorted[i - 1]->slot_size >
+        sorted[i]->offset) {
       throw PbioError("format '" + f.name + "': fields '" +
                       sorted[i - 1]->name + "' and '" + sorted[i]->name +
                       "' overlap");

@@ -48,6 +48,10 @@ inline std::uint64_t slot_load(std::uint64_t& slot) {
   return std::atomic_ref<std::uint64_t>(slot).load(std::memory_order_relaxed);
 }
 
+inline void slot_store(std::uint64_t& slot, std::uint64_t v) {
+  std::atomic_ref<std::uint64_t>(slot).store(v, std::memory_order_relaxed);
+}
+
 struct Registry {
   std::mutex mu;
   std::vector<std::string> counter_names;
@@ -204,9 +208,17 @@ Snapshot snapshot() {
 void reset() {
   Registry& r = reg();
   std::lock_guard<std::mutex> lock(r.mu);
+  // Live slabs belong to running threads that update them with relaxed
+  // atomic_ref stores outside the lock; zero them the same way so a
+  // concurrent reset is torn-free (an increment racing the reset may win
+  // or lose — that ambiguity is inherent to resetting a live system).
   auto zero = [](ThreadSlab& t) {
-    for (auto& c : t.counters) c = 0;
-    for (auto& h : t.hists) h = HistSlot{};
+    for (auto& c : t.counters) slot_store(c, 0);
+    for (auto& h : t.hists) {
+      slot_store(h.count, 0);
+      slot_store(h.sum, 0);
+      for (auto& b : h.buckets) slot_store(b, 0);
+    }
   };
   zero(r.retired);
   for (ThreadSlab* t : r.live) zero(*t);

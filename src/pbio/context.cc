@@ -1,12 +1,15 @@
 #include "pbio/context.h"
 
+#include <cassert>
+
 #include "convert/plan.h"
 #include "obs/span.h"
+#include "verify/verify.h"
 
 namespace pbio {
 
-std::shared_ptr<const Conversion> Context::conversion(FormatId wire,
-                                                      FormatId native) {
+Result<std::shared_ptr<const Conversion>> Context::try_conversion(
+    FormatId wire, FormatId native) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = conversions_.find({wire, native});
@@ -19,17 +22,38 @@ std::shared_ptr<const Conversion> Context::conversion(FormatId wire,
   const fmt::FormatDesc* src = registry_.find(wire);
   const fmt::FormatDesc* dst = registry_.find(native);
   if (src == nullptr || dst == nullptr) {
-    throw PbioError("Context::conversion: unknown format id");
+    return Status(Errc::kUnknownFormat,
+                  "Context::conversion: unknown format id");
   }
   // Compile outside the lock: compilation can take microseconds-to-
   // milliseconds and concurrent readers must not serialize on it. A racing
   // duplicate compile is tolerated; first one in wins.
-  std::shared_ptr<const Conversion> conv;
+  convert::Plan plan;
   {
     OBS_SPAN("pbio.conv.compile");
-    conv =
-        std::make_shared<const Conversion>(convert::compile_plan(*src, *dst));
+    try {
+      plan = convert::compile_plan(*src, *dst);
+    } catch (const convert::PlanBuildError& e) {
+      OBS_COUNT("pbio.conv.verify_rejects", 1);
+      return Status(Errc::kMalformed, e.what());
+    }
   }
+  // Static verification before the plan can ever execute: the wire format
+  // is untrusted input and the compiled plan is about to become (possibly
+  // generated) code running over raw buffers. A failure here means either
+  // a plan-compiler bug or a forged plan — hard-fail in debug builds,
+  // reject the format in release.
+  {
+    OBS_SPAN("pbio.conv.verify");
+    Status vst = verify::verify_status(plan);
+    if (!vst.is_ok()) {
+      OBS_COUNT("pbio.conv.verify_rejects", 1);
+      assert(false && "compile_plan produced an unverifiable plan");
+      return vst;
+    }
+  }
+  plan.verified = true;
+  auto conv = std::make_shared<const Conversion>(std::move(plan));
   std::lock_guard<std::mutex> lock(mu_);
   auto [it, inserted] = conversions_.try_emplace({wire, native}, conv);
   if (inserted) {
@@ -39,6 +63,15 @@ std::shared_ptr<const Conversion> Context::conversion(FormatId wire,
     OBS_COUNT("pbio.conv.jit_code_bytes", conv->code_size());
   }
   return it->second;
+}
+
+std::shared_ptr<const Conversion> Context::conversion(FormatId wire,
+                                                      FormatId native) {
+  auto result = try_conversion(wire, native);
+  if (!result.is_ok()) {
+    throw PbioError(result.status().to_string());
+  }
+  return std::move(result).take();
 }
 
 Context::Stats Context::stats() const {

@@ -76,8 +76,13 @@ Result<Message> Reader::next() {
     }
     auto it = expected_by_name_.find(wire->name);
     if (it != expected_by_name_.end()) {
+      // An announced format whose conversion plan fails static verification
+      // is rejected here, before any plan could execute over the payload —
+      // the wire format is untrusted input, not API misuse.
+      auto conv = ctx_.try_conversion(wire_id, it->second);
+      if (!conv.is_ok()) return conv.status();
       m.native_ = ctx_.find(it->second);
-      m.conv_ = ctx_.conversion(wire_id, it->second);
+      m.conv_ = std::move(conv).take();
     }
     return m;
   }

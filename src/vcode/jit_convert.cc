@@ -7,6 +7,7 @@
 #include "util/endian.h"
 #include "vcode/execmem.h"
 #include "vcode/vcode.h"
+#include "verify/verify.h"
 
 namespace pbio::vcode {
 
@@ -335,6 +336,7 @@ struct CompiledConvert::Impl {
   Plan plan;
   std::unique_ptr<ExecBuffer> buf;
   std::size_t code_size = 0;
+  Status verify_error;  // non-ok: plan failed verification, never execute
 
   using Fn = int (*)(const std::uint8_t*, std::uint8_t*, JitRt*);
   Fn fn = nullptr;
@@ -342,6 +344,18 @@ struct CompiledConvert::Impl {
 
 CompiledConvert::CompiledConvert(Plan plan) : impl_(std::make_unique<Impl>()) {
   impl_->plan = std::move(plan);
+  // Generated code has no per-op bounds checks: it trusts the plan's
+  // geometry completely. Never emit code — and never fall back to the
+  // interpreter either — for a plan the static verifier has not accepted.
+  if (!impl_->plan.verified) {
+    Status vst = verify::verify_status(impl_->plan);
+    if (!vst.is_ok()) {
+      OBS_COUNT("vcode.jit.verify_rejects", 1);
+      impl_->verify_error = std::move(vst);
+      return;
+    }
+    impl_->plan.verified = true;
+  }
   if (!jit_supported()) return;
   OBS_SPAN("vcode.jit.compile");
   OBS_COUNT("vcode.jit.compiles", 1);
@@ -373,6 +387,7 @@ const Plan& CompiledConvert::plan() const { return impl_->plan; }
 
 Status CompiledConvert::run(const ExecInput& in) const {
   const Plan& plan = impl_->plan;
+  if (!impl_->verify_error.is_ok()) return impl_->verify_error;
   if (impl_->fn == nullptr) {
     return convert::run_plan(plan, in);  // portable fallback
   }

@@ -10,6 +10,11 @@
 //
 // On non-x86-64 hosts CompiledConvert transparently falls back to the
 // interpreter (jitted() reports false).
+//
+// Plans must pass the static verifier (src/verify) before any code is
+// generated: a plan not already marked `verified` is verified here, and on
+// failure CompiledConvert refuses to emit code — run() then returns the
+// verifier's kMalformed status without executing either engine.
 #pragma once
 
 #include <cstdint>

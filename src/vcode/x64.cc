@@ -5,7 +5,6 @@ namespace pbio::vcode {
 namespace {
 std::uint8_t lo3(Gp r) { return static_cast<std::uint8_t>(r) & 7; }
 std::uint8_t lo3(Xmm r) { return static_cast<std::uint8_t>(r) & 7; }
-bool hi(Gp r) { return static_cast<std::uint8_t>(r) >= 8; }
 }  // namespace
 
 void X64Emitter::imm32(std::uint32_t v) {

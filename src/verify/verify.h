@@ -1,0 +1,80 @@
+// Static verifier for conversion-plan IR.
+//
+// A conversion plan is a little program compiled at run time from an
+// *untrusted* sender's format announcement (paper §3): once compiled it runs
+// over raw buffers with no per-op bounds checks, either in the table-driven
+// interpreter or as generated machine code. The verifier runs abstract
+// interpretation over the ops *before* any execution and proves the memory
+// shape of the program:
+//
+//  * every fixed-part read falls inside the wire record and every write
+//    inside the native record (64-bit arithmetic, so width x count cannot
+//    wrap);
+//  * op fields are legal for their opcode (kSwap widths in {2,4,8} with
+//    width_src == width_dst, kCvtNum widths/kinds valid, strides nonzero);
+//  * kSubLoop / kVarArray geometry is consistent: stride x count stays in
+//    bounds and every sub-op stays inside its element's strides, with no
+//    nested loops or variable ops below the first level (the flat-subformat
+//    invariant the JIT relies on);
+//  * destination intervals never overlap (no double writes — a symptom of a
+//    plan-compiler bug or a forged plan);
+//  * the plan's declared flags (identity, inplace_safe, has_variable) are
+//    consistent with what the ops actually do, so downstream fast paths
+//    (zero-copy views, receive-buffer reuse, batch-kernel emission) cannot
+//    be tricked into unsafe shortcuts.
+//
+// Callers: Context verifies every plan it compiles (hard assert in debug
+// builds, format rejection + pbio.conv.verify_rejects in release);
+// vcode::CompiledConvert refuses to emit or run code for a plan that has
+// not passed.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "convert/plan.h"
+#include "util/error.h"
+
+namespace pbio::verify {
+
+/// What a finding violates. Stable vocabulary for tests and counters.
+enum class Check : std::uint8_t {
+  kSrcBounds = 0,  // read outside the wire record / element
+  kDstBounds,      // write outside the native record / element
+  kWidth,          // element width illegal for the opcode
+  kKind,           // NumKind / OpCode enum value out of range
+  kGeometry,       // degenerate shape: zero stride, empty loop body, ...
+  kNesting,        // loop or variable op below the allowed depth
+  kOverlap,        // two ops write the same destination bytes
+  kFlag,           // declared plan flag contradicts the ops
+};
+
+const char* to_string(Check c);
+
+struct Issue {
+  Check check = Check::kGeometry;
+  std::string where;    // op path, e.g. "ops[3].sub[1]"
+  std::string message;  // human-readable detail
+};
+
+struct Report {
+  std::vector<Issue> issues;
+
+  bool ok() const { return issues.empty(); }
+  /// "ops[3]: swap width 3 not in {2,4,8}; ..." — every issue, '; '-joined.
+  std::string to_string() const;
+};
+
+struct VerifyOptions {
+  /// Upper bound on total ops (including sub-plans); a forged announcement
+  /// must not make the verifier itself a DoS vector.
+  std::uint32_t max_ops = 1u << 16;
+};
+
+/// Analyze `plan`. Never throws; never reads record data (static only).
+Report verify_plan(const convert::Plan& plan, const VerifyOptions& opts = {});
+
+/// Convenience wrapper: Ok, or kMalformed carrying the joined report.
+Status verify_status(const convert::Plan& plan, const VerifyOptions& opts = {});
+
+}  // namespace pbio::verify

@@ -38,7 +38,7 @@ TEST(ArrayMessage, HomogeneousArrayZeroCopyIndexing) {
     auto cell = msg.value().view_at<Cell>(i);
     ASSERT_TRUE(cell.is_ok()) << i;
     EXPECT_EQ(cell.value()->id, static_cast<int>(i));
-    EXPECT_EQ(cell.value()->v[2], i + 0.3);
+    EXPECT_EQ(cell.value()->v[2], static_cast<double>(i) + 0.3);
   }
   EXPECT_FALSE(msg.value().view_at<Cell>(10).is_ok());
 }

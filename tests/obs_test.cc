@@ -73,7 +73,9 @@ TEST(ObsHistogram, BucketMath) {
   for (std::uint64_t v : {0ull, 1ull, 7ull, 4096ull, 1234567ull}) {
     const std::uint32_t b = hist_bucket(v);
     EXPECT_LE(v, hist_bucket_upper(b));
-    if (b > 0) EXPECT_GT(v, hist_bucket_upper(b - 1));
+    if (b > 0) {
+      EXPECT_GT(v, hist_bucket_upper(b - 1));
+    }
   }
 }
 

@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""wire_lint: static checks for wire-handling hygiene in library code.
+
+The conversion engines run (possibly JIT-generated) code over raw network
+buffers, so undisciplined pointer play in src/ is how wire bugs are born.
+This linter enforces three rules over src/**/*.{h,cc}:
+
+  R1 reinterpret-cast   every `reinterpret_cast` must be allowlisted (the
+                        allowlist entry documents why the cast is sound) or
+                        carry an inline `// wire-lint: ok <reason>`.
+  R2 c-cast-deref       C-style pointer-deref casts of multi-byte scalar
+                        types (`*(uint32_t*)p` and friends) are raw
+                        unaligned loads; use util/endian.h load_uint /
+                        store_uint instead. Never allowlisted.
+  R3 endian-intrinsic   byte-swap intrinsics (htons/ntohl/__builtin_bswap*)
+                        outside util/endian.h bypass the one place where
+                        byte order is reasoned about. socket address setup
+                        is the allowlisted exception.
+
+Usage:
+    tools/wire_lint.py [--root REPO_ROOT] [--allowlist FILE]
+
+Exits 0 when clean, 1 on findings (or on stale allowlist entries, which
+would otherwise rot into blanket permissions).
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+DEFAULT_ALLOWLIST = "tools/wire_lint_allow.txt"
+SCAN_SUFFIXES = {".h", ".cc"}
+SKIP_DIR_NAMES = {"CMakeFiles"}
+
+RE_OK_MARKER = re.compile(r"//\s*wire-lint:\s*ok\b")
+RE_LINE_COMMENT = re.compile(r"//.*$")
+RE_REINTERPRET = re.compile(r"\breinterpret_cast\b")
+RE_C_CAST_DEREF = re.compile(
+    r"\*\s*\(\s*(?:const\s+)?(?:std::)?"
+    r"(?:u?int(?:16|32|64)_t|short|long|float|double)\s*(?:const\s*)?\*\s*\)"
+)
+RE_ENDIAN_INTRINSIC = re.compile(
+    r"\b(?:htons|htonl|ntohs|ntohl|__builtin_bswap(?:16|32|64)"
+    r"|bswap_(?:16|32|64)|_byteswap_(?:ushort|ulong|uint64))\s*\("
+)
+
+
+class AllowEntry:
+    def __init__(self, path, pattern, reason, lineno):
+        self.path = path
+        self.pattern = pattern
+        self.reason = reason
+        self.lineno = lineno
+        self.used = False
+
+    def matches(self, rel_path, line):
+        return rel_path == self.path and self.pattern in line
+
+
+def load_allowlist(path):
+    entries = []
+    if not path.exists():
+        return entries
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = [p.strip() for p in line.split("|", 2)]
+        if len(parts) != 3 or not all(parts):
+            print(f"{path}:{lineno}: malformed allowlist entry "
+                  f"(want 'path | line-pattern | reason')", file=sys.stderr)
+            sys.exit(2)
+        entries.append(AllowEntry(parts[0], parts[1], parts[2], lineno))
+    return entries
+
+
+def strip_comments_and_strings(line, in_block_comment):
+    """Blank out comment and string-literal contents so rule regexes only
+    see code. Returns (code_text, still_in_block_comment)."""
+    out = []
+    i = 0
+    in_string = None
+    while i < len(line):
+        ch = line[i]
+        nxt = line[i + 1] if i + 1 < len(line) else ""
+        if in_block_comment:
+            if ch == "*" and nxt == "/":
+                in_block_comment = False
+                i += 2
+            else:
+                i += 1
+            continue
+        if in_string:
+            if ch == "\\":
+                i += 2
+                continue
+            if ch == in_string:
+                in_string = None
+            i += 1
+            continue
+        if ch == "/" and nxt == "/":
+            break
+        if ch == "/" and nxt == "*":
+            in_block_comment = True
+            i += 2
+            continue
+        if ch in "\"'":
+            in_string = ch
+            out.append(ch)
+            i += 1
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out), in_block_comment
+
+
+def scan_file(root, path, allowlist, findings):
+    rel = path.relative_to(root).as_posix()
+    in_block = False
+    for lineno, raw in enumerate(
+            path.read_text(errors="replace").splitlines(), 1):
+        code, in_block = strip_comments_and_strings(raw, in_block)
+        if not code.strip():
+            continue
+
+        def report(rule, message, allow_allowlist=True, allow_marker=True):
+            if allow_marker and RE_OK_MARKER.search(raw):
+                return
+            if allow_allowlist:
+                for entry in allowlist:
+                    if entry.matches(rel, raw):
+                        entry.used = True
+                        return
+            findings.append(f"{rel}:{lineno}: {rule}: {message}\n"
+                            f"    {raw.strip()}")
+
+        if RE_REINTERPRET.search(code):
+            report("reinterpret-cast",
+                   "reinterpret_cast outside the allowlist — add an "
+                   "allowlist entry explaining why the cast is sound")
+        if RE_C_CAST_DEREF.search(code):
+            report("c-cast-deref",
+                   "C-style pointer-deref cast reads raw memory — use "
+                   "util/endian.h load_uint/store_uint",
+                   allow_allowlist=False)
+        if RE_ENDIAN_INTRINSIC.search(code) and rel != "src/util/endian.h":
+            report("endian-intrinsic",
+                   "byte-swap intrinsic outside util/endian.h — route byte "
+                   "order through the endian helpers")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--root", default=None,
+                    help="repository root (default: parent of this script)")
+    ap.add_argument("--allowlist", default=None,
+                    help=f"allowlist file (default: {DEFAULT_ALLOWLIST})")
+    args = ap.parse_args()
+
+    root = pathlib.Path(args.root).resolve() if args.root else \
+        pathlib.Path(__file__).resolve().parent.parent
+    allow_path = pathlib.Path(args.allowlist) if args.allowlist else \
+        root / DEFAULT_ALLOWLIST
+    allowlist = load_allowlist(allow_path)
+
+    findings = []
+    src = root / "src"
+    for path in sorted(src.rglob("*")):
+        if path.suffix not in SCAN_SUFFIXES:
+            continue
+        if any(part in SKIP_DIR_NAMES for part in path.parts):
+            continue
+        scan_file(root, path, allowlist, findings)
+
+    status = 0
+    if findings:
+        print(f"wire_lint: {len(findings)} finding(s)\n")
+        print("\n".join(findings))
+        status = 1
+    stale = [e for e in allowlist if not e.used]
+    if stale:
+        print("wire_lint: stale allowlist entries "
+              "(nothing matches — delete them):")
+        for e in stale:
+            print(f"  {allow_path}:{e.lineno}: {e.path} | {e.pattern}")
+        status = 1
+    if status == 0:
+        print("wire_lint: clean")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())
