@@ -1,0 +1,245 @@
+// Receive-path throughput over kernel TCP (loopback): the cost of getting
+// small fixed-layout records OFF the wire, where the paper notes kernel
+// overhead dominates ("most of the cost of receiving data is actually
+// caused by the overhead of the kernel select() call").
+//
+// Three receiver configurations drain the same message stream:
+//  * legacy:  pre-buffering path — two read() syscalls and a heap
+//             allocation per frame (set_coalescing(false)),
+//  * pooled:  buffered framing + pooled frame buffers, one Reader::next()
+//             per message,
+//  * batched: Reader::next_batch() draining every buffered frame per call.
+//
+// Writes BENCH_recv_path.json with msgs/sec, syscalls/msg and pool hit
+// rates for 64B and 256B records.
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_support/harness.h"
+#include "pbio/pbio.h"
+#include "transport/socket.h"
+#include "util/pool.h"
+
+namespace pbio::bench {
+namespace {
+
+// Fixed-layout records: identical on the wire and in memory, so the decode
+// is the zero-copy fast path and the measurement isolates transport work.
+struct Rec64 {
+  std::int64_t seq;
+  double vals[7];
+};
+static_assert(sizeof(Rec64) == 64);
+
+struct Rec256 {
+  std::int64_t seq;
+  double vals[31];
+};
+static_assert(sizeof(Rec256) == 256);
+
+template <typename T>
+Context::FormatId register_rec(Context& ctx, const char* name) {
+  const NativeField fields[] = {
+      PBIO_FIELD(T, seq, arch::CType::kLong),
+      PBIO_ARRAY(T, vals, arch::CType::kDouble,
+                 sizeof(T::vals) / sizeof(double)),
+  };
+  return ctx.register_format(native_format(name, fields, sizeof(T)));
+}
+
+struct RunResult {
+  double msgs_per_sec = 0;
+  double syscalls_per_msg = 0;
+  double pool_hit_rate = 0;
+  double frames_per_batch = 0;
+};
+
+enum class Mode { kLegacy, kPooled, kBatched };
+
+const char* mode_name(Mode m) {
+  switch (m) {
+    case Mode::kLegacy:
+      return "legacy";
+    case Mode::kPooled:
+      return "pooled";
+    case Mode::kBatched:
+      return "batched";
+  }
+  return "?";
+}
+
+template <typename T>
+RunResult run_mode(Mode mode, int messages, const char* fmt_name) {
+  Context ctx;
+  const auto id = register_rec<T>(ctx, fmt_name);
+
+  transport::SocketListener listener;
+  std::thread sender([&ctx, id, messages, port = listener.port()] {
+    auto ch = transport::socket_connect(port);
+    if (!ch.is_ok()) return;
+    Writer w(ctx, *ch.value());
+    T rec{};
+    rec.seq = 1;
+    if (!w.write(id, &rec).is_ok()) return;  // announce + first frame
+
+    // Blast the remaining messages as pre-built frame bodies, 64 frames
+    // per send_frames call (one writev each), so the sender never
+    // bottlenecks the receive-side measurement.
+    std::vector<std::uint8_t> body(kDataHeaderSize + sizeof(T));
+    body[0] = kFrameData;
+    store_uint(body.data() + kDataHeaderIdOffset, id, 8, ByteOrder::kLittle);
+    std::memcpy(body.data() + kDataHeaderSize, &rec, sizeof(T));
+    const std::span<const std::uint8_t> seg[] = {std::span(body)};
+    std::array<transport::FrameSegments, 64> group;
+    group.fill(transport::FrameSegments{seg});
+    int sent = 1;
+    while (sent < messages) {
+      const int n = std::min<int>(64, messages - sent);
+      if (!ch.value()->send_frames(std::span(group.data(), n)).is_ok()) {
+        return;
+      }
+      sent += n;
+    }
+  });
+
+  auto accepted = listener.accept();
+  if (!accepted.is_ok()) {
+    sender.join();
+    return {};
+  }
+  transport::SocketChannel& ch = *accepted.value();
+  if (mode == Mode::kLegacy) ch.set_coalescing(false);
+  Reader r(ctx, ch);
+  r.expect(id);
+
+  constexpr int kWarmup = 256;
+  std::int64_t checksum = 0;
+  int received = 0;
+  for (; received < kWarmup; ++received) {
+    auto m = r.next();
+    if (!m.is_ok()) break;
+    auto v = m.value().template view<T>();
+    if (v.is_ok()) checksum += v.value()->seq;
+  }
+
+  const auto pool_before = BufferPool::shared().stats();
+  const std::uint64_t sys_before = ch.recv_syscalls();
+  std::uint64_t batches = 0;
+  Stopwatch sw;
+  if (mode == Mode::kBatched) {
+    std::vector<Message> out(64);
+    while (received < messages) {
+      auto n = r.next_batch(std::span(out));
+      if (!n.is_ok()) break;
+      ++batches;
+      for (std::size_t i = 0; i < n.value(); ++i) {
+        auto v = out[i].template view<T>();
+        if (v.is_ok()) checksum += v.value()->seq;
+      }
+      received += static_cast<int>(n.value());
+    }
+  } else {
+    while (received < messages) {
+      auto m = r.next();
+      if (!m.is_ok()) break;
+      auto v = m.value().template view<T>();
+      if (v.is_ok()) checksum += v.value()->seq;
+      ++received;
+    }
+  }
+  const double sec = sw.elapsed_ms() / 1e3;
+  sender.join();
+  if (received != messages || checksum == 0) {
+    std::fprintf(stderr, "%s/%s: received %d of %d\n", mode_name(mode),
+                 fmt_name, received, messages);
+    return {};
+  }
+
+  const auto pool_after = BufferPool::shared().stats();
+  const int measured = messages - kWarmup;
+  RunResult res;
+  res.msgs_per_sec = measured / sec;
+  res.syscalls_per_msg =
+      static_cast<double>(ch.recv_syscalls() - sys_before) / measured;
+  const std::uint64_t hits = pool_after.hits - pool_before.hits;
+  const std::uint64_t misses = pool_after.misses - pool_before.misses;
+  res.pool_hit_rate =
+      hits + misses == 0 ? 0 : static_cast<double>(hits) / (hits + misses);
+  res.frames_per_batch =
+      batches == 0 ? 0 : static_cast<double>(measured) / batches;
+  return res;
+}
+
+struct JsonRow {
+  std::string mode;
+  std::size_t record_bytes;
+  int messages;
+  RunResult r;
+  double speedup_vs_legacy;
+};
+
+int run() {
+  print_header("Receive path",
+               "TCP-loopback receive throughput: legacy two-reads-per-frame "
+               "vs pooled buffered framing vs batched drain");
+  constexpr int kMessages = 20000;
+  std::vector<JsonRow> json;
+
+  for (std::size_t rec_bytes : {sizeof(Rec64), sizeof(Rec256)}) {
+    Table t("Records of " + std::to_string(rec_bytes) + " bytes (" +
+                std::to_string(kMessages) + " messages)",
+            {"mode", "msgs/sec", "syscalls/msg", "pool_hit", "vs_legacy"});
+    double legacy_rate = 0;
+    for (Mode mode : {Mode::kLegacy, Mode::kPooled, Mode::kBatched}) {
+      const RunResult r =
+          rec_bytes == sizeof(Rec64)
+              ? run_mode<Rec64>(mode, kMessages, "rec64")
+              : run_mode<Rec256>(mode, kMessages, "rec256");
+      if (mode == Mode::kLegacy) legacy_rate = r.msgs_per_sec;
+      const double speedup =
+          legacy_rate > 0 ? r.msgs_per_sec / legacy_rate : 0;
+      char rate[32], sys[32], hit[32];
+      std::snprintf(rate, sizeof(rate), "%.0f", r.msgs_per_sec);
+      std::snprintf(sys, sizeof(sys), "%.3f", r.syscalls_per_msg);
+      std::snprintf(hit, sizeof(hit), "%.1f%%", 100.0 * r.pool_hit_rate);
+      t.add_row({mode_name(mode), rate, sys, hit, fmt_ratio(speedup)});
+      json.push_back({mode_name(mode), rec_bytes, kMessages, r, speedup});
+    }
+    t.print();
+  }
+
+  std::FILE* f = std::fopen("BENCH_recv_path.json", "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write BENCH_recv_path.json\n");
+    return 1;
+  }
+  std::fprintf(f, "{\n  \"messages_per_run\": %d,\n  \"results\": [\n",
+               kMessages);
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const JsonRow& r = json[i];
+    std::fprintf(f,
+                 "    {\"mode\": \"%s\", \"record_bytes\": %zu, "
+                 "\"msgs_per_sec\": %.0f, \"syscalls_per_msg\": %.3f, "
+                 "\"pool_hit_rate\": %.3f, \"frames_per_batch\": %.1f, "
+                 "\"speedup_vs_legacy\": %.2f}%s\n",
+                 r.mode.c_str(), r.record_bytes, r.r.msgs_per_sec,
+                 r.r.syscalls_per_msg, r.r.pool_hit_rate,
+                 r.r.frames_per_batch, r.speedup_vs_legacy,
+                 i + 1 == json.size() ? "" : ",");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("\nwrote BENCH_recv_path.json (%zu rows)\n", json.size());
+  return 0;
+}
+
+}  // namespace
+}  // namespace pbio::bench
+
+int main() { return pbio::bench::run(); }

@@ -52,12 +52,25 @@ inline void slot_store(std::uint64_t& slot, std::uint64_t v) {
   std::atomic_ref<std::uint64_t>(slot).store(v, std::memory_order_relaxed);
 }
 
+// Transparent hashing so id lookups by string_view never materialize a
+// temporary std::string: a call site's first hit of an already-registered
+// name must stay allocation-free (the zero-alloc receive invariant counts
+// it otherwise).
+struct NameHash {
+  using is_transparent = void;
+  std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+using NameMap =
+    std::unordered_map<std::string, MetricId, NameHash, std::equal_to<>>;
+
 struct Registry {
   std::mutex mu;
   std::vector<std::string> counter_names;
   std::vector<std::string> hist_names;
-  std::unordered_map<std::string, MetricId> counter_ids;
-  std::unordered_map<std::string, MetricId> hist_ids;
+  NameMap counter_ids;
+  NameMap hist_ids;
   std::vector<ThreadSlab*> live;
   ThreadSlab retired;  // merged totals of exited threads
   std::uint32_t next_tid = 1;
@@ -102,13 +115,12 @@ ThreadSlab& slab() {
   return *owner.slab;
 }
 
-MetricId register_metric(std::vector<std::string>& names,
-                         std::unordered_map<std::string, MetricId>& ids,
+MetricId register_metric(std::vector<std::string>& names, NameMap& ids,
                          std::uint32_t capacity, std::uint32_t sink,
                          std::string_view name) {
   Registry& r = reg();
   std::lock_guard<std::mutex> lock(r.mu);
-  auto it = ids.find(std::string(name));
+  auto it = ids.find(name);
   if (it != ids.end()) return it->second;
   if (names.size() >= capacity) return sink;
   const MetricId id = static_cast<MetricId>(names.size());

@@ -1,6 +1,7 @@
 #include "pbio/encode.h"
 
 #include <cstring>
+#include <limits>
 
 #include "util/endian.h"
 
@@ -37,6 +38,17 @@ Status encode_native(const fmt::FormatDesc& f, const void* record,
         const std::uint64_t count =
             load_uint(rec + dim->offset, dim->elem_size, f.byte_order);
         if (count != 0) {
+          // The dim field is record data, not a trusted size: a garbage
+          // count must not overflow the byte-length multiply into a tiny
+          // append that leaves the wire offsets pointing past the image.
+          if (fd.elem_size == 0 ||
+              count > std::numeric_limits<std::uint64_t>::max() /
+                          fd.elem_size ||
+              count * fd.elem_size >
+                  std::numeric_limits<std::size_t>::max() - out.size()) {
+            return Status(Errc::kMalformed,
+                          "variable array byte length overflows");
+          }
           out.align_to(8);
           wire_off = out.size() - base_at;
           out.append(ptr, count * fd.elem_size);

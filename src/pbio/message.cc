@@ -49,7 +49,7 @@ Status Message::decode_into(void* out, std::size_t size, Engine engine) {
   in.dst = static_cast<std::uint8_t*>(out);
   in.dst_size = size;
   in.mode = convert::VarMode::kPointers;
-  in.arena = arena_.get();
+  in.arena = &arena_;
   in.borrow_from_src = true;  // pointers may alias this message's buffer
   return run_conversion(*conv_, in, engine);
 }
@@ -77,9 +77,72 @@ Status Message::decode_at(std::size_t index, void* out, std::size_t size,
   in.dst = static_cast<std::uint8_t*>(out);
   in.dst_size = size;
   in.mode = convert::VarMode::kPointers;
-  in.arena = arena_.get();
+  in.arena = &arena_;
   in.borrow_from_src = true;
   return run_conversion(*conv_, in, engine);
+}
+
+Status Message::decode_all(void* out, std::size_t stride,
+                           std::size_t capacity, Engine engine) {
+  if (!has_native() || conv_ == nullptr) {
+    return Status(Errc::kUnknownFormat, "no native format expected");
+  }
+  const std::size_t n = count();
+  if (stride < native_->fixed_size) {
+    return Status(Errc::kTruncated, "stride smaller than record");
+  }
+  if (n != 0 && (capacity / stride < n - 1 || capacity - (n - 1) * stride <
+                                                 native_->fixed_size)) {
+    return Status(Errc::kTruncated, "output smaller than record batch");
+  }
+  auto* base = static_cast<std::uint8_t*>(out);
+  if (zero_copy()) {
+    OBS_COUNT("pbio.decode.identity_hits", n);
+    if (stride == wire_->fixed_size) {
+      std::memcpy(base, payload_.data(), n * stride);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) {
+        std::memcpy(base + i * stride, payload_.data() + i * wire_->fixed_size,
+                    native_->fixed_size);
+      }
+    }
+    return Status::ok();
+  }
+  const convert::Plan& plan = conv_->plan();
+  // Whole-record single-op plans over contiguous records collapse into one
+  // op with a scaled element count: the batch kernels then see the entire
+  // message (count() * fields elements) in a single dispatch.
+  if (!plan.has_variable && wire_->is_fixed_layout() &&
+      plan.ops.size() == 1 && stride == plan.dst_fixed_size &&
+      plan.src_fixed_size == wire_->fixed_size) {
+    const convert::Op& op = plan.ops.front();
+    const bool whole_record =
+        (op.code == convert::OpCode::kSwap ||
+         op.code == convert::OpCode::kCvtNum) &&
+        op.src_off == 0 && op.dst_off == 0 &&
+        std::size_t{op.count} * op.width_src == plan.src_fixed_size &&
+        std::size_t{op.count} * op.width_dst == plan.dst_fixed_size;
+    if (whole_record) {
+      convert::Op batched = op;
+      batched.count = static_cast<std::uint32_t>(op.count * n);
+      convert::ExecInput in;
+      in.src = payload_.data();
+      in.src_size = payload_.size();
+      in.dst = base;
+      in.dst_size = capacity;
+      in.mode = convert::VarMode::kPointers;
+      in.arena = &arena_;
+      in.borrow_from_src = true;
+      OBS_SPAN("pbio.decode.batch", payload_.size());
+      OBS_COUNT("pbio.decode.batch_records", n);
+      return convert::run_op(plan, batched, in);
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    Status st = decode_at(i, base + i * stride, stride, engine);
+    if (!st.is_ok()) return st;
+  }
+  return Status::ok();
 }
 
 Status Message::convert_in_place(Engine engine) {

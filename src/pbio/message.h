@@ -7,15 +7,19 @@
 //    receive buffer (`view<T>()`),
 //  * otherwise -> one conversion pass (DCG by default) into caller storage
 //    or an internal arena.
+//
+// The message owns its frame as a pooled FrameBuf lease (util/pool.h): no
+// payload copy on receive, and the buffer returns to the pool when the
+// Message is destroyed. Steady-state receive therefore allocates nothing.
 #pragma once
 
-#include <memory>
 #include <span>
 #include <type_traits>
 #include <vector>
 
 #include "obs/span.h"
 #include "pbio/context.h"
+#include "util/pool.h"
 #include "value/value.h"
 
 namespace pbio {
@@ -105,6 +109,16 @@ class Message {
   Status decode_at(std::size_t index, void* out, std::size_t size,
                    Engine engine = Engine::kDcg);
 
+  /// Decode every record into caller storage: record `i` lands at
+  /// `out + i * stride` (`stride` >= native fixed size, `capacity` >=
+  /// count() * stride). Fixed-layout conversions whose plan is a single
+  /// whole-record swap/convert op run as ONE batched kernel call over all
+  /// records — the SIMD batch kernels (convert/kernels) then process the
+  /// entire message per dispatch instead of per record. Other plans fall
+  /// back to per-record conversion; results are bit-identical either way.
+  Status decode_all(void* out, std::size_t stride, std::size_t capacity,
+                    Engine engine = Engine::kDcg);
+
   /// True when the conversion can run *inside* the receive buffer (every
   /// field written at or before where it was read) — PBIO's receive-buffer
   /// reuse. Identity layouts are trivially in-place.
@@ -151,14 +165,14 @@ class Message {
 
   Status convert_in_place(Engine engine);
 
-  std::vector<std::uint8_t> buffer_;         // the whole received frame
+  FrameBuf buffer_;                          // lease on the received frame
   bool converted_in_place_ = false;
   std::span<const std::uint8_t> payload_;    // record image within buffer_
   const fmt::FormatDesc* wire_ = nullptr;    // owned by the context registry
   const fmt::FormatDesc* native_ = nullptr;  // owned by the context registry
   Context::FormatId wire_id_ = 0;
   std::shared_ptr<const Conversion> conv_;
-  std::unique_ptr<Arena> arena_ = std::make_unique<Arena>();
+  Arena arena_;                              // empty until a decode needs it
   std::vector<std::uint8_t> decoded_;        // lazy view<T>() storage
 };
 

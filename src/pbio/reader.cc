@@ -12,43 +12,48 @@ void Reader::expect(Context::FormatId native_id) {
     throw PbioError("Reader::expect: format not registered");
   }
   expected_by_name_[f->name] = native_id;
+  cache_valid_ = false;
+  conv_cached_ = false;
+  cached_conv_.reset();
 }
 
-Result<Message> Reader::next() {
-  // Spans the whole fetch — including any transport wait, which is exactly
-  // what a round-trip trace wants to show between encode and decode.
-  OBS_SPAN("pbio.recv.next");
-  while (true) {
-    auto frame_result = channel_.recv();
-    if (!frame_result.is_ok()) return frame_result.status();
-    std::vector<std::uint8_t> frame = std::move(frame_result).take();
-    if (frame.empty()) {
-      return Status(Errc::kMalformed, "empty frame");
-    }
-    const std::uint8_t kind = frame[0];
-    OBS_COUNT("pbio.recv.frames", 1);
-    OBS_COUNT("pbio.recv.bytes", frame.size());
+Result<bool> Reader::consume_frame(FrameBuf frame, Message* m) {
+  if (frame.empty()) {
+    return Status(Errc::kMalformed, "empty frame");
+  }
+  const std::uint8_t kind = frame.data()[0];
+  OBS_COUNT("pbio.recv.frames", 1);
+  OBS_COUNT("pbio.recv.bytes", frame.size());
 
-    if (kind == kFrameFormat) {
-      OBS_COUNT("pbio.recv.format_frames", 1);
-      auto meta = fmt::decode_meta(
-          std::span(frame.data() + 1, frame.size() - 1));
-      if (!meta.is_ok()) return meta.status();
-      ctx_.register_format(std::move(meta).take());
-      ++formats_learned_;
-      continue;
-    }
+  if (kind == kFrameFormat) {
+    OBS_COUNT("pbio.recv.format_frames", 1);
+    auto meta =
+        fmt::decode_meta(std::span(frame.data() + 1, frame.size() - 1));
+    if (!meta.is_ok()) return meta.status();
+    ctx_.register_format(std::move(meta).take());
+    ++formats_learned_;
+    cache_valid_ = false;
+    conv_cached_ = false;
+    cached_conv_.reset();
+    return false;
+  }
 
-    if (kind != kFrameData) {
-      return Status(Errc::kMalformed, "unknown frame kind");
-    }
-    if (frame.size() < kDataHeaderSize) {
-      return Status(Errc::kTruncated, "short data frame");
-    }
-    OBS_COUNT("pbio.recv.data_frames", 1);
-    const Context::FormatId wire_id = load_uint(
-        frame.data() + kDataHeaderIdOffset, 8, ByteOrder::kLittle);
-    const fmt::FormatDesc* wire = ctx_.find(wire_id);
+  if (kind != kFrameData) {
+    return Status(Errc::kMalformed, "unknown frame kind");
+  }
+  if (frame.size() < kDataHeaderSize) {
+    return Status(Errc::kTruncated, "short data frame");
+  }
+  OBS_COUNT("pbio.recv.data_frames", 1);
+  const Context::FormatId wire_id =
+      load_uint(frame.data() + kDataHeaderIdOffset, 8, ByteOrder::kLittle);
+
+  const fmt::FormatDesc* wire;
+  if (cache_valid_ && cached_wire_id_ == wire_id) {
+    wire = cached_wire_;
+    OBS_COUNT("pbio.recv.resolve_cache_hits", 1);
+  } else {
+    wire = ctx_.find(wire_id);
     if (wire == nullptr && resolver_) {
       auto resolved = resolver_(wire_id);
       if (resolved.is_ok()) {
@@ -61,19 +66,21 @@ Result<Message> Reader::next() {
       }
     }
     if (wire == nullptr) {
-      return Status(Errc::kUnknownFormat,
-                    "data frame for unannounced format");
+      return Status(Errc::kUnknownFormat, "data frame for unannounced format");
     }
+    cached_wire_id_ = wire_id;
+    cached_wire_ = wire;
+    cached_native_ = nullptr;
+    cached_conv_.reset();
+    cache_valid_ = true;
+    conv_cached_ = false;
+  }
 
-    Message m;
-    m.buffer_ = std::move(frame);
-    m.payload_ = std::span(m.buffer_.data() + kDataHeaderSize,
-                           m.buffer_.size() - kDataHeaderSize);
-    m.wire_ = wire;
-    m.wire_id_ = wire_id;
-    if (m.payload_.size() < wire->fixed_size) {
-      return Status(Errc::kTruncated, "payload smaller than record");
-    }
+  if (frame.size() - kDataHeaderSize < wire->fixed_size) {
+    return Status(Errc::kTruncated, "payload smaller than record");
+  }
+
+  if (!conv_cached_) {
     auto it = expected_by_name_.find(wire->name);
     if (it != expected_by_name_.end()) {
       // An announced format whose conversion plan fails static verification
@@ -81,11 +88,69 @@ Result<Message> Reader::next() {
       // the wire format is untrusted input, not API misuse.
       auto conv = ctx_.try_conversion(wire_id, it->second);
       if (!conv.is_ok()) return conv.status();
-      m.native_ = ctx_.find(it->second);
-      m.conv_ = std::move(conv).take();
+      cached_native_ = ctx_.find(it->second);
+      cached_conv_ = std::move(conv).take();
     }
-    return m;
+    conv_cached_ = true;
   }
+
+  m->buffer_ = std::move(frame);
+  m->payload_ = std::span(m->buffer_.data() + kDataHeaderSize,
+                          m->buffer_.size() - kDataHeaderSize);
+  m->wire_ = wire;
+  m->wire_id_ = wire_id;
+  m->native_ = cached_native_;
+  m->conv_ = cached_conv_;
+  return true;
+}
+
+Result<Message> Reader::next() {
+  // Spans the whole fetch — including any transport wait, which is exactly
+  // what a round-trip trace wants to show between encode and decode.
+  OBS_SPAN("pbio.recv.next");
+  if (!pending_.is_ok()) {
+    Status deferred = pending_;
+    pending_ = Status::ok();
+    return deferred;
+  }
+  while (true) {
+    auto frame = channel_.recv_buf();
+    if (!frame.is_ok()) return frame.status();
+    Message m;
+    auto got = consume_frame(std::move(frame).take(), &m);
+    if (!got.is_ok()) return got.status();
+    if (got.value()) return m;
+  }
+}
+
+Result<std::size_t> Reader::next_batch(std::span<Message> out) {
+  OBS_SPAN("pbio.recv.next_batch");
+  if (out.empty()) return std::size_t{0};
+  auto first = next();  // blocks; also surfaces any deferred error
+  if (!first.is_ok()) return first.status();
+  out[0] = std::move(first).take();
+  std::size_t filled = 1;
+  while (filled < out.size()) {
+    auto frame = channel_.poll_buf();
+    if (!frame.is_ok()) {
+      if (frame.status().code() != Errc::kWouldBlock) {
+        // The messages already in `out` are good; report the failure on
+        // the next call instead of discarding them.
+        pending_ = frame.status();
+      }
+      break;
+    }
+    Message m;
+    auto got = consume_frame(std::move(frame).take(), &m);
+    if (!got.is_ok()) {
+      pending_ = got.status();
+      break;
+    }
+    if (got.value()) out[filled++] = std::move(m);
+  }
+  OBS_COUNT("pbio.recv.batches", 1);
+  OBS_COUNT("pbio.recv.batch_frames", filled);
+  return filled;
 }
 
 }  // namespace pbio

@@ -1,6 +1,14 @@
 // PBIO reader: receives format announcements and data frames, matches wire
 // formats to the receiver's expected native formats *by format name*, and
 // hands out Messages carrying the cached conversion.
+//
+// Two receive shapes:
+//  * next()        — blocking, one message at a time;
+//  * next_batch()  — one blocking receive, then drains every frame the
+//    transport already has buffered without blocking again. Runs of frames
+//    with the same wire id resolve their conversion once (the reader keeps
+//    a one-entry resolution cache), so a burst of small messages costs one
+//    hash-map + conversion-cache walk total, not one per message.
 #pragma once
 
 #include <functional>
@@ -37,15 +45,36 @@ class Reader {
   /// announcements that precede it.
   Result<Message> next();
 
+  /// Receive up to out.size() data messages: blocks for the first, then
+  /// takes only frames the transport has already buffered (poll_buf) —
+  /// never a second blocking wait. Returns how many slots were filled
+  /// (>= 1 on success). An error after the first message is deferred and
+  /// returned by the *next* call, so no received message is lost.
+  Result<std::size_t> next_batch(std::span<Message> out);
+
   /// Formats learned from announcements on this channel.
   std::size_t formats_learned() const { return formats_learned_; }
 
  private:
+  /// Process one frame. Returns true when `m` was filled with a data
+  /// message, false when the frame was a format announcement (consumed).
+  Result<bool> consume_frame(FrameBuf frame, Message* m);
+
   Context& ctx_;
   transport::Channel& channel_;
   std::unordered_map<std::string, Context::FormatId> expected_by_name_;
   FormatResolver resolver_;
   std::size_t formats_learned_ = 0;
+  Status pending_ = Status::ok();  // deferred mid-batch error
+
+  // One-entry resolution cache: wire id -> (wire desc, native desc,
+  // conversion). Invalidated by expect() and by format announcements.
+  bool cache_valid_ = false;
+  bool conv_cached_ = false;
+  Context::FormatId cached_wire_id_ = 0;
+  const fmt::FormatDesc* cached_wire_ = nullptr;
+  const fmt::FormatDesc* cached_native_ = nullptr;
+  std::shared_ptr<const Conversion> cached_conv_;
 };
 
 }  // namespace pbio

@@ -5,32 +5,49 @@
 
 namespace pbio {
 
-Status Writer::announce(Context::FormatId fmt_id) {
-  if (!announce_in_band_ || announced_.contains(fmt_id)) return Status::ok();
+Status Writer::build_announce(Context::FormatId fmt_id, ByteBuffer& frame) {
   const fmt::FormatDesc* f = ctx_.find(fmt_id);
   if (f == nullptr) {
     return Status(Errc::kUnknownFormat, "announce: format not registered");
   }
-  ByteBuffer frame(256);
+  frame.clear();
   frame.append_uint(kFrameFormat, 1, ByteOrder::kLittle);
   const auto meta = fmt::encode_meta(*f);
   frame.append(meta.data(), meta.size());
   OBS_COUNT("pbio.encode.meta_bytes", frame.view().size());
-  Status st = channel_.send(frame.view());
+  return Status::ok();
+}
+
+Status Writer::announce(Context::FormatId fmt_id) {
+  if (!announce_in_band_ || announced_.contains(fmt_id)) return Status::ok();
+  Status st = build_announce(fmt_id, announce_buf_);
+  if (!st.is_ok()) return st;
+  st = channel_.send(announce_buf_.view());
   if (st.is_ok()) announced_.insert(fmt_id);
   return st;
 }
 
 Status Writer::send_payload(Context::FormatId fmt_id,
                             std::span<const std::uint8_t> image) {
-  Status st = announce(fmt_id);
-  if (!st.is_ok()) return st;
   std::uint8_t header[kDataHeaderSize] = {};
   header[0] = kFrameData;
   store_uint(header + kDataHeaderIdOffset, fmt_id, 8, ByteOrder::kLittle);
-  const std::span<const std::uint8_t> segs[] = {
+  const std::span<const std::uint8_t> data_segs[] = {
       {header, kDataHeaderSize}, image};
-  st = channel_.send_gather(segs);
+  Status st;
+  if (announce_in_band_ && !announced_.contains(fmt_id)) {
+    // First message of a format: the announcement and the data frame leave
+    // in one gathered call — on sockets that is a single writev, so the
+    // format's meta-information costs no extra kernel crossing.
+    st = build_announce(fmt_id, announce_buf_);
+    if (!st.is_ok()) return st;
+    const std::span<const std::uint8_t> fmt_segs[] = {announce_buf_.view()};
+    const transport::FrameSegments frames[] = {{fmt_segs}, {data_segs}};
+    st = channel_.send_frames(frames);
+    if (st.is_ok()) announced_.insert(fmt_id);
+  } else {
+    st = channel_.send_gather(data_segs);
+  }
   if (st.is_ok()) {
     ++records_written_;
     OBS_COUNT("pbio.encode.records", 1);

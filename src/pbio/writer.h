@@ -43,6 +43,7 @@ class Writer {
   std::uint64_t records_written() const { return records_written_; }
 
  private:
+  Status build_announce(Context::FormatId fmt_id, ByteBuffer& frame);
   Status send_payload(Context::FormatId fmt_id,
                       std::span<const std::uint8_t> image);
 
@@ -51,6 +52,7 @@ class Writer {
   std::unordered_set<Context::FormatId> announced_;
   bool announce_in_band_ = true;
   ByteBuffer gather_buf_;
+  ByteBuffer announce_buf_;
   std::uint64_t records_written_ = 0;
 };
 

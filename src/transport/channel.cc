@@ -1,5 +1,7 @@
 #include "transport/channel.h"
 
+#include <cstring>
+
 namespace pbio::transport {
 
 Status Channel::send_gather(
@@ -12,6 +14,29 @@ Status Channel::send_gather(
     flat.insert(flat.end(), s.begin(), s.end());
   }
   return send(flat);
+}
+
+Status Channel::send_frames(std::span<const FrameSegments> frames) {
+  for (const FrameSegments& f : frames) {
+    Status st = send_gather(f.segments);
+    if (!st.is_ok()) return st;
+  }
+  return Status::ok();
+}
+
+Result<FrameBuf> Channel::recv_buf() {
+  auto msg = recv();
+  if (!msg.is_ok()) return msg.status();
+  const std::vector<std::uint8_t>& bytes = msg.value();
+  FrameBuf buf = BufferPool::shared().lease(bytes.size());
+  if (!bytes.empty()) {
+    std::memcpy(buf.data(), bytes.data(), bytes.size());
+  }
+  return buf;
+}
+
+Result<FrameBuf> Channel::poll_buf() {
+  return Status(Errc::kWouldBlock, "transport does not buffer frames");
 }
 
 }  // namespace pbio::transport

@@ -4,6 +4,15 @@
 // and byte counts. Two real transports are provided (in-process loopback and
 // TCP) plus an analytic network-cost model (simnet.h) standing in for the
 // paper's 100 Mbps Ethernet testbed.
+//
+// Two receive surfaces exist:
+//  * recv()     — the original owning-vector API, one heap allocation per
+//                 message; kept for compatibility and simple callers.
+//  * recv_buf() — the pooled path: returns a refcounted FrameBuf lease
+//                 (util/pool.h), allocation-free in steady state. poll_buf()
+//                 is its non-blocking sibling (kWouldBlock when no frame is
+//                 available right now) — the primitive Reader::next_batch
+//                 drains buffered frames with.
 #pragma once
 
 #include <cstdint>
@@ -11,8 +20,15 @@
 #include <vector>
 
 #include "util/error.h"
+#include "util/pool.h"
 
 namespace pbio::transport {
+
+/// One frame expressed as scattered segments (header + payload, say) for
+/// gathered multi-frame sends.
+struct FrameSegments {
+  std::span<const std::span<const std::uint8_t>> segments;
+};
 
 class Channel {
  public:
@@ -27,8 +43,24 @@ class Channel {
   virtual Status send_gather(
       std::span<const std::span<const std::uint8_t>> segments);
 
+  /// Send several messages in one channel operation. Stream transports
+  /// coalesce them into a single gathered syscall (the writer's
+  /// announcement + first data frame ride together); the default sends
+  /// them one by one.
+  virtual Status send_frames(std::span<const FrameSegments> frames);
+
   /// Receive the next message, blocking. kChannelClosed at end of stream.
   virtual Result<std::vector<std::uint8_t>> recv() = 0;
+
+  /// Receive the next message as a pooled lease, blocking. The default
+  /// wraps recv(); real transports override with their allocation-free
+  /// path.
+  virtual Result<FrameBuf> recv_buf();
+
+  /// Non-blocking receive: a frame already buffered in the transport (or
+  /// obtainable without waiting), else kWouldBlock. kChannelClosed once
+  /// the stream ends. The default never buffers and always would-block.
+  virtual Result<FrameBuf> poll_buf();
 
   /// Bytes handed to send() so far (wire-size accounting for benches).
   virtual std::uint64_t bytes_sent() const = 0;

@@ -5,10 +5,6 @@
 
 namespace pbio::transport {
 
-namespace {
-constexpr std::size_t kMaxFrame = 1u << 30;
-}
-
 Result<std::unique_ptr<FileWriteChannel>> FileWriteChannel::open(
     const std::string& path, bool append) {
   std::FILE* f = std::fopen(path.c_str(), append ? "ab" : "wb");
@@ -23,9 +19,9 @@ FileWriteChannel::~FileWriteChannel() {
 }
 
 Status FileWriteChannel::send(std::span<const std::uint8_t> bytes) {
-  std::uint8_t header[4];
-  store_uint(header, bytes.size(), 4, ByteOrder::kLittle);
-  if (std::fwrite(header, 1, 4, file_) != 4 ||
+  std::uint8_t header[kFrameHeaderLen];
+  store_uint(header, bytes.size(), kFrameHeaderLen, ByteOrder::kLittle);
+  if (std::fwrite(header, 1, kFrameHeaderLen, file_) != kFrameHeaderLen ||
       (!bytes.empty() &&
        std::fwrite(bytes.data(), 1, bytes.size(), file_) != bytes.size())) {
     return Status(Errc::kIo, "short write to frame log");
@@ -65,26 +61,50 @@ Status FileReadChannel::send(std::span<const std::uint8_t>) {
 }
 
 Result<std::vector<std::uint8_t>> FileReadChannel::recv() {
-  std::uint8_t header[4];
-  const std::size_t got = std::fread(header, 1, 4, file_);
-  if (got == 0 && std::feof(file_)) {
-    return Status(Errc::kChannelClosed, "end of frame log");
+  auto buf = recv_buf();
+  if (!buf.is_ok()) return buf.status();
+  const FrameBuf& f = buf.value();
+  return std::vector<std::uint8_t>(f.data(), f.data() + f.size());
+}
+
+Result<FrameBuf> FileReadChannel::recv_buf() {
+  while (true) {
+    FrameBuf frame;
+    Status err;
+    switch (stream_.next_frame(&frame, &err)) {
+      case FrameStream::Pull::kFrame:
+        OBS_COUNT("transport.file.msgs_in", 1);
+        OBS_COUNT("transport.file.bytes_in", frame.size());
+        return frame;
+      case FrameStream::Pull::kBad:
+        // Preserve the log-specific diagnostics of the unbuffered reader.
+        return err.code() == Errc::kMalformed
+                   ? Status(Errc::kMalformed, "oversized frame in log")
+                   : err;
+      case FrameStream::Pull::kNeedMore:
+        break;
+    }
+    auto window = stream_.write_window(stream_.fill_hint());
+    const std::size_t r = std::fread(window.data(), 1, window.size(), file_);
+    if (r == 0) {
+      if (stream_.buffered_bytes() == 0) {
+        return Status(Errc::kChannelClosed, "end of frame log");
+      }
+      return stream_.buffered_bytes() < kFrameHeaderLen
+                 ? Status(Errc::kTruncated, "truncated frame header")
+                 : Status(Errc::kTruncated, "truncated frame body");
+    }
+    stream_.commit(r);
+    OBS_COUNT("transport.file.read_calls", 1);
+    OBS_COUNT("transport.file.read_bytes", r);
   }
-  if (got != 4) {
-    return Status(Errc::kTruncated, "truncated frame header");
-  }
-  const std::uint64_t len = load_uint(header, 4, ByteOrder::kLittle);
-  if (len > kMaxFrame) {
-    return Status(Errc::kMalformed, "oversized frame in log");
-  }
-  std::vector<std::uint8_t> frame(static_cast<std::size_t>(len));
-  if (!frame.empty() &&
-      std::fread(frame.data(), 1, frame.size(), file_) != frame.size()) {
-    return Status(Errc::kTruncated, "truncated frame body");
-  }
-  OBS_COUNT("transport.file.msgs_in", 1);
-  OBS_COUNT("transport.file.bytes_in", frame.size());
-  return frame;
+}
+
+Result<FrameBuf> FileReadChannel::poll_buf() {
+  // A log never blocks: every frame is available until the file ends, so
+  // polling degrades to the blocking read (batch drains walk the log in
+  // stream-buffer strides).
+  return recv_buf();
 }
 
 }  // namespace pbio::transport

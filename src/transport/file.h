@@ -4,6 +4,11 @@
 // self-describing binary records to files that any machine could read
 // later. A FileWriteChannel appends frames to a log; a FileReadChannel
 // replays them. The same Writer/Reader stack runs unchanged on top.
+//
+// Replay uses the same buffered FrameStream as the socket transport: one
+// fread fills a pooled stream buffer and every complete frame is sliced
+// out of it, so log replay is allocation-free in steady state and
+// Reader::next_batch can drain a log in large strides.
 #pragma once
 
 #include <cstdio>
@@ -11,6 +16,7 @@
 #include <string>
 
 #include "transport/channel.h"
+#include "transport/framing.h"
 
 namespace pbio::transport {
 
@@ -47,11 +53,14 @@ class FileReadChannel final : public Channel {
 
   Status send(std::span<const std::uint8_t> bytes) override;  // always fails
   Result<std::vector<std::uint8_t>> recv() override;
+  Result<FrameBuf> recv_buf() override;
+  Result<FrameBuf> poll_buf() override;
   std::uint64_t bytes_sent() const override { return 0; }
 
  private:
   explicit FileReadChannel(std::FILE* f) : file_(f) {}
   std::FILE* file_;
+  FrameStream stream_;
 };
 
 }  // namespace pbio::transport

@@ -1,5 +1,7 @@
 #include "transport/loopback.h"
 
+#include <cstring>
+
 #include "obs/span.h"
 
 namespace pbio::transport {
@@ -17,26 +19,71 @@ make_loopback_pair() {
   return {std::move(a), std::move(b)};
 }
 
-Status LoopbackChannel::send(std::span<const std::uint8_t> bytes) {
+Status LoopbackChannel::enqueue(FrameBuf msg, std::size_t bytes) {
   std::lock_guard<std::mutex> lock(out_->mu);
   if (out_->closed) {
     return Status(Errc::kChannelClosed, "peer closed");
   }
-  out_->messages.emplace_back(bytes.begin(), bytes.end());
-  bytes_sent_ += bytes.size();
+  out_->messages.push_back(std::move(msg));
+  bytes_sent_ += bytes;
   OBS_COUNT("transport.loopback.msgs_out", 1);
-  OBS_COUNT("transport.loopback.bytes_out", bytes.size());
+  OBS_COUNT("transport.loopback.bytes_out", bytes);
   out_->cv.notify_one();
   return Status::ok();
 }
 
+Status LoopbackChannel::send(std::span<const std::uint8_t> bytes) {
+  FrameBuf msg = BufferPool::shared().lease(bytes.size());
+  if (!bytes.empty()) std::memcpy(msg.data(), bytes.data(), bytes.size());
+  return enqueue(std::move(msg), bytes.size());
+}
+
+Status LoopbackChannel::send_gather(
+    std::span<const std::span<const std::uint8_t>> segments) {
+  std::size_t total = 0;
+  for (const auto& s : segments) total += s.size();
+  FrameBuf msg = BufferPool::shared().lease(total);
+  std::size_t at = 0;
+  for (const auto& s : segments) {
+    if (!s.empty()) {
+      std::memcpy(msg.data() + at, s.data(), s.size());
+      at += s.size();
+    }
+  }
+  return enqueue(std::move(msg), total);
+}
+
 Result<std::vector<std::uint8_t>> LoopbackChannel::recv() {
+  auto buf = recv_buf();
+  if (!buf.is_ok()) return buf.status();
+  const FrameBuf& f = buf.value();
+  return std::vector<std::uint8_t>(f.data(), f.data() + f.size());
+}
+
+Result<FrameBuf> LoopbackChannel::recv_buf() {
   std::unique_lock<std::mutex> lock(in_->mu);
   in_->cv.wait(lock, [&] { return !in_->messages.empty() || in_->closed; });
   if (in_->messages.empty()) {
     return Status(Errc::kChannelClosed, "loopback closed");
   }
-  std::vector<std::uint8_t> msg = std::move(in_->messages.front());
+  FrameBuf msg = std::move(in_->messages.front());
+  in_->messages.pop_front();
+  OBS_COUNT("transport.loopback.msgs_in", 1);
+  OBS_COUNT("transport.loopback.bytes_in", msg.size());
+  return msg;
+}
+
+Result<FrameBuf> LoopbackChannel::poll_buf() {
+  std::lock_guard<std::mutex> lock(in_->mu);
+  if (in_->messages.empty()) {
+    if (in_->closed) {
+      return Status(Errc::kChannelClosed, "loopback closed");
+    }
+    // Short literal on purpose: fits in the SSO buffer, so draining a
+    // batch to empty costs no heap allocation.
+    return Status(Errc::kWouldBlock, "would block");
+  }
+  FrameBuf msg = std::move(in_->messages.front());
   in_->messages.pop_front();
   OBS_COUNT("transport.loopback.msgs_in", 1);
   OBS_COUNT("transport.loopback.bytes_in", msg.size());

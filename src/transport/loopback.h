@@ -1,6 +1,10 @@
 // In-process loopback transport: a pair of channels connected by two
 // thread-safe message queues. Used by unit tests, examples, and the
 // CPU-cost benches (where network time is modelled analytically).
+//
+// Queued messages are pooled FrameBuf leases (copied once at send), so the
+// receive side is allocation-free in steady state and poll_buf() lets
+// Reader::next_batch drain everything already enqueued without blocking.
 #pragma once
 
 #include <condition_variable>
@@ -23,7 +27,11 @@ make_loopback_pair();
 class LoopbackChannel final : public Channel {
  public:
   Status send(std::span<const std::uint8_t> bytes) override;
+  Status send_gather(
+      std::span<const std::span<const std::uint8_t>> segments) override;
   Result<std::vector<std::uint8_t>> recv() override;
+  Result<FrameBuf> recv_buf() override;
+  Result<FrameBuf> poll_buf() override;
   std::uint64_t bytes_sent() const override { return bytes_sent_; }
 
   /// Close the channel: pending and future recv() calls on the peer fail
@@ -41,9 +49,11 @@ class LoopbackChannel final : public Channel {
   struct Queue {
     std::mutex mu;
     std::condition_variable cv;
-    std::deque<std::vector<std::uint8_t>> messages;
+    std::deque<FrameBuf> messages;
     bool closed = false;
   };
+
+  Status enqueue(FrameBuf msg, std::size_t bytes);
 
   std::shared_ptr<Queue> in_;
   std::shared_ptr<Queue> out_;

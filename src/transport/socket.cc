@@ -16,11 +16,11 @@
 namespace pbio::transport {
 
 namespace {
-constexpr std::size_t kMaxMessage = 1u << 30;
 
 Status errno_status(const char* what) {
   return Status(Errc::kIo, std::string(what) + ": " + std::strerror(errno));
 }
+
 }  // namespace
 
 SocketChannel::SocketChannel(int fd) : fd_(fd) {
@@ -37,21 +37,6 @@ void SocketChannel::close() {
   }
 }
 
-Status SocketChannel::send_all(const void* p, std::size_t n) {
-  const auto* b = static_cast<const std::uint8_t*>(p);
-  while (n > 0) {
-    const ssize_t w = ::write(fd_, b, n);
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return errno_status("write");
-    }
-    if (w == 0) return Status(Errc::kChannelClosed, "peer closed");
-    b += w;
-    n -= static_cast<std::size_t>(w);
-  }
-  return Status::ok();
-}
-
 Status SocketChannel::send(std::span<const std::uint8_t> bytes) {
   const std::span<const std::uint8_t> one[] = {bytes};
   return send_gather(one);
@@ -59,53 +44,174 @@ Status SocketChannel::send(std::span<const std::uint8_t> bytes) {
 
 Status SocketChannel::send_gather(
     std::span<const std::span<const std::uint8_t>> segments) {
-  std::size_t total = 0;
-  for (const auto& s : segments) total += s.size();
-  std::uint8_t header[4];
-  store_uint(header, total, 4, ByteOrder::kLittle);
+  const FrameSegments one[] = {{segments}};
+  return send_frames(one);
+}
 
-  // writev: the frame header plus every segment, no concatenation copy.
-  std::vector<iovec> iov;
-  iov.reserve(segments.size() + 1);
-  iov.push_back({header, 4});
-  for (const auto& s : segments) {
-    if (!s.empty()) {
-      iov.push_back({const_cast<std::uint8_t*>(s.data()), s.size()});
+Status SocketChannel::send_frames(std::span<const FrameSegments> frames) {
+  // One writev covers every frame: per-frame length prefix plus the
+  // frame's segments, no concatenation copy. Headers live in a stack
+  // block; the iovec scratch is a reused member, so steady-state sends
+  // allocate nothing either.
+  constexpr std::size_t kMaxPerCall = 64;
+  std::size_t at = 0;
+  while (at < frames.size()) {
+    const std::size_t n = std::min(kMaxPerCall, frames.size() - at);
+    std::uint8_t headers[kMaxPerCall][kFrameHeaderLen];
+    iov_scratch_.clear();
+    std::size_t payload = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const FrameSegments& f = frames[at + i];
+      std::size_t frame_len = 0;
+      for (const auto& s : f.segments) frame_len += s.size();
+      store_uint(headers[i], frame_len, kFrameHeaderLen, ByteOrder::kLittle);
+      iov_scratch_.push_back({headers[i], kFrameHeaderLen});
+      for (const auto& s : f.segments) {
+        if (!s.empty()) {
+          iov_scratch_.push_back(
+              {const_cast<std::uint8_t*>(s.data()), s.size()});
+        }
+      }
+      payload += frame_len;
     }
+    std::size_t done = 0;
+    const std::size_t want = payload + n * kFrameHeaderLen;
+    auto* iov = iov_scratch_.data();
+    std::size_t iov_left = iov_scratch_.size();
+    while (done < want) {
+      const ssize_t w = ::writev(fd_, iov, static_cast<int>(iov_left));
+      ++send_syscalls_;
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return errno_status("writev");
+      }
+      done += static_cast<std::size_t>(w);
+      if (done >= want) break;
+      // Short write: advance the iovec view.
+      std::size_t skip = static_cast<std::size_t>(w);
+      while (iov_left > 0 && skip >= iov->iov_len) {
+        skip -= iov->iov_len;
+        ++iov;
+        --iov_left;
+      }
+      if (iov_left > 0) {
+        iov->iov_base = static_cast<std::uint8_t*>(iov->iov_base) + skip;
+        iov->iov_len -= skip;
+      }
+    }
+    bytes_sent_ += payload;
+    OBS_COUNT("transport.socket.msgs_out", n);
+    OBS_COUNT("transport.socket.bytes_out", payload);
+    at += n;
   }
-  std::size_t done = 0;
-  const std::size_t want = total + 4;
-  while (done < want) {
-    const ssize_t w = ::writev(fd_, iov.data(), static_cast<int>(iov.size()));
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return errno_status("writev");
-    }
-    done += static_cast<std::size_t>(w);
-    if (done >= want) break;
-    // Short write: advance the iovec view.
-    std::size_t skip = static_cast<std::size_t>(w);
-    while (!iov.empty() && skip >= iov.front().iov_len) {
-      skip -= iov.front().iov_len;
-      iov.erase(iov.begin());
-    }
-    if (!iov.empty()) {
-      iov.front().iov_base = static_cast<std::uint8_t*>(iov.front().iov_base) +
-                             skip;
-      iov.front().iov_len -= skip;
-    }
-  }
-  bytes_sent_ += total;
-  OBS_COUNT("transport.socket.msgs_out", 1);
-  OBS_COUNT("transport.socket.bytes_out", total);
   return Status::ok();
 }
 
 Result<std::vector<std::uint8_t>> SocketChannel::recv() {
-  std::uint8_t header[4];
+  auto buf = recv_buf();
+  if (!buf.is_ok()) return buf.status();
+  const FrameBuf& f = buf.value();
+  return std::vector<std::uint8_t>(f.data(), f.data() + f.size());
+}
+
+/// One blocking read into the stream buffer. Ok with zero committed bytes
+/// signals end of stream.
+Status SocketChannel::fill_blocking() {
+  auto window = stream_.write_window(stream_.fill_hint());
+  while (true) {
+    const ssize_t r = ::read(fd_, window.data(), window.size());
+    ++recv_syscalls_;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return errno_status("read");
+    }
+    if (r > 0) {
+      stream_.commit(static_cast<std::size_t>(r));
+      bytes_received_ += static_cast<std::size_t>(r);
+      OBS_COUNT("transport.socket.read_calls", 1);
+      OBS_COUNT("transport.socket.read_bytes", r);
+    }
+    return Status::ok();
+  }
+}
+
+Result<FrameBuf> SocketChannel::recv_buf() {
+  if (!coalesce_) return recv_buf_legacy();
+  while (true) {
+    FrameBuf frame;
+    Status err;
+    switch (stream_.next_frame(&frame, &err)) {
+      case FrameStream::Pull::kFrame:
+        OBS_COUNT("transport.socket.msgs_in", 1);
+        OBS_COUNT("transport.socket.bytes_in", frame.size());
+        return frame;
+      case FrameStream::Pull::kBad:
+        return err;
+      case FrameStream::Pull::kNeedMore:
+        break;
+    }
+    const std::size_t before = stream_.buffered_bytes();
+    Status st = fill_blocking();
+    if (!st.is_ok()) return st;
+    if (stream_.buffered_bytes() == before) {
+      return Status(Errc::kChannelClosed,
+                    before == 0 ? "end of stream" : "truncated frame");
+    }
+  }
+}
+
+Result<FrameBuf> SocketChannel::poll_buf() {
+  if (!coalesce_) {
+    return Status(Errc::kWouldBlock, "coalescing disabled");
+  }
+  while (true) {
+    FrameBuf frame;
+    Status err;
+    switch (stream_.next_frame(&frame, &err)) {
+      case FrameStream::Pull::kFrame:
+        OBS_COUNT("transport.socket.msgs_in", 1);
+        OBS_COUNT("transport.socket.bytes_in", frame.size());
+        return frame;
+      case FrameStream::Pull::kBad:
+        return err;
+      case FrameStream::Pull::kNeedMore:
+        break;
+    }
+    // Non-blocking top-up: whatever the kernel already has, or would-block.
+    auto window = stream_.write_window(stream_.fill_hint());
+    const ssize_t r = ::recv(fd_, window.data(), window.size(), MSG_DONTWAIT);
+    ++recv_syscalls_;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Short literal on purpose: fits in the SSO buffer, so draining a
+        // batch to empty costs no heap allocation.
+        return Status(Errc::kWouldBlock, "would block");
+      }
+      return errno_status("recv");
+    }
+    if (r == 0) {
+      return Status(Errc::kChannelClosed,
+                    stream_.buffered_bytes() == 0 ? "end of stream"
+                                                  : "truncated frame");
+    }
+    stream_.commit(static_cast<std::size_t>(r));
+    bytes_received_ += static_cast<std::size_t>(r);
+    OBS_COUNT("transport.socket.read_calls", 1);
+    OBS_COUNT("transport.socket.read_bytes", r);
+  }
+}
+
+/// The pre-buffering receive path: one read for the 4-byte length prefix,
+/// one for the body, a fresh heap block per frame. Kept (behind
+/// set_coalescing(false)) as the baseline the receive-path bench measures
+/// the pooled path against.
+Result<FrameBuf> SocketChannel::recv_buf_legacy() {
+  std::uint8_t header[kFrameHeaderLen];
   std::size_t got = 0;
-  while (got < 4) {
-    const ssize_t r = ::read(fd_, header + got, 4 - got);
+  while (got < kFrameHeaderLen) {
+    const ssize_t r = ::read(fd_, header + got, kFrameHeaderLen - got);
+    ++recv_syscalls_;
     if (r < 0) {
       if (errno == EINTR) continue;
       return errno_status("read");
@@ -116,14 +222,16 @@ Result<std::vector<std::uint8_t>> SocketChannel::recv() {
     }
     got += static_cast<std::size_t>(r);
   }
-  const std::uint64_t len = load_uint(header, 4, ByteOrder::kLittle);
-  if (len > kMaxMessage) {
+  const std::uint64_t len =
+      load_uint(header, kFrameHeaderLen, ByteOrder::kLittle);
+  if (len > kMaxFrameLen) {
     return Status(Errc::kMalformed, "oversized frame");
   }
-  std::vector<std::uint8_t> msg(static_cast<std::size_t>(len));
+  FrameBuf msg = FrameBuf::heap(static_cast<std::size_t>(len));
   std::size_t at = 0;
   while (at < msg.size()) {
     const ssize_t r = ::read(fd_, msg.data() + at, msg.size() - at);
+    ++recv_syscalls_;
     if (r < 0) {
       if (errno == EINTR) continue;
       return errno_status("read");
@@ -133,6 +241,7 @@ Result<std::vector<std::uint8_t>> SocketChannel::recv() {
     }
     at += static_cast<std::size_t>(r);
   }
+  bytes_received_ += msg.size();
   OBS_COUNT("transport.socket.msgs_in", 1);
   OBS_COUNT("transport.socket.bytes_in", msg.size());
   return msg;

@@ -1,13 +1,23 @@
 // TCP transport: length-prefixed message framing over a stream socket.
 // Used by the end-to-end integration tests and the distributed examples;
 // equivalent to the paper's testbed socket layer minus the physical wire.
+//
+// Receive side: a FrameStream (framing.h) fills a pooled stream buffer
+// with one large read() and slices every complete frame out of it, so
+// small-message traffic amortizes to well under one syscall (and zero heap
+// allocations) per frame. set_coalescing(false) restores the pre-buffering
+// behaviour — two read() syscalls and a fresh heap block per frame — kept
+// as the measured baseline for the receive-path benchmark.
 #pragma once
+
+#include <sys/uio.h>
 
 #include <cstdint>
 #include <memory>
 #include <string>
 
 #include "transport/channel.h"
+#include "transport/framing.h"
 
 namespace pbio::transport {
 
@@ -23,15 +33,36 @@ class SocketChannel final : public Channel {
   Status send(std::span<const std::uint8_t> bytes) override;
   Status send_gather(
       std::span<const std::span<const std::uint8_t>> segments) override;
+  Status send_frames(std::span<const FrameSegments> frames) override;
   Result<std::vector<std::uint8_t>> recv() override;
+  Result<FrameBuf> recv_buf() override;
+  Result<FrameBuf> poll_buf() override;
   std::uint64_t bytes_sent() const override { return bytes_sent_; }
+
+  /// Toggle receive-side syscall coalescing (default on). Off = the
+  /// legacy two-reads-per-frame path with per-frame heap blocks.
+  void set_coalescing(bool on) { coalesce_ = on; }
+
+  /// Kernel crossings so far — syscall-count invariants for tests and the
+  /// bytes-per-syscall bench metric.
+  std::uint64_t send_syscalls() const { return send_syscalls_; }
+  std::uint64_t recv_syscalls() const { return recv_syscalls_; }
+  std::uint64_t bytes_received() const { return bytes_received_; }
 
   void close();
 
  private:
-  Status send_all(const void* p, std::size_t n);
+  Status fill_blocking();
+  Result<FrameBuf> recv_buf_legacy();
+
   int fd_;
+  bool coalesce_ = true;
+  FrameStream stream_;
   std::uint64_t bytes_sent_ = 0;
+  std::uint64_t bytes_received_ = 0;
+  std::uint64_t send_syscalls_ = 0;
+  std::uint64_t recv_syscalls_ = 0;
+  std::vector<iovec> iov_scratch_;
 };
 
 /// Listening endpoint bound to 127.0.0.1 on an OS-chosen port.

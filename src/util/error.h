@@ -32,6 +32,7 @@ enum class Errc : std::uint8_t {
   kChannelClosed,    // transport EOF
   kTypeMismatch,     // irreconcilable field types
   kIo,               // OS-level I/O failure
+  kWouldBlock,       // no buffered frame available without blocking
 };
 
 const char* to_string(Errc e);

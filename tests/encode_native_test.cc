@@ -117,5 +117,39 @@ TEST(EncodeNative, AppendsToExistingBuffer) {
   EXPECT_EQ(back.value().find("name")->as_string(), "x");
 }
 
+TEST(EncodeNative, HugeVarArrayCountIsRejectedNotOverflowed) {
+  // The dim field is record data: a garbage count whose byte length
+  // overflows 64 bits must fail with kMalformed, not wrap the multiply
+  // into a tiny append (which would leave wire offsets pointing past the
+  // image — regression test for the unchecked `count * elem_size`).
+  struct Big {
+    std::uint64_t n;
+    double* vals;
+  };
+  const NativeField fields[] = {
+      PBIO_FIELD(Big, n, arch::CType::kULongLong),
+      PBIO_VARARRAY(Big, vals, arch::CType::kDouble, "n"),
+  };
+  const auto f = native_format("big", fields, sizeof(Big));
+  double one = 1.0;
+  // 2^61 doubles = 2^64 bytes: count * elem_size wraps to exactly 0.
+  Big rec{std::uint64_t{1} << 61, &one};
+  ByteBuffer out;
+  const Status st = encode_native(f, &rec, out);
+  ASSERT_FALSE(st.is_ok());
+  EXPECT_EQ(st.code(), Errc::kMalformed);
+
+  // One notch below the wrap point still overflows a 64-bit byte length.
+  rec.n = (std::uint64_t{1} << 61) + 1;
+  out.clear();
+  EXPECT_EQ(encode_native(f, &rec, out).code(), Errc::kMalformed);
+
+  // Sane counts still encode.
+  double vals[] = {1.0, 2.0, 3.0};
+  Big ok{3, vals};
+  out.clear();
+  ASSERT_TRUE(encode_native(f, &ok, out).is_ok());
+}
+
 }  // namespace
 }  // namespace pbio

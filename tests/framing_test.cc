@@ -1,0 +1,179 @@
+#include "transport/framing.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+#include "util/endian.h"
+
+namespace pbio::transport {
+namespace {
+
+/// Append one length-prefixed frame to a byte stream.
+void put_frame(std::vector<std::uint8_t>& stream,
+               const std::vector<std::uint8_t>& body) {
+  std::uint8_t header[kFrameHeaderLen];
+  store_uint(header, body.size(), kFrameHeaderLen, ByteOrder::kLittle);
+  stream.insert(stream.end(), header, header + kFrameHeaderLen);
+  stream.insert(stream.end(), body.begin(), body.end());
+}
+
+/// Feed `bytes` into the stream in chunks of at most `step` bytes,
+/// collecting every frame that becomes complete along the way.
+std::vector<std::vector<std::uint8_t>> pump(FrameStream& fs,
+                                            std::span<const std::uint8_t> bytes,
+                                            std::size_t step) {
+  std::vector<std::vector<std::uint8_t>> frames;
+  std::size_t at = 0;
+  while (true) {
+    FrameBuf frame;
+    Status err;
+    switch (fs.next_frame(&frame, &err)) {
+      case FrameStream::Pull::kFrame:
+        frames.emplace_back(frame.data(), frame.data() + frame.size());
+        continue;
+      case FrameStream::Pull::kBad:
+        ADD_FAILURE() << err.to_string();
+        return frames;
+      case FrameStream::Pull::kNeedMore:
+        break;
+    }
+    if (at == bytes.size()) return frames;
+    auto window = fs.write_window(fs.fill_hint());
+    const std::size_t n =
+        std::min({step, window.size(), bytes.size() - at});
+    std::memcpy(window.data(), bytes.data() + at, n);
+    fs.commit(n);
+    at += n;
+  }
+}
+
+TEST(FrameStream, SlicesMultipleFramesFromOneFill) {
+  std::vector<std::uint8_t> stream;
+  put_frame(stream, {1, 2, 3});
+  put_frame(stream, {});
+  put_frame(stream, {9, 8, 7, 6, 5});
+  FrameStream fs;
+  auto frames = pump(fs, stream, stream.size());  // one big fill
+  ASSERT_EQ(frames.size(), 3u);
+  EXPECT_EQ(frames[0], (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_TRUE(frames[1].empty());
+  EXPECT_EQ(frames[2], (std::vector<std::uint8_t>{9, 8, 7, 6, 5}));
+  EXPECT_EQ(fs.buffered_bytes(), 0u);
+}
+
+TEST(FrameStream, ByteAtATimeDribble) {
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 20; ++i) {
+    put_frame(stream, {static_cast<std::uint8_t>(i),
+                       static_cast<std::uint8_t>(i + 1)});
+  }
+  FrameStream fs;
+  auto frames = pump(fs, stream, 1);
+  ASSERT_EQ(frames.size(), 20u);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(frames[i][0], i);
+    EXPECT_EQ(frames[i][1], i + 1);
+  }
+}
+
+TEST(FrameStream, EveryChunkSizePreservesBytes) {
+  std::vector<std::uint8_t> stream;
+  std::vector<std::vector<std::uint8_t>> sent;
+  for (int i = 0; i < 7; ++i) {
+    std::vector<std::uint8_t> body(17 * i + 1);
+    for (std::size_t j = 0; j < body.size(); ++j) {
+      body[j] = static_cast<std::uint8_t>(j * 31 + i);
+    }
+    sent.push_back(body);
+    put_frame(stream, body);
+  }
+  // Adversarial split points: every chunk size from 1 up walks the splits
+  // across header/body boundaries.
+  for (std::size_t step = 1; step <= 13; ++step) {
+    FrameStream fs;
+    auto frames = pump(fs, stream, step);
+    ASSERT_EQ(frames.size(), sent.size()) << "step " << step;
+    for (std::size_t i = 0; i < sent.size(); ++i) {
+      EXPECT_EQ(frames[i], sent[i]) << "step " << step << " frame " << i;
+    }
+  }
+}
+
+TEST(FrameStream, FrameLargerThanChunkCarriesOver) {
+  std::vector<std::uint8_t> body(kStreamChunk * 2 + 123);
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    body[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+  }
+  std::vector<std::uint8_t> stream;
+  put_frame(stream, body);
+  put_frame(stream, {42});
+  FrameStream fs;
+  auto frames = pump(fs, stream, 4096);
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], body);
+  EXPECT_EQ(frames[1], (std::vector<std::uint8_t>{42}));
+}
+
+TEST(FrameStream, SlicedFramesAreAligned) {
+  // Frames sliced out of the stream buffer (or reseated) must start
+  // 16-aligned after the data header: zero-copy struct views depend on it.
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 10; ++i) {
+    put_frame(stream, std::vector<std::uint8_t>(28, static_cast<std::uint8_t>(i)));
+  }
+  FrameStream fs;
+  std::size_t at = 0;
+  while (true) {
+    FrameBuf frame;
+    Status err;
+    const auto pull = fs.next_frame(&frame, &err);
+    if (pull == FrameStream::Pull::kFrame) {
+      EXPECT_EQ(reinterpret_cast<std::uintptr_t>(frame.data()) % 16, 0u);
+      continue;
+    }
+    ASSERT_EQ(pull, FrameStream::Pull::kNeedMore);
+    if (at == stream.size()) break;
+    auto window = fs.write_window(fs.fill_hint());
+    const std::size_t n = std::min(window.size(), stream.size() - at);
+    std::memcpy(window.data(), stream.data() + at, n);
+    fs.commit(n);
+    at += n;
+  }
+}
+
+TEST(FrameStream, OversizedFrameIsRejected) {
+  FrameStream fs;
+  auto window = fs.write_window(kFrameHeaderLen);
+  store_uint(window.data(), kMaxFrameLen + 1, kFrameHeaderLen,
+             ByteOrder::kLittle);
+  fs.commit(kFrameHeaderLen);
+  FrameBuf frame;
+  Status err;
+  EXPECT_EQ(fs.next_frame(&frame, &err), FrameStream::Pull::kBad);
+  EXPECT_EQ(err.code(), Errc::kMalformed);
+}
+
+TEST(FrameStream, FillHintAsksForExactlyWhatIsMissing) {
+  FrameStream fs;
+  EXPECT_EQ(fs.fill_hint(), 1u);  // nothing buffered: any byte helps
+  // Half a header.
+  auto w = fs.write_window(2);
+  std::uint8_t header[kFrameHeaderLen];
+  store_uint(header, 100, kFrameHeaderLen, ByteOrder::kLittle);
+  std::memcpy(w.data(), header, 2);
+  fs.commit(2);
+  EXPECT_EQ(fs.fill_hint(), 1u);
+  // Full header: now it knows the frame needs 100 more bytes.
+  w = fs.write_window(2);
+  std::memcpy(w.data(), header + 2, 2);
+  fs.commit(2);
+  EXPECT_EQ(fs.fill_hint(), 100u);
+  EXPECT_FALSE(fs.has_complete_frame());
+}
+
+}  // namespace
+}  // namespace pbio::transport

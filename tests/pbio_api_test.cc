@@ -5,6 +5,7 @@
 
 #include <thread>
 
+#include "transport/socket.h"
 #include "value/materialize.h"
 #include "value/random.h"
 
@@ -354,9 +355,50 @@ TEST(PbioApi, ConversionCacheHitsAcrossMessages) {
   Particle p{};
   for (int i = 0; i < 10; ++i) ASSERT_TRUE(w.write(id, &p).is_ok());
   for (int i = 0; i < 10; ++i) ASSERT_TRUE(r.next().is_ok());
+  // Ten messages, one compile: the reader's one-entry resolution cache
+  // absorbs the repeats without even re-querying the context.
   const auto stats = ctx.stats();
   EXPECT_EQ(stats.conversions_compiled, 1u);
-  EXPECT_GE(stats.conversion_cache_hits, 9u);
+  // A fresh resolution of the same pair hits the context-level cache
+  // instead of recompiling.
+  ASSERT_TRUE(ctx.try_conversion(id, id).is_ok());
+  const auto stats2 = ctx.stats();
+  EXPECT_EQ(stats2.conversions_compiled, 1u);
+  EXPECT_GE(stats2.conversion_cache_hits, 1u);
+}
+
+TEST(PbioApi, FirstWriteCoalescesAnnouncementIntoOneSyscall) {
+  // A format's first message carries its announcement: format frame and
+  // data frame must leave in a single gathered writev, and later messages
+  // in one each.
+  transport::SocketListener listener;
+  Context ctx;
+  const auto id = register_particle(ctx);
+  std::thread server_thread([&listener, &ctx, id] {
+    auto server = listener.accept();
+    ASSERT_TRUE(server.is_ok());
+    Reader r(ctx, *server.value());
+    r.expect(id);
+    for (int i = 0; i < 3; ++i) {
+      auto msg = r.next();
+      ASSERT_TRUE(msg.is_ok()) << msg.status().to_string();
+      EXPECT_EQ(msg.value().view<Particle>().value()->id, i);
+    }
+  });
+  auto client = transport::socket_connect(listener.port());
+  ASSERT_TRUE(client.is_ok());
+  Writer w(ctx, *client.value());
+  Particle p{};
+  p.id = 0;
+  ASSERT_TRUE(w.write(id, &p).is_ok());
+  EXPECT_EQ(client.value()->send_syscalls(), 1u)
+      << "announcement + first data frame should share one writev";
+  p.id = 1;
+  ASSERT_TRUE(w.write(id, &p).is_ok());
+  p.id = 2;
+  ASSERT_TRUE(w.write(id, &p).is_ok());
+  EXPECT_EQ(client.value()->send_syscalls(), 3u);
+  server_thread.join();
 }
 
 }  // namespace

@@ -1,12 +1,51 @@
 #include "transport/socket.h"
 
 #include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
 
+#include <array>
 #include <cstring>
 #include <thread>
 
+#include "util/endian.h"
+
 namespace pbio::transport {
 namespace {
+
+/// Raw AF_UNIX stream pair: [0] stays a bare fd for hand-crafted writes,
+/// [1] is wrapped in a SocketChannel under test.
+struct RawPair {
+  int sender_fd;
+  std::unique_ptr<SocketChannel> receiver;
+
+  RawPair() {
+    int fds[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    sender_fd = fds[0];
+    receiver = std::make_unique<SocketChannel>(fds[1]);
+  }
+  ~RawPair() {
+    if (sender_fd >= 0) ::close(sender_fd);
+  }
+};
+
+std::vector<std::uint8_t> framed(const std::vector<std::uint8_t>& body) {
+  std::vector<std::uint8_t> out(kFrameHeaderLen);
+  store_uint(out.data(), body.size(), kFrameHeaderLen, ByteOrder::kLittle);
+  out.insert(out.end(), body.begin(), body.end());
+  return out;
+}
+
+void write_all(int fd, std::span<const std::uint8_t> bytes,
+               std::size_t step) {
+  std::size_t at = 0;
+  while (at < bytes.size()) {
+    const std::size_t n = std::min(step, bytes.size() - at);
+    ASSERT_EQ(::write(fd, bytes.data() + at, n), static_cast<ssize_t>(n));
+    at += n;
+  }
+}
 
 TEST(Socket, ConnectSendReceive) {
   SocketListener listener;
@@ -117,6 +156,175 @@ TEST(Socket, ManySmallMessages) {
     int got;
     std::memcpy(&got, m.value().data(), 4);
     ASSERT_EQ(got, i);
+  }
+  client.join();
+}
+
+TEST(SocketFraming, ByteAtATimeDribbleReassembles) {
+  RawPair pair;
+  std::vector<std::vector<std::uint8_t>> sent;
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 10; ++i) {
+    std::vector<std::uint8_t> body(3 * i + 1, static_cast<std::uint8_t>(i));
+    sent.push_back(body);
+    const auto f = framed(body);
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  std::thread dribbler(
+      [fd = pair.sender_fd, &stream] { write_all(fd, stream, 1); });
+  for (const auto& body : sent) {
+    auto m = pair.receiver->recv();
+    ASSERT_TRUE(m.is_ok()) << m.status().to_string();
+    EXPECT_EQ(m.value(), body);
+  }
+  dribbler.join();
+}
+
+TEST(SocketFraming, AdversarialSplitPointsReassemble) {
+  // Splits landing inside the length prefix, exactly on frame boundaries,
+  // and inside the body must all reassemble identically.
+  std::vector<std::vector<std::uint8_t>> sent;
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 6; ++i) {
+    std::vector<std::uint8_t> body(11 * i + 2);
+    for (std::size_t j = 0; j < body.size(); ++j) {
+      body[j] = static_cast<std::uint8_t>(j * 31 + i);
+    }
+    sent.push_back(body);
+    const auto f = framed(body);
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  for (std::size_t step : {2u, 3u, 4u, 5u, 7u, 13u}) {
+    RawPair pair;
+    std::thread writer(
+        [fd = pair.sender_fd, &stream, step] { write_all(fd, stream, step); });
+    for (const auto& body : sent) {
+      auto m = pair.receiver->recv();
+      ASSERT_TRUE(m.is_ok()) << "step " << step;
+      EXPECT_EQ(m.value(), body) << "step " << step;
+    }
+    writer.join();
+  }
+}
+
+TEST(SocketFraming, FrameLargerThanStreamBufferCarriesOver) {
+  RawPair pair;
+  std::vector<std::uint8_t> big(kStreamChunk * 2 + 999);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+  }
+  const auto f = framed(big);
+  std::thread writer(
+      [fd = pair.sender_fd, &f] { write_all(fd, f, 8192); });
+  auto m = pair.receiver->recv();
+  ASSERT_TRUE(m.is_ok());
+  EXPECT_EQ(m.value(), big);
+  writer.join();
+}
+
+TEST(SocketFraming, TruncatedMidFrameReportsClosed) {
+  RawPair pair;
+  const auto f = framed(std::vector<std::uint8_t>(100, 9));
+  // Send the header and half the body, then hang up.
+  write_all(pair.sender_fd, std::span(f.data(), 54), 54);
+  ::close(pair.sender_fd);
+  pair.sender_fd = -1;
+  auto m = pair.receiver->recv();
+  ASSERT_FALSE(m.is_ok());
+  EXPECT_EQ(m.status().code(), Errc::kChannelClosed);
+}
+
+TEST(SocketFraming, PollBufWouldBlockOnEmptySocket) {
+  RawPair pair;
+  auto m = pair.receiver->poll_buf();
+  ASSERT_FALSE(m.is_ok());
+  EXPECT_EQ(m.status().code(), Errc::kWouldBlock);
+}
+
+TEST(SocketFraming, PollBufDrainsWithoutBlocking) {
+  RawPair pair;
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 5; ++i) {
+    const auto f = framed({static_cast<std::uint8_t>(i)});
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  write_all(pair.sender_fd, stream, stream.size());
+  for (int i = 0; i < 5; ++i) {
+    auto m = pair.receiver->poll_buf();
+    ASSERT_TRUE(m.is_ok()) << i;
+    ASSERT_EQ(m.value().size(), 1u);
+    EXPECT_EQ(m.value().data()[0], i);
+  }
+  auto empty = pair.receiver->poll_buf();
+  ASSERT_FALSE(empty.is_ok());
+  EXPECT_EQ(empty.status().code(), Errc::kWouldBlock);
+}
+
+TEST(SocketSyscalls, CoalescedReceiveAmortizesReads) {
+  // 100 small frames written in one burst must cost far fewer than the
+  // legacy two reads per frame.
+  RawPair pair;
+  std::vector<std::uint8_t> stream;
+  constexpr int kFrames = 100;
+  for (int i = 0; i < kFrames; ++i) {
+    const auto f = framed({static_cast<std::uint8_t>(i), 0, 1, 2});
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  write_all(pair.sender_fd, stream, stream.size());
+  for (int i = 0; i < kFrames; ++i) {
+    auto m = pair.receiver->recv_buf();
+    ASSERT_TRUE(m.is_ok()) << i;
+    EXPECT_EQ(m.value().data()[0], i);
+  }
+  EXPECT_LT(pair.receiver->recv_syscalls(), kFrames)
+      << "buffered framing should need far fewer reads than frames";
+  EXPECT_EQ(pair.receiver->bytes_received(), stream.size());
+}
+
+TEST(SocketSyscalls, LegacyModeUsesTwoReadsPerFrame) {
+  RawPair pair;
+  pair.receiver->set_coalescing(false);
+  std::vector<std::uint8_t> stream;
+  constexpr int kFrames = 10;
+  for (int i = 0; i < kFrames; ++i) {
+    const auto f = framed({static_cast<std::uint8_t>(i)});
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  write_all(pair.sender_fd, stream, stream.size());
+  for (int i = 0; i < kFrames; ++i) {
+    auto m = pair.receiver->recv_buf();
+    ASSERT_TRUE(m.is_ok());
+    EXPECT_EQ(m.value().data()[0], i);
+  }
+  EXPECT_EQ(pair.receiver->recv_syscalls(), 2u * kFrames);
+}
+
+TEST(SocketSyscalls, SendFramesBatchesManyFramesPerWritev) {
+  SocketListener listener;
+  constexpr int kFrames = 100;
+  std::thread client([port = listener.port()] {
+    auto ch = socket_connect(port);
+    ASSERT_TRUE(ch.is_ok());
+    std::vector<std::array<std::uint8_t, 4>> bodies(kFrames);
+    std::vector<std::span<const std::uint8_t>> segs(kFrames);
+    std::vector<FrameSegments> frames(kFrames);
+    for (int i = 0; i < kFrames; ++i) {
+      std::memcpy(bodies[i].data(), &i, 4);
+      segs[i] = bodies[i];
+      frames[i] = FrameSegments{{&segs[i], 1}};
+    }
+    ASSERT_TRUE(ch.value()->send_frames(frames).is_ok());
+    // 100 frames, 64 per writev: exactly two kernel crossings.
+    EXPECT_EQ(ch.value()->send_syscalls(), 2u);
+  });
+  auto server = listener.accept();
+  ASSERT_TRUE(server.is_ok());
+  for (int i = 0; i < kFrames; ++i) {
+    auto m = server.value()->recv();
+    ASSERT_TRUE(m.is_ok()) << i;
+    int got;
+    std::memcpy(&got, m.value().data(), 4);
+    EXPECT_EQ(got, i);
   }
   client.join();
 }
