@@ -48,6 +48,7 @@ ExecBuffer& ExecBuffer::operator=(ExecBuffer&& other) noexcept {
 }
 
 void ExecBuffer::make_executable() {
+  if (data_ == nullptr) throw PbioError("ExecBuffer: sealed after move");
   if (::mprotect(data_, capacity_, PROT_READ | PROT_EXEC) != 0) {
     throw PbioError("ExecBuffer: mprotect(RX) failed");
   }
@@ -55,6 +56,7 @@ void ExecBuffer::make_executable() {
 }
 
 void ExecBuffer::make_writable() {
+  if (data_ == nullptr) throw PbioError("ExecBuffer: unsealed after move");
   if (::mprotect(data_, capacity_, PROT_READ | PROT_WRITE) != 0) {
     throw PbioError("ExecBuffer: mprotect(RW) failed");
   }

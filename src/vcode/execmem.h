@@ -9,6 +9,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "util/error.h"
+
 namespace pbio::vcode {
 
 class ExecBuffer {
@@ -34,9 +36,14 @@ class ExecBuffer {
   /// Flip back to RW for regeneration.
   void make_writable();
 
-  /// View the buffer as a callable of type `Fn` (after make_executable()).
+  /// View the buffer as a callable of type `Fn`. W^X enforcement: refuses
+  /// to hand out a callable while the pages are still writable — the buffer
+  /// must be sealed with make_executable() first.
   template <typename Fn>
   Fn entry() const {
+    if (!executable_) {
+      throw PbioError("ExecBuffer: entry() before make_executable()");
+    }
     return reinterpret_cast<Fn>(const_cast<std::uint8_t*>(data_));
   }
 

@@ -1,13 +1,19 @@
 #include "vcode/jit_convert.h"
 
+#include <cassert>
 #include <cstring>
 
 #include "convert/kernels/kernels.h"
 #include "obs/span.h"
 #include "util/endian.h"
+#include "util/logging.h"
 #include "vcode/execmem.h"
 #include "vcode/vcode.h"
 #include "verify/verify.h"
+
+#ifndef PBIO_TVAL_ENABLED
+#define PBIO_TVAL_ENABLED 1
+#endif
 
 namespace pbio::vcode {
 
@@ -68,6 +74,8 @@ class ConvertCompiler {
     b_.finish();
     return b_.code();
   }
+
+  const Builder& builder() const { return b_; }
 
  private:
   void emit_op(const Op& op, std::uint32_t index, const EmitCtx& ctx) {
@@ -332,11 +340,73 @@ class ConvertCompiler {
 
 }  // namespace
 
+verify::tval::Options make_tval_options(const Plan& plan) {
+  namespace tval = verify::tval;
+  tval::Options opts;
+  auto add = [&opts](const void* fn, tval::CalleeKind kind,
+                     std::uint8_t ws = 0, std::uint8_t wd = 0) {
+    if (fn == nullptr) return;
+    const auto addr = reinterpret_cast<std::uint64_t>(fn);
+    for (const tval::Callee& c : opts.callees) {
+      if (c.addr == addr && c.kind == kind && c.width_src == ws &&
+          c.width_dst == wd) {
+        return;
+      }
+    }
+    opts.callees.push_back({addr, kind, ws, wd});
+  };
+  auto walk = [&](const Op& op, bool top, auto&& self) -> void {
+    switch (op.code) {
+      case OpCode::kCopy:
+        if (op.byte_len > kInlineCopyLimit) {
+          add(reinterpret_cast<const void*>(&std::memmove),
+              tval::CalleeKind::kMemmove);
+        }
+        return;
+      case OpCode::kZero:
+        if (op.byte_len > kInlineCopyLimit) {
+          add(reinterpret_cast<const void*>(&std::memset),
+              tval::CalleeKind::kMemset);
+        }
+        return;
+      case OpCode::kSwap:
+        if (top && op.count >= kernels::kMinCount) {
+          add(reinterpret_cast<const void*>(
+                  kernels::swap_kernel(op.width_src)),
+              tval::CalleeKind::kKernel, op.width_src, op.width_src);
+        }
+        return;
+      case OpCode::kCvtNum:
+        if (top && op.count >= kernels::kMinCount) {
+          add(reinterpret_cast<const void*>(kernels::cvt_kernel(
+                  kernels::cvt_key(op, plan.src_order, plan.dst_order))),
+              tval::CalleeKind::kKernel, op.width_src, op.width_dst);
+        }
+        return;
+      case OpCode::kSubLoop:
+        for (const Op& sub : op.sub) self(sub, /*top=*/false, self);
+        return;
+      case OpCode::kString:
+      case OpCode::kVarArray:
+        add(reinterpret_cast<const void*>(&pbio_jit_var_op),
+            tval::CalleeKind::kVarOp);
+        return;
+    }
+  };
+  for (const Op& op : plan.ops) walk(op, /*top=*/true, walk);
+  return opts;
+}
+
+bool tval_enabled() { return PBIO_TVAL_ENABLED != 0; }
+
 struct CompiledConvert::Impl {
   Plan plan;
   std::unique_ptr<ExecBuffer> buf;
   std::size_t code_size = 0;
   Status verify_error;  // non-ok: plan failed verification, never execute
+  verify::tval::Report tval;
+  std::vector<MacroNote> notes;
+  std::vector<std::size_t> labels;
 
   using Fn = int (*)(const std::uint8_t*, std::uint8_t*, JitRt*);
   Fn fn = nullptr;
@@ -362,11 +432,45 @@ CompiledConvert::CompiledConvert(Plan plan) : impl_(std::make_unique<Impl>()) {
   ConvertCompiler compiler(impl_->plan);
   const std::vector<std::uint8_t> code = compiler.compile();
   OBS_COUNT("vcode.jit.code_bytes", code.size());
+  impl_->notes = compiler.builder().notes();
+  impl_->labels = compiler.builder().labels();
+#if PBIO_TVAL_ENABLED
+  // Translation-validate the fresh bytes before they can ever become
+  // executable: decode + symbolic execution against the verified plan.
+  {
+    OBS_SPAN("vcode.jit.tval");
+    impl_->tval = verify::tval::validate(code, impl_->plan,
+                                         make_tval_options(impl_->plan));
+  }
+  if (!impl_->tval.ok) {
+    OBS_COUNT("pbio.jit.tval_rejects", 1);
+    log_warn() << "jit: " << impl_->tval.to_string()
+               << " — falling back to the interpreter";
+    assert(impl_->tval.ok && "tval rejected freshly generated code");
+    return;  // interpreter fallback: fn stays null, buffer never sealed
+  }
+  OBS_COUNT("pbio.jit.tval_accepts", 1);
+#else
+  impl_->tval.fault = verify::tval::Fault::kNone;
+  impl_->tval.message = "not validated";
+#endif
   impl_->buf = std::make_unique<ExecBuffer>(code.size());
   std::memcpy(impl_->buf->data(), code.data(), code.size());
   impl_->buf->make_executable();
   impl_->code_size = code.size();
   impl_->fn = impl_->buf->entry<Impl::Fn>();
+}
+
+const verify::tval::Report& CompiledConvert::tval_report() const {
+  return impl_->tval;
+}
+
+const std::vector<MacroNote>& CompiledConvert::macro_notes() const {
+  return impl_->notes;
+}
+
+const std::vector<std::size_t>& CompiledConvert::label_offsets() const {
+  return impl_->labels;
 }
 
 CompiledConvert::~CompiledConvert() = default;

@@ -3,6 +3,7 @@
 namespace pbio::vcode {
 
 void Builder::prologue() {
+  note("prologue");
   if (prologue_done_) throw PbioError("vcode: prologue emitted twice");
   prologue_done_ = true;
   e_.push(Gp::rbp);
@@ -18,18 +19,22 @@ void Builder::prologue() {
 }
 
 void Builder::ret_ok() {
+  note("ret_ok");
   e_.xor_rr32(Gp::rax, Gp::rax);
   e_.jmp(out_);
 }
 
 void Builder::ret_if_error() {
+  note("ret_if_error");
   e_.test_rr32(Gp::rax, Gp::rax);
   e_.jcc(Cond::ne, out_);
 }
 
 void Builder::finish() {
+  note("epilogue");
   if (finished_) throw PbioError("vcode: finish called twice");
   finished_ = true;
+  epilogue_off_ = e_.size();
   e_.bind(out_);
   e_.add_ri(Gp::rsp, 8);
   e_.pop(Gp::r15);
@@ -43,6 +48,7 @@ void Builder::finish() {
 
 void Builder::ld(Gp dst, Gp base, std::int32_t disp, unsigned width,
                  bool sign) {
+  note("ld");
   if (sign) {
     e_.load_sx64(dst, base, disp, width);
   } else {
@@ -51,10 +57,12 @@ void Builder::ld(Gp dst, Gp base, std::int32_t disp, unsigned width,
 }
 
 void Builder::st(Gp base, std::int32_t disp, Gp src, unsigned width) {
+  note("st");
   e_.store(base, disp, src, width);
 }
 
 void Builder::ld_imm(Gp r, std::uint64_t v) {
+  note("ld_imm");
   if (v <= 0xFFFFFFFFull) {
     e_.mov_ri32(r, static_cast<std::uint32_t>(v));  // zero-extends
   } else {
@@ -62,9 +70,10 @@ void Builder::ld_imm(Gp r, std::uint64_t v) {
   }
 }
 
-void Builder::ld_imm32(Gp r, std::uint32_t v) { e_.mov_ri32(r, v); }
+void Builder::ld_imm32(Gp r, std::uint32_t v) { note("ld_imm32"); e_.mov_ri32(r, v); }
 
 void Builder::swap(Gp r, unsigned width) {
+  note("swap");
   switch (width) {
     case 2:
       // Value is zero-extended 16 bits: bswap32 moves them to the top,
@@ -83,17 +92,19 @@ void Builder::swap(Gp r, unsigned width) {
   }
 }
 
-void Builder::mov(Gp dst, Gp src) { e_.mov_rr64(dst, src); }
+void Builder::mov(Gp dst, Gp src) { note("mov"); e_.mov_rr64(dst, src); }
 
-void Builder::add_imm(Gp r, std::int32_t v) { e_.add_ri(r, v); }
+void Builder::add_imm(Gp r, std::int32_t v) { note("add_imm"); e_.add_ri(r, v); }
 
 void Builder::lea(Gp dst, Gp base, std::int32_t disp) {
+  note("lea");
   e_.lea(dst, base, disp);
 }
 
-void Builder::i64_to_f64(Xmm dst, Gp src) { e_.cvtsi2sd(dst, src); }
+void Builder::i64_to_f64(Xmm dst, Gp src) { note("i64_to_f64"); e_.cvtsi2sd(dst, src); }
 
 void Builder::u64_to_f64(Xmm dst, Gp src) {
+  note("u64_to_f64");
   // Standard unsigned-to-double idiom: values >= 2^63 are halved (with the
   // lost bit or-ed back for correct rounding), converted, then doubled.
   Label big;
@@ -113,13 +124,14 @@ void Builder::u64_to_f64(Xmm dst, Gp src) {
   e_.bind(done);
 }
 
-void Builder::f64_to_i64(Gp dst, Xmm src) { e_.cvttsd2si(dst, src); }
+void Builder::f64_to_i64(Gp dst, Xmm src) { note("f64_to_i64"); e_.cvttsd2si(dst, src); }
 
-void Builder::f32_to_f64(Xmm x) { e_.cvtss2sd(x, x); }
+void Builder::f32_to_f64(Xmm x) { note("f32_to_f64"); e_.cvtss2sd(x, x); }
 
-void Builder::f64_to_f32(Xmm x) { e_.cvtsd2ss(x, x); }
+void Builder::f64_to_f32(Xmm x) { note("f64_to_f32"); e_.cvtsd2ss(x, x); }
 
 void Builder::gp_to_xmm(Xmm dst, Gp src, unsigned width) {
+  note("gp_to_xmm");
   if (width == 4) {
     e_.movd_xr(dst, src);
   } else {
@@ -128,6 +140,7 @@ void Builder::gp_to_xmm(Xmm dst, Gp src, unsigned width) {
 }
 
 void Builder::xmm_to_gp(Gp dst, Xmm src, unsigned width) {
+  note("xmm_to_gp");
   if (width == 4) {
     e_.movd_rx(dst, src);
   } else {
@@ -136,6 +149,7 @@ void Builder::xmm_to_gp(Gp dst, Xmm src, unsigned width) {
 }
 
 void Builder::call(const void* fn) {
+  note("call");
   e_.mov_ri64(Gp::rax, reinterpret_cast<std::uint64_t>(fn));
   e_.call_reg(Gp::rax);
 }

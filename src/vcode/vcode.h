@@ -21,6 +21,15 @@
 
 namespace pbio::vcode {
 
+/// One Builder macro expansion: the code offset where it began and its
+/// name. Decoder-friendly emission metadata for annotated disassembly
+/// (pbio_dump --disasm). Diagnostics only — the translation validator
+/// deliberately ignores it and proves everything from the bytes.
+struct MacroNote {
+  std::size_t off = 0;
+  const char* macro = "";
+};
+
 /// Well-known registers of the generated-function convention.
 struct Regs {
   static constexpr Gp src_base = Gp::r12;
@@ -85,6 +94,7 @@ class Builder {
   void counted_loop(std::uint32_t count, std::int32_t src_off,
                     std::int32_t dst_off, std::int32_t src_stride,
                     std::int32_t dst_stride, BodyFn&& body) {
+    note("counted_loop");
     lea(Regs::cur_src, Regs::src_base, src_off);
     lea(Regs::cur_dst, Regs::dst_base, dst_off);
     ld_imm32(Regs::counter, count);
@@ -107,9 +117,23 @@ class Builder {
   X64Emitter& raw() { return e_; }
   const std::vector<std::uint8_t>& code() const { return e_.code(); }
 
+  /// Per-macro byte ranges: notes()[i] covers [notes()[i].off,
+  /// notes()[i+1].off). Diagnostics only, never trusted by validation.
+  const std::vector<MacroNote>& notes() const { return notes_; }
+
+  /// Label-bind offsets from the underlying emitter.
+  const std::vector<std::size_t>& labels() const { return e_.label_table(); }
+
+  /// Offset of the shared epilogue (valid after finish()).
+  std::size_t epilogue_offset() const { return epilogue_off_; }
+
  private:
+  void note(const char* macro) { notes_.push_back({e_.size(), macro}); }
+
   X64Emitter e_;
   Label out_;
+  std::vector<MacroNote> notes_;
+  std::size_t epilogue_off_ = 0;
   bool prologue_done_ = false;
   bool finished_ = false;
 };

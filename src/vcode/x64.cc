@@ -320,6 +320,7 @@ void X64Emitter::addsd(Xmm dst, Xmm src) {
 void X64Emitter::bind(Label& l) {
   if (l.bound()) throw PbioError("x64: label bound twice");
   l.pos_ = static_cast<std::int64_t>(code_.size());
+  labels_.push_back(code_.size());
   for (std::size_t at : l.patches_) {
     patch_rel32(at, code_.size());
   }

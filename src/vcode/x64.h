@@ -45,6 +45,12 @@ class X64Emitter {
   const std::vector<std::uint8_t>& code() const { return code_; }
   std::size_t size() const { return code_.size(); }
 
+  /// Offsets at which labels were bound, in bind order — decoder-friendly
+  /// emission metadata (loop tops, the shared epilogue) for disassembly
+  /// annotation. Diagnostics only: the translation validator re-derives
+  /// control flow from the bytes and never trusts this table.
+  const std::vector<std::size_t>& label_table() const { return labels_; }
+
   // --- moves -------------------------------------------------------------
   void mov_ri64(Gp r, std::uint64_t imm);           // movabs r, imm64
   void mov_ri32(Gp r, std::uint32_t imm);           // mov r32, imm32
@@ -106,6 +112,7 @@ class X64Emitter {
   void patch_rel32(std::size_t at, std::size_t target);
 
   std::vector<std::uint8_t> code_;
+  std::vector<std::size_t> labels_;
 };
 
 }  // namespace pbio::vcode

@@ -1,0 +1,93 @@
+// Translation validation for the conversion JIT.
+//
+// PR 3's abstract interpreter proved the *plan IR* safe; this layer proves
+// each *generated code buffer* safe before it is ever made executable —
+// Necula-style translation validation: don't verify the generator, verify
+// every output. The validator decodes the buffer with the independent
+// decoder (decode.h) and symbolically executes it, checking:
+//
+//  * the prologue/epilogue and callee-saved/stack discipline of vcode.h
+//    hold on every path (no stray push/pop/ret, rsp untouched in the body,
+//    r12/r13/r14 never clobbered);
+//  * every load stays inside the wire record's fixed part and every store
+//    inside the native record's fixed part — symbolic bases plus interval
+//    offsets through loop cursors, with loop trip counts and strides
+//    matched against the plan's op counts, and accesses further confined
+//    to the plan's per-op footprints;
+//  * every call goes to an allowlisted helper (memmove/memset, the batch
+//    conversion kernels, the interpreter's variable-op executor) with
+//    arguments proven in-bounds;
+//  * the error-propagation path (test eax,eax; jne epilogue after a
+//    variable-op call) and the ret-ok path (eax == 0) reach the one shared
+//    epilogue, which restores state exactly.
+//
+// Out of scope (covered elsewhere): functional equivalence with the
+// interpreter (differential property tests) and the semantics of the
+// allowlisted callees themselves (their own unit tests).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "convert/plan.h"
+
+namespace pbio::verify::tval {
+
+/// What an allowlisted call target is, semantically. The validator checks
+/// argument registers against the contract of each kind.
+enum class CalleeKind : std::uint8_t {
+  kMemmove,  // rdi=dst, rsi=src, rdx=len
+  kMemset,   // rdi=dst, rsi=0,   rdx=len
+  kKernel,   // rdi=dst, rsi=src, rdx=count (widths from the Callee entry)
+  kVarOp,    // rdi=ctx, rsi=op index; must be followed by ret_if_error
+};
+
+const char* to_string(CalleeKind k);
+
+struct Callee {
+  std::uint64_t addr = 0;
+  CalleeKind kind = CalleeKind::kMemmove;
+  std::uint8_t width_src = 0;  // kKernel: element width read per count
+  std::uint8_t width_dst = 0;  // kKernel: element width written per count
+};
+
+/// The call-target allowlist. Built by the JIT layer (which knows the
+/// addresses of the kernels and helpers it may link against) — see
+/// vcode::make_tval_options(). Everything else the validator derives from
+/// the plan itself; it never trusts generator metadata.
+struct Options {
+  std::vector<Callee> callees;
+};
+
+/// Why a buffer was rejected.
+enum class Fault : std::uint8_t {
+  kNone,        // accepted
+  kDecode,      // bytes outside the emitter vocabulary
+  kPrologue,    // prologue shape wrong
+  kEpilogue,    // epilogue shape wrong / stray ret
+  kConvention,  // clobbered pinned register, stack op in body, bad call reg
+  kFlow,        // control flow outside the recognized shapes
+  kLoop,        // loop structure/trip count not derived from the plan
+  kBounds,      // memory access not provably inside the records
+  kCall,        // call target not allowlisted or arguments unproven
+};
+
+const char* to_string(Fault f);
+
+struct Report {
+  bool ok = false;
+  Fault fault = Fault::kNone;
+  std::size_t off = 0;  // code offset of the offending instruction
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Validate one generated conversion function against its (already
+/// plan-verified) source plan. Never executes the code.
+Report validate(std::span<const std::uint8_t> code, const convert::Plan& plan,
+                const Options& opts);
+
+}  // namespace pbio::verify::tval

@@ -4,7 +4,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cinttypes>
 #include <cstring>
+#include <fstream>
+#include <string>
 
 #include "util/endian.h"
 #include "vcode/execmem.h"
@@ -369,6 +372,71 @@ TEST(ExecBuffer, JitSupportedOnThisHost) {
 #else
   EXPECT_FALSE(jit_supported());
 #endif
+}
+
+/// Page-protection flags of the mapping containing `addr`, from
+/// /proc/self/maps — e.g. "rw-p". Empty if the mapping (or procfs) is not
+/// found.
+std::string mapping_perms(const void* addr) {
+  std::ifstream maps("/proc/self/maps");
+  if (!maps.good()) return "";
+  const auto a = reinterpret_cast<std::uintptr_t>(addr);
+  std::string line;
+  while (std::getline(maps, line)) {
+    std::uintptr_t lo = 0, hi = 0;
+    char perms[8] = {0};
+    if (std::sscanf(line.c_str(), "%" SCNxPTR "-%" SCNxPTR " %4s", &lo, &hi,
+                    perms) != 3) {
+      continue;
+    }
+    if (a >= lo && a < hi) return perms;
+  }
+  return "";
+}
+
+TEST(ExecBuffer, WxProtectionTransitions) {
+  // The W^X contract, verified against the kernel's own view of the pages:
+  // writable while emitting, executable only after sealing, and never both
+  // at once at any point in the lifecycle.
+  ExecBuffer buf(64);
+  const std::string rw = mapping_perms(buf.data());
+  if (rw.empty()) GTEST_SKIP() << "/proc/self/maps not available";
+  EXPECT_EQ(rw.substr(0, 3), "rw-");
+
+  buf.data()[0] = 0xC3;  // ret
+  buf.make_executable();
+  const std::string rx = mapping_perms(buf.data());
+  EXPECT_EQ(rx.substr(0, 3), "r-x");
+  buf.entry<void (*)()>()();
+
+  buf.make_writable();
+  const std::string rw2 = mapping_perms(buf.data());
+  EXPECT_EQ(rw2.substr(0, 3), "rw-");
+
+  buf.make_executable();
+  const std::string rx2 = mapping_perms(buf.data());
+  EXPECT_EQ(rx2.substr(0, 3), "r-x");
+}
+
+TEST(ExecBuffer, EntryRefusedWhileWritable) {
+  // W^X enforcement at the API level: no callable handed out while the
+  // pages are writable, at creation or after reopening for regeneration.
+  ExecBuffer buf(16);
+  buf.data()[0] = 0xC3;
+  EXPECT_THROW(buf.entry<void (*)()>(), PbioError);
+  buf.make_executable();
+  EXPECT_NO_THROW(buf.entry<void (*)()>());
+  buf.make_writable();
+  EXPECT_THROW(buf.entry<void (*)()>(), PbioError);
+}
+
+TEST(ExecBuffer, MovedFromBufferRejectsSealing) {
+  ExecBuffer a(16);
+  ExecBuffer b(std::move(a));
+  EXPECT_THROW(a.make_executable(), PbioError);
+  EXPECT_THROW(a.make_writable(), PbioError);
+  EXPECT_EQ(a.data(), nullptr);
+  EXPECT_NE(b.data(), nullptr);
 }
 
 }  // namespace

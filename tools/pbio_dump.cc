@@ -1,20 +1,136 @@
 // pbio_dump — inspect a PBIO frame log without any a-priori format
 // knowledge: every record prints through the reflection API.
 //
-//   pbio_dump <frame-log> [--formats] [--max N]
+//   pbio_dump <frame-log> [--formats] [--max N] [--disasm FORMAT]
 //     --formats  also print each format description as it is announced
 //     --max N    stop after N records
+//     --disasm FORMAT
+//                after reading the log, compile the conversion from wire
+//                format FORMAT to this host's native layout and print the
+//                generated code as a lifted instruction trace — annotated
+//                with the emitter's macro ranges and label binds — plus the
+//                translation-validation verdict for the buffer.
 //
 // Create a log with transport::FileWriteChannel + pbio::Writer (see
 // tests/file_channel_test.cc or the visualization example).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 
+#include "arch/layout.h"
 #include "pbio/pbio.h"
+#include "verify/tval/decode.h"
+#include "verify/tval/tval.h"
+
+namespace {
+
+using pbio::arch::CType;
+using pbio::fmt::BaseType;
+
+/// Reverse of arch::layout_format: recover a portable struct spec from a
+/// wire format description so it can be re-laid-out under the host ABI.
+CType ctype_for(const pbio::fmt::FieldDesc& fd) {
+  switch (fd.base) {
+    case BaseType::kChar:
+      return CType::kChar;
+    case BaseType::kString:
+      return CType::kString;
+    case BaseType::kFloat:
+      return fd.elem_size == 4 ? CType::kFloat : CType::kDouble;
+    case BaseType::kInt:
+      switch (fd.elem_size) {
+        case 1: return CType::kSChar;
+        case 2: return CType::kShort;
+        case 4: return CType::kInt;
+        default: return CType::kLongLong;
+      }
+    case BaseType::kUInt:
+      switch (fd.elem_size) {
+        case 1: return CType::kUChar;
+        case 2: return CType::kUShort;
+        case 4: return CType::kUInt;
+        default: return CType::kULongLong;
+      }
+    case BaseType::kStruct:
+      break;
+  }
+  return CType::kInt;
+}
+
+pbio::arch::StructSpec to_spec(const pbio::fmt::FormatDesc& f) {
+  pbio::arch::StructSpec spec;
+  spec.name = f.name;
+  for (const auto& sub : f.subformats) {
+    spec.subs.push_back(to_spec(sub));
+  }
+  for (const auto& fd : f.fields) {
+    pbio::arch::SpecField sf;
+    sf.name = fd.name;
+    sf.array_elems = fd.static_elems;
+    sf.var_dim_field = fd.var_dim_field;
+    if (fd.is_struct()) {
+      sf.subformat = fd.subformat;
+    } else {
+      sf.type = ctype_for(fd);
+    }
+    spec.fields.push_back(std::move(sf));
+  }
+  return spec;
+}
+
+/// Print the generated conversion code for `wire` -> host layout as a
+/// decoded instruction listing with emission annotations, then the tval
+/// verdict. Returns a process exit code.
+int disassemble(const pbio::fmt::FormatDesc& wire) {
+  namespace tval = pbio::verify::tval;
+  const auto host =
+      pbio::arch::layout_format(to_spec(wire), pbio::arch::abi_host());
+  const auto plan = pbio::convert::compile_plan(wire, host);
+  std::printf("%s", plan.describe().c_str());
+  pbio::vcode::CompiledConvert cc(plan);
+  if (cc.code_size() == 0) {
+    std::printf("-- no native code generated on this host\n");
+    return 0;
+  }
+
+  const auto dec = tval::decode(cc.code());
+  const auto& notes = cc.macro_notes();
+  const auto& labels = cc.label_offsets();
+  std::size_t note_i = 0;
+  for (const auto& inst : dec.insts) {
+    while (note_i < notes.size() && notes[note_i].off <= inst.off) {
+      if (notes[note_i].off == inst.off) {
+        std::printf("              ; %s\n", notes[note_i].macro);
+      }
+      ++note_i;
+    }
+    for (std::size_t li = 0; li < labels.size(); ++li) {
+      if (labels[li] == inst.off) std::printf("L%zu:\n", li);
+    }
+    std::printf("  +0x%04zx  %s\n", inst.off, tval::to_string(inst).c_str());
+  }
+  if (!dec.ok) {
+    std::printf("  +0x%04zx  <decode failed: %s>\n", dec.fail_off,
+                dec.error.c_str());
+  }
+  std::printf("-- %zu bytes, %zu instructions\n", cc.code_size(),
+              dec.insts.size());
+  std::printf("-- %s\n", cc.tval_report().to_string().c_str());
+  return cc.tval_report().ok ? 0 : 1;
+}
+
+int usage() {
+  std::fprintf(stderr, "usage: pbio_dump <frame-log> [--formats] [--max N] "
+                       "[--disasm FORMAT]\n");
+  return 2;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const char* path = nullptr;
+  const char* disasm_format = nullptr;
   bool show_formats = false;
   long max_records = -1;
   for (int i = 1; i < argc; ++i) {
@@ -22,18 +138,16 @@ int main(int argc, char** argv) {
       show_formats = true;
     } else if (std::strcmp(argv[i], "--max") == 0 && i + 1 < argc) {
       max_records = std::strtol(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--disasm") == 0 && i + 1 < argc) {
+      disasm_format = argv[++i];
     } else if (argv[i][0] != '-' && path == nullptr) {
       path = argv[i];
     } else {
-      std::fprintf(stderr, "usage: pbio_dump <frame-log> [--formats] "
-                           "[--max N]\n");
-      return 2;
+      return usage();
     }
   }
   if (path == nullptr) {
-    std::fprintf(stderr, "usage: pbio_dump <frame-log> [--formats] "
-                         "[--max N]\n");
-    return 2;
+    return usage();
   }
 
   auto ch = pbio::transport::FileReadChannel::open(path);
@@ -58,6 +172,10 @@ int main(int argc, char** argv) {
       formats_seen = reader.formats_learned();
       std::printf("%s", pbio::fmt::describe(msg.value().wire_format()).c_str());
     }
+    if (disasm_format != nullptr) {
+      ++count;
+      continue;  // only the format announcements matter for --disasm
+    }
     auto rec = msg.value().reflect();
     if (!rec.is_ok()) {
       std::fprintf(stderr, "pbio_dump: record %ld: %s\n", count,
@@ -67,6 +185,15 @@ int main(int argc, char** argv) {
     std::printf("#%ld %s %s\n", count, msg.value().format_name().c_str(),
                 pbio::value::Value(rec.value()).to_string().c_str());
     ++count;
+  }
+  if (disasm_format != nullptr) {
+    const auto* wire = ctx.find_by_name(disasm_format);
+    if (wire == nullptr) {
+      std::fprintf(stderr, "pbio_dump: format '%s' not announced in %s\n",
+                   disasm_format, path);
+      return 1;
+    }
+    return disassemble(*wire);
   }
   std::printf("-- %ld records, %zu formats\n", count,
               reader.formats_learned());

@@ -16,9 +16,17 @@ This linter enforces three rules over src/**/*.{h,cc}:
                         outside util/endian.h bypass the one place where
                         byte order is reasoned about. socket address setup
                         is the allowlisted exception.
+  R4 exec-memory        executable-memory APIs (mmap/mprotect/munmap,
+                        PROT_EXEC, and the Windows/Darwin equivalents) may
+                        appear only in src/vcode/execmem.* — the single
+                        audited home of the W^X code buffer.
+  R5 fn-ptr-cast        reinterpret_cast that manufactures a callable
+                        (function-pointer type, or cast-and-invoke) outside
+                        src/vcode turns data into code; never allowlisted
+                        and no inline marker can excuse it.
 
 Usage:
-    tools/wire_lint.py [--root REPO_ROOT] [--allowlist FILE]
+    tools/wire_lint.py [--root REPO_ROOT] [--allowlist FILE] [--self-test]
 
 Exits 0 when clean, 1 on findings (or on stale allowlist entries, which
 would otherwise rot into blanket permissions).
@@ -28,6 +36,7 @@ import argparse
 import pathlib
 import re
 import sys
+import tempfile
 
 DEFAULT_ALLOWLIST = "tools/wire_lint_allow.txt"
 SCAN_SUFFIXES = {".h", ".cc"}
@@ -44,6 +53,19 @@ RE_ENDIAN_INTRINSIC = re.compile(
     r"\b(?:htons|htonl|ntohs|ntohl|__builtin_bswap(?:16|32|64)"
     r"|bswap_(?:16|32|64)|_byteswap_(?:ushort|ulong|uint64))\s*\("
 )
+RE_EXECMEM = re.compile(
+    r"\b(?:mmap|munmap|mprotect)\s*\(|\bPROT_EXEC\b|\bMAP_JIT\b"
+    r"|\bVirtual(?:Alloc|Protect|Free)\b|\bpthread_jit_write_protect_np\b"
+)
+EXECMEM_HOME = "src/vcode/execmem."
+# A reinterpret_cast whose target type is written as a function pointer
+# (or reference): `reinterpret_cast<int (*)(char)>`.
+RE_FNPTR_CAST = re.compile(r"\breinterpret_cast<[^>]*\(\s*[*&][^>]*>")
+# Cast-and-invoke through a typedef'd callable: `reinterpret_cast<Fn>(p)(...`.
+RE_CAST_INVOKE = re.compile(
+    r"\breinterpret_cast<\w[\w:]*>\s*\((?:[^()]|\([^()]*\))*\)\s*\("
+)
+FNPTR_HOME = "src/vcode/"
 
 
 class AllowEntry:
@@ -132,8 +154,7 @@ def scan_file(root, path, allowlist, findings):
                     if entry.matches(rel, raw):
                         entry.used = True
                         return
-            findings.append(f"{rel}:{lineno}: {rule}: {message}\n"
-                            f"    {raw.strip()}")
+            findings.append((rel, lineno, rule, message, raw.strip()))
 
         if RE_REINTERPRET.search(code):
             report("reinterpret-cast",
@@ -148,6 +169,108 @@ def scan_file(root, path, allowlist, findings):
             report("endian-intrinsic",
                    "byte-swap intrinsic outside util/endian.h — route byte "
                    "order through the endian helpers")
+        if RE_EXECMEM.search(code) and not rel.startswith(EXECMEM_HOME):
+            report("exec-memory",
+                   "executable-memory API outside src/vcode/execmem.* — "
+                   "route code-buffer management through ExecBuffer")
+        if ((RE_FNPTR_CAST.search(code) or RE_CAST_INVOKE.search(code))
+                and not rel.startswith(FNPTR_HOME)):
+            report("fn-ptr-cast",
+                   "reinterpret_cast to a callable outside src/vcode turns "
+                   "data into code — only the JIT module may do this",
+                   allow_allowlist=False, allow_marker=False)
+
+
+# --- self-test -----------------------------------------------------------
+# Each case is one synthetic source line dropped into a scratch tree at the
+# given path; the scan over that tree must produce exactly the expected
+# rule hits. This is what keeps regex edits honest.
+SELF_TEST_CASES = [
+    # R1: bare cast fires; an inline marker excuses it; allowlist excuses it.
+    ("src/pbio/r1_hit.cc", "auto* p = reinterpret_cast<char*>(q);",
+     {"reinterpret-cast"}),
+    ("src/pbio/r1_marker.cc",
+     "auto* p = reinterpret_cast<char*>(q);  // wire-lint: ok byte view",
+     set()),
+    ("src/pbio/r1_allow.cc", "auto* p = reinterpret_cast<char*>(q);",
+     set()),  # covered by the synthetic allowlist entry below
+    # R2: raw pointer-deref cast, never excusable via allowlist.
+    ("src/fmt/r2_hit.cc", "int v = *(const uint32_t*)ptr;",
+     {"c-cast-deref"}),
+    # R3: byte-swap intrinsic outside the endian header.
+    ("src/pbio/r3_hit.cc", "auto x = htonl(v);", {"endian-intrinsic"}),
+    ("src/util/endian.h", "auto x = __builtin_bswap32(v);", set()),
+    # R4: exec-memory APIs live only in src/vcode/execmem.*.
+    ("src/transport/r4_mmap.cc",
+     "void* p = mmap(nullptr, n, PROT_READ | PROT_EXEC, MAP_PRIVATE, -1, 0);",
+     {"exec-memory"}),
+    ("src/util/r4_mprotect.cc", "mprotect(p, n, PROT_READ);",
+     {"exec-memory"}),
+    ("src/vcode/r4_wrong_file.cc", "mprotect(p, n, PROT_READ | PROT_EXEC);",
+     {"exec-memory"}),  # vcode, but not execmem.* — still a finding
+    ("src/vcode/execmem.cc", "::mprotect(p, n, PROT_READ | PROT_EXEC);",
+     set()),
+    ("src/vcode/execmem.h",
+     "void* p = ::mmap(nullptr, n, PROT_READ | PROT_WRITE, flags, -1, 0);",
+     set()),
+    # R5: callable-manufacturing casts outside src/vcode; markers are
+    # deliberately powerless against this rule.
+    ("src/pbio/r5_fnptr.cc",
+     "auto fn = reinterpret_cast<int (*)(char)>(p);  // wire-lint: ok no",
+     {"fn-ptr-cast"}),
+    ("src/pbio/r5_invoke.cc",
+     "return reinterpret_cast<Fn>(buf)(a, b);  // wire-lint: ok no",
+     {"fn-ptr-cast"}),
+    ("src/vcode/r5_home.cc",
+     "auto fn = reinterpret_cast<int (*)(char)>(p);  // wire-lint: ok jit",
+     set()),
+    # Comment and string contents never trip rules.
+    ("src/pbio/noise_comment.cc",
+     "// reinterpret_cast<char*>(q); mprotect(p, n, PROT_EXEC);", set()),
+    ("src/pbio/noise_string.cc",
+     'const char* s = "mprotect(PROT_EXEC) htonl(";', set()),
+]
+
+
+def self_test():
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="wire_lint_selftest_") as tmp:
+        root = pathlib.Path(tmp)
+        for rel, line, _ in SELF_TEST_CASES:
+            path = root / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # Append: two cases may share a path (none do today, but keep
+            # the harness order-independent anyway).
+            with path.open("a") as f:
+                f.write(line + "\n")
+        allowlist = [AllowEntry("src/pbio/r1_allow.cc", "reinterpret_cast",
+                                "self-test entry", 1)]
+        stale_entry = AllowEntry("src/pbio/nonexistent.cc", "nothing",
+                                 "self-test stale entry", 2)
+        findings = []
+        for path in sorted((root / "src").rglob("*")):
+            if path.suffix in SCAN_SUFFIXES:
+                scan_file(root, path, allowlist + [stale_entry], findings)
+        got = {}
+        for rel, _lineno, rule, _msg, _raw in findings:
+            got.setdefault(rel, set()).add(rule)
+        for rel, line, expected in SELF_TEST_CASES:
+            actual = got.get(rel, set())
+            if actual != expected:
+                failures.append(f"  {rel}: expected {sorted(expected)}, "
+                                f"got {sorted(actual)}\n    {line}")
+        if not allowlist[0].used:
+            failures.append("  allowlist entry that matches was not "
+                            "marked used")
+        if stale_entry.used:
+            failures.append("  allowlist entry that matches nothing was "
+                            "marked used")
+    if failures:
+        print(f"wire_lint --self-test: {len(failures)} failure(s)")
+        print("\n".join(failures))
+        return 1
+    print(f"wire_lint --self-test: {len(SELF_TEST_CASES)} cases ok")
+    return 0
 
 
 def main():
@@ -156,7 +279,12 @@ def main():
                     help="repository root (default: parent of this script)")
     ap.add_argument("--allowlist", default=None,
                     help=f"allowlist file (default: {DEFAULT_ALLOWLIST})")
+    ap.add_argument("--self-test", action="store_true",
+                    help="run the linter's own rule tests and exit")
     args = ap.parse_args()
+
+    if args.self_test:
+        return self_test()
 
     root = pathlib.Path(args.root).resolve() if args.root else \
         pathlib.Path(__file__).resolve().parent.parent
@@ -176,7 +304,8 @@ def main():
     status = 0
     if findings:
         print(f"wire_lint: {len(findings)} finding(s)\n")
-        print("\n".join(findings))
+        print("\n".join(f"{rel}:{lineno}: {rule}: {msg}\n    {raw}"
+                        for rel, lineno, rule, msg, raw in findings))
         status = 1
     stale = [e for e in allowlist if not e.used]
     if stale:
