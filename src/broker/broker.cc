@@ -1,0 +1,328 @@
+#include "broker/broker.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <unordered_map>
+
+#include "obs/obs.h"
+
+namespace pbio::broker {
+
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+/// Frames one service() call may consume — the fairness quantum keeping a
+/// firehose connection from starving its worker's other connections.
+constexpr std::size_t kFrameBudget = 64;
+constexpr int kEpollWaitMs = 50;
+}  // namespace
+
+/// One event loop: an epoll fd, an eventfd for cross-thread wakeups, a
+/// private BufferPool arena, and the connections hashed onto this worker.
+class Worker {
+ public:
+  Worker(Broker& owner, std::size_t index)
+      : owner_(owner), index_(index), pool_(64) {
+    ep_ = ::epoll_create1(EPOLL_CLOEXEC);
+    wake_ = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    epoll_event ev{};
+    ev.events = EPOLLIN;  // level-triggered: drained every wakeup
+    ev.data.fd = wake_;
+    ::epoll_ctl(ep_, EPOLL_CTL_ADD, wake_, &ev);
+  }
+
+  ~Worker() {
+    conns_.clear();  // SocketChannel dtors close the fds
+    if (wake_ >= 0) ::close(wake_);
+    if (ep_ >= 0) ::close(ep_);
+  }
+
+  bool ok() const { return ep_ >= 0 && wake_ >= 0; }
+
+  BufferPool::Stats pool_stats() const { return pool_.stats(); }
+
+  /// Register the (non-blocking) listener with this worker's epoll.
+  void adopt_listener(int fd) {
+    listen_fd_ = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET;
+    ev.data.fd = fd;
+    ::epoll_ctl(ep_, EPOLL_CTL_ADD, fd, &ev);
+  }
+
+  /// Hand a freshly accepted fd to this worker from another thread.
+  void hand_off(int fd) {
+    {
+      std::lock_guard<std::mutex> lk(inbox_mu_);
+      inbox_.push_back(fd);
+    }
+    wake();
+  }
+
+  void wake() {
+    const std::uint64_t one = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_, &one, sizeof(one));
+  }
+
+  void run() {
+    std::vector<epoll_event> events(256);
+    while (!owner_.stopping_.load(std::memory_order_acquire)) {
+      const int timeout = ready_.empty() ? kEpollWaitMs : 0;
+      const int n = ::epoll_wait(ep_, events.data(),
+                                 static_cast<int>(events.size()), timeout);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;
+      }
+      for (int i = 0; i < n; ++i) {
+        const int fd = events[i].data.fd;
+        if (fd == wake_) {
+          drain_wake();
+        } else if (fd == listen_fd_) {
+          accept_burst();
+        } else {
+          service_conn(fd);
+        }
+      }
+      run_ready();
+    }
+  }
+
+ private:
+  void drain_wake() {
+    std::uint64_t v;
+    while (::read(wake_, &v, sizeof(v)) > 0) {
+    }
+    std::vector<int> fds;
+    {
+      std::lock_guard<std::mutex> lk(inbox_mu_);
+      fds.swap(inbox_);
+    }
+    for (int fd : fds) add_conn(fd);
+  }
+
+  void accept_burst() {
+    // Edge-triggered listener: accept until the queue is empty.
+    while (true) {
+      auto fd = owner_.listener_.accept_fd(true);
+      if (!fd.is_ok()) return;  // kWouldBlock (queue empty) or hard error
+      owner_.sh_.accepted.fetch_add(1, kRelaxed);
+      if (owner_.sh_.connections.load(kRelaxed) >=
+          owner_.sh_.cfg.max_connections) {
+        // Over the connection cap: shed with an immediate close. The
+        // client sees a clean EOF, the broker spends no memory on it.
+        ::close(fd.value());
+        owner_.sh_.shed_connections.fetch_add(1, kRelaxed);
+        continue;
+      }
+      const std::size_t target =
+          static_cast<std::size_t>(fd.value()) % owner_.workers_.size();
+      if (target == index_) {
+        add_conn(fd.value());
+      } else {
+        owner_.workers_[target]->hand_off(fd.value());
+      }
+    }
+  }
+
+  void add_conn(int fd) {
+    if (owner_.sh_.cfg.so_sndbuf > 0) {
+      const int v = owner_.sh_.cfg.so_sndbuf;
+      ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &v, sizeof(v));
+    }
+    auto conn = std::make_unique<Conn>(fd, owner_.sh_, pool_);
+    epoll_event ev{};
+    // Both directions edge-triggered, armed once — backpressure is a flag
+    // inside Conn::service, never an epoll_ctl on the hot path.
+    ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+    ev.data.fd = fd;
+    if (::epoll_ctl(ep_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      return;  // conn dtor closes the fd and rolls the gauges back
+    }
+    conns_.emplace(fd, std::move(conn));
+    service_conn(fd);  // frames may have landed before registration
+  }
+
+  void service_conn(int fd) {
+    auto it = conns_.find(fd);
+    if (it == conns_.end()) return;
+    switch (it->second->service(kFrameBudget)) {
+      case Conn::Verdict::kIdle:
+        break;
+      case Conn::Verdict::kMore:
+        ready_.push_back(fd);
+        break;
+      case Conn::Verdict::kClose:
+        conns_.erase(it);  // closes the fd; epoll deregisters with it
+        break;
+    }
+  }
+
+  void run_ready() {
+    // One pass over connections that exhausted their budget; any that are
+    // still hungry re-queue, and the zero-timeout epoll_wait above keeps
+    // fresh events interleaved with this backlog.
+    std::vector<int> batch;
+    batch.swap(ready_);
+    for (int fd : batch) service_conn(fd);
+  }
+
+  Broker& owner_;
+  std::size_t index_;
+  BufferPool pool_;
+  int ep_ = -1;
+  int wake_ = -1;
+  int listen_fd_ = -1;
+  std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  std::vector<int> ready_;
+  std::mutex inbox_mu_;
+  std::vector<int> inbox_;
+};
+
+Broker::Broker(Context& ctx, Config cfg)
+    : sh_(ctx, std::move(cfg)),
+      listener_(sh_.cfg.accept_backlog) {}
+
+Broker::~Broker() { stop(); }
+
+void Broker::expect(const std::string& name, Context::FormatId native_id) {
+  sh_.expected[name] = native_id;
+}
+
+Status Broker::start() {
+  if (running_.load(std::memory_order_acquire)) return Status::ok();
+  Status st = listener_.set_nonblocking(true);
+  if (!st.is_ok()) return st;
+
+  const unsigned n = sh_.cfg.workers == 0 ? 1 : sh_.cfg.workers;
+  workers_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    workers_.push_back(std::make_unique<Worker>(*this, i));
+    if (!workers_.back()->ok()) {
+      workers_.clear();
+      return Status(Errc::kIo, "epoll/eventfd setup failed");
+    }
+  }
+  workers_[0]->adopt_listener(listener_.fd());
+
+  stopping_.store(false, std::memory_order_release);
+  threads_.reserve(n);
+  for (unsigned i = 0; i < n; ++i) {
+    threads_.emplace_back([w = workers_[i].get()] { w->run(); });
+  }
+  if (!sh_.cfg.stats_file.empty()) {
+    stats_thread_ = std::thread([this] {
+      while (!stopping_.load(std::memory_order_acquire)) {
+        publish_obs();
+        dump_stats_file();
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(sh_.cfg.stats_interval_ms));
+      }
+      publish_obs();
+      dump_stats_file();
+    });
+  }
+  running_.store(true, std::memory_order_release);
+  return Status::ok();
+}
+
+void Broker::stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  for (auto& w : workers_) w->wake();
+  for (auto& t : threads_) t.join();
+  threads_.clear();
+  if (stats_thread_.joinable()) stats_thread_.join();
+  workers_.clear();  // destroys every Conn, closing client sockets
+  running_.store(false, std::memory_order_release);
+}
+
+BrokerStats Broker::stats() const {
+  BrokerStats s;
+  s.connections = sh_.connections.load(kRelaxed);
+  s.inflight = sh_.inflight.load(kRelaxed);
+  s.queued_bytes = sh_.queued_bytes.load(kRelaxed);
+  s.accepted = sh_.accepted.load(kRelaxed);
+  s.closed = sh_.closed.load(kRelaxed);
+  s.shed_connections = sh_.shed_connections.load(kRelaxed);
+  s.shed_inflight = sh_.shed_inflight.load(kRelaxed);
+  s.protocol_errors = sh_.protocol_errors.load(kRelaxed);
+  s.frames_in = sh_.frames_in.load(kRelaxed);
+  s.frames_out = sh_.frames_out.load(kRelaxed);
+  s.bytes_in = sh_.bytes_in.load(kRelaxed);
+  s.bytes_out = sh_.bytes_out.load(kRelaxed);
+  s.formats_learned = sh_.formats_learned.load(kRelaxed);
+  s.decoded = sh_.decoded.load(kRelaxed);
+  s.svc_requests = sh_.svc_requests.load(kRelaxed);
+  s.pauses = sh_.pauses.load(kRelaxed);
+  s.resumes = sh_.resumes.load(kRelaxed);
+  s.recv_syscalls = sh_.recv_syscalls.load(kRelaxed);
+  s.send_syscalls = sh_.send_syscalls.load(kRelaxed);
+  return s;
+}
+
+BufferPool::Stats Broker::pool_stats() const {
+  BufferPool::Stats total;
+  for (const auto& w : workers_) {
+    const BufferPool::Stats s = w->pool_stats();
+    total.hits += s.hits;
+    total.misses += s.misses;
+    total.oversize += s.oversize;
+    total.recycled += s.recycled;
+  }
+  return total;
+}
+
+void Broker::publish_obs() {
+  // Publish monotonic deltas; gauges are derivable from the monotonic
+  // pairs (connections = accepts - closes - sheds, and so on), which keeps
+  // the obs contract — counters only ever go up.
+  const BrokerStats now = stats();
+  const auto pub = [](const char* name, std::uint64_t cur,
+                      std::uint64_t& last) {
+    if (cur > last) obs::counter_add(obs::counter(name), cur - last);
+    last = cur;
+  };
+  pub("pbio.broker.accepted", now.accepted, published_.accepted);
+  pub("pbio.broker.closed", now.closed, published_.closed);
+  pub("pbio.broker.shed_connections", now.shed_connections,
+      published_.shed_connections);
+  pub("pbio.broker.shed_inflight", now.shed_inflight,
+      published_.shed_inflight);
+  pub("pbio.broker.protocol_errors", now.protocol_errors,
+      published_.protocol_errors);
+  pub("pbio.broker.frames_in", now.frames_in, published_.frames_in);
+  pub("pbio.broker.frames_out", now.frames_out, published_.frames_out);
+  pub("pbio.broker.bytes_in", now.bytes_in, published_.bytes_in);
+  pub("pbio.broker.bytes_out", now.bytes_out, published_.bytes_out);
+  pub("pbio.broker.formats_learned", now.formats_learned,
+      published_.formats_learned);
+  pub("pbio.broker.decoded", now.decoded, published_.decoded);
+  pub("pbio.broker.svc_requests", now.svc_requests, published_.svc_requests);
+  pub("pbio.broker.pauses", now.pauses, published_.pauses);
+  pub("pbio.broker.resumes", now.resumes, published_.resumes);
+  pub("pbio.broker.recv_syscalls", now.recv_syscalls,
+      published_.recv_syscalls);
+  pub("pbio.broker.send_syscalls", now.send_syscalls,
+      published_.send_syscalls);
+}
+
+void Broker::dump_stats_file() {
+  // Atomic replace: a --watch reader never sees a torn file.
+  const std::string tmp = sh_.cfg.stats_file + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return;
+  const std::string json = obs::to_json(obs::snapshot());
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  std::rename(tmp.c_str(), sh_.cfg.stats_file.c_str());
+}
+
+}  // namespace pbio::broker

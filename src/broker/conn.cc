@@ -1,0 +1,251 @@
+#include "broker/conn.h"
+
+#include "fmt/meta.h"
+#include "pbio/encode.h"
+#include "util/arena.h"
+#include "util/endian.h"
+
+namespace pbio::broker {
+
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}
+
+Conn::Conn(int fd, Shared& sh, BufferPool& pool)
+    : pool_(pool), ch_(fd, pool, sh.cfg.stream_chunk_bytes), sh_(sh) {
+  sh_.connections.fetch_add(1, kRelaxed);
+}
+
+Conn::~Conn() {
+  sh_.connections.fetch_sub(1, kRelaxed);
+  sh_.closed.fetch_add(1, kRelaxed);
+  // Undrained responses die with the connection: release their slots in
+  // the global inflight/byte gauges (the FrameBuf leases themselves return
+  // to the pool when the SendQueue member destructs).
+  sh_.inflight.fetch_sub(sq_.queued_frames(), kRelaxed);
+  sh_.queued_bytes.fetch_sub(sq_.queued_bytes(), kRelaxed);
+  sh_.recv_syscalls.fetch_add(ch_.recv_syscalls() - folded_recv_, kRelaxed);
+  sh_.send_syscalls.fetch_add(ch_.send_syscalls() - folded_send_, kRelaxed);
+}
+
+void Conn::fold_syscalls() {
+  const std::uint64_t r = ch_.recv_syscalls();
+  const std::uint64_t s = ch_.send_syscalls();
+  sh_.recv_syscalls.fetch_add(r - folded_recv_, kRelaxed);
+  sh_.send_syscalls.fetch_add(s - folded_send_, kRelaxed);
+  folded_recv_ = r;
+  folded_send_ = s;
+}
+
+Status Conn::enqueue(FrameBuf frame) {
+  // Global inflight limiter: admission for response memory. A connection
+  // that would push the broker past the cap is shed (closed), never
+  // buffered without bound.
+  const std::size_t prev = sh_.inflight.fetch_add(1, kRelaxed);
+  if (prev >= sh_.cfg.max_inflight_frames) {
+    sh_.inflight.fetch_sub(1, kRelaxed);
+    sh_.shed_inflight.fetch_add(1, kRelaxed);
+    return Status(Errc::kOverloaded, "inflight frame cap");
+  }
+  const std::size_t wire = transport::kFrameHeaderLen + frame.size();
+  sh_.queued_bytes.fetch_add(wire, kRelaxed);
+  sq_.push(std::move(frame));
+  return Status::ok();
+}
+
+Status Conn::flush() {
+  if (sq_.empty()) return Status::ok();
+  auto res = sq_.flush(ch_);
+  if (!res.is_ok()) return res.status();
+  sh_.inflight.fetch_sub(res.value().frames, kRelaxed);
+  sh_.queued_bytes.fetch_sub(res.value().bytes, kRelaxed);
+  sh_.frames_out.fetch_add(res.value().frames, kRelaxed);
+  sh_.bytes_out.fetch_add(res.value().bytes, kRelaxed);
+  return Status::ok();
+}
+
+Status Conn::decode_frame(const FrameBuf& frame) {
+  const Context::FormatId wire_id = load_uint(
+      frame.data() + kDataHeaderIdOffset, 8, ByteOrder::kLittle);
+
+  // One-entry resolution cache, same shape as Reader::consume_frame: a
+  // same-format streak costs one compare, no registry lock.
+  if (!cache_valid_ || cached_wire_id_ != wire_id) {
+    const fmt::FormatDesc* wire = sh_.ctx.find(wire_id);
+    if (wire == nullptr) {
+      return Status(Errc::kUnknownFormat, "data frame for unannounced format");
+    }
+    cached_wire_id_ = wire_id;
+    cached_wire_ = wire;
+    cached_native_ = nullptr;
+    cached_conv_.reset();
+    cache_valid_ = true;
+    conv_cached_ = false;
+  }
+  if (frame.size() - kDataHeaderSize < cached_wire_->fixed_size) {
+    return Status(Errc::kTruncated, "payload smaller than record");
+  }
+  if (!conv_cached_) {
+    auto it = sh_.expected.find(cached_wire_->name);
+    if (it != sh_.expected.end()) {
+      auto conv = sh_.ctx.try_conversion(cached_wire_id_, it->second);
+      if (!conv.is_ok()) return conv.status();
+      cached_native_ = sh_.ctx.find(it->second);
+      cached_conv_ = std::move(conv).take();
+    }
+    conv_cached_ = true;
+  }
+  if (cached_conv_ == nullptr) return Status::ok();  // no expected target
+
+  if (decode_out_.size() < cached_native_->fixed_size) {
+    decode_out_.resize(cached_native_->fixed_size);
+  }
+  convert::ExecInput in;
+  in.src = frame.data() + kDataHeaderSize;
+  in.src_size = frame.size() - kDataHeaderSize;
+  in.dst = decode_out_.data();
+  in.dst_size = cached_native_->fixed_size;
+  in.mode = convert::VarMode::kPointers;
+  in.borrow_from_src = true;
+  if (cached_wire_->is_fixed_layout()) {
+    Status st = cached_conv_->run(in, sh_.cfg.engine);
+    if (!st.is_ok()) return st;
+  } else {
+    // Variable-length records may need arena space for non-borrowable
+    // strings; scoped per frame so it cannot grow without bound.
+    Arena scratch;
+    in.arena = &scratch;
+    Status st = cached_conv_->run(in, sh_.cfg.engine);
+    if (!st.is_ok()) return st;
+  }
+  sh_.decoded.fetch_add(1, kRelaxed);
+  return Status::ok();
+}
+
+Status Conn::on_data_frame(FrameBuf frame) {
+  if (frame.size() < kDataHeaderSize) {
+    return Status(Errc::kTruncated, "short data frame");
+  }
+  if (sh_.cfg.decode) {
+    Status st = decode_frame(frame);
+    if (!st.is_ok()) return st;
+  }
+  switch (sh_.cfg.on_data) {
+    case OnData::kEcho:
+      return enqueue(std::move(frame));
+    case OnData::kAck: {
+      const Context::FormatId wire_id = load_uint(
+          frame.data() + kDataHeaderIdOffset, 8, ByteOrder::kLittle);
+      frame.reset();  // drop the lease before taking a fresh one
+      FrameBuf ack = pool().lease(kDataHeaderSize);
+      std::fill_n(ack.data(), kDataHeaderSize, std::uint8_t{0});
+      ack.data()[0] = kFrameAck;
+      store_uint(ack.data() + kDataHeaderIdOffset, wire_id, 8,
+                 ByteOrder::kLittle);
+      return enqueue(std::move(ack));
+    }
+    case OnData::kSink:
+      return Status::ok();
+  }
+  return Status(Errc::kMalformed, "bad OnData mode");
+}
+
+Status Conn::dispatch(FrameBuf frame) {
+  if (frame.empty()) {
+    sh_.protocol_errors.fetch_add(1, kRelaxed);
+    return Status(Errc::kMalformed, "empty frame");
+  }
+  sh_.frames_in.fetch_add(1, kRelaxed);
+  sh_.bytes_in.fetch_add(transport::kFrameHeaderLen + frame.size(), kRelaxed);
+
+  switch (frame.data()[0]) {
+    case kFrameFormat: {
+      auto meta =
+          fmt::decode_meta(std::span(frame.data() + 1, frame.size() - 1));
+      if (!meta.is_ok()) {
+        sh_.protocol_errors.fetch_add(1, kRelaxed);
+        return meta.status();
+      }
+      sh_.ctx.register_format(std::move(meta).take());
+      sh_.formats_learned.fetch_add(1, kRelaxed);
+      cache_valid_ = false;
+      conv_cached_ = false;
+      cached_conv_.reset();
+      return Status::ok();
+    }
+    case kFrameData: {
+      Status st = on_data_frame(std::move(frame));
+      if (!st.is_ok() && st.code() != Errc::kOverloaded) {
+        sh_.protocol_errors.fetch_add(1, kRelaxed);
+      }
+      return st;
+    }
+    case kSvcLookup:
+    case kSvcRegister: {
+      sh_.svc_requests.fetch_add(1, kRelaxed);
+      Status st = sh_.svc.handle(frame.view(), svc_reply_);
+      if (!st.is_ok()) {
+        sh_.protocol_errors.fetch_add(1, kRelaxed);
+        return st;
+      }
+      FrameBuf reply = pool().lease(svc_reply_.size());
+      std::copy_n(svc_reply_.data(), svc_reply_.size(), reply.data());
+      frame.reset();
+      return enqueue(std::move(reply));
+    }
+    default:
+      sh_.protocol_errors.fetch_add(1, kRelaxed);
+      return Status(Errc::kMalformed, "unknown frame kind");
+  }
+}
+
+Conn::Verdict Conn::service(std::size_t frame_budget) {
+  std::size_t used = 0;
+  bool more = false;
+  while (true) {
+    if (!read_paused_) {
+      while (used < frame_budget) {
+        auto frame = ch_.poll_buf();
+        if (!frame.is_ok()) {
+          const Errc c = frame.status().code();
+          if (c == Errc::kWouldBlock) break;
+          if (c != Errc::kChannelClosed) {
+            sh_.protocol_errors.fetch_add(1, kRelaxed);
+          }
+          fold_syscalls();
+          return Verdict::kClose;
+        }
+        ++used;
+        Status st = dispatch(std::move(frame).take());
+        if (!st.is_ok()) {
+          fold_syscalls();
+          return Verdict::kClose;
+        }
+        if (sq_.queued_bytes() >= sh_.cfg.conn_queue_cap_bytes) {
+          // Peer won't drain our responses: stop reading. The kernel
+          // receive buffer fills and TCP backpressures the sender.
+          read_paused_ = true;
+          sh_.pauses.fetch_add(1, kRelaxed);
+          break;
+        }
+      }
+      more = used >= frame_budget;
+    }
+    Status st = flush();
+    if (!st.is_ok()) {
+      fold_syscalls();
+      return Verdict::kClose;
+    }
+    if (read_paused_ &&
+        sq_.queued_bytes() <= sh_.cfg.conn_queue_resume_bytes) {
+      read_paused_ = false;
+      sh_.resumes.fetch_add(1, kRelaxed);
+      if (used < frame_budget) continue;  // drain what piled up while paused
+      more = true;
+    }
+    fold_syscalls();
+    return more ? Verdict::kMore : Verdict::kIdle;
+  }
+}
+
+}  // namespace pbio::broker

@@ -1,0 +1,163 @@
+// Per-connection state machine for the broker's event loop.
+//
+// A Conn owns one non-blocking SocketChannel (built over its worker's
+// BufferPool, so frames never bounce between cores), a SendQueue of pending
+// responses, and a one-entry wire-format resolution cache copied from
+// Reader: connection traffic is overwhelmingly same-format streaks, so the
+// common data frame resolves its format and conversion with two pointer
+// compares and no locks.
+//
+// service() is the whole per-connection protocol: drain complete frames
+// from the socket (poll_buf — the PR 4 zero-alloc coalesced path),
+// dispatch each on its first payload byte (pbio frame kinds and format-
+// service request bytes are disjoint), flush responses with gathered
+// writev. Backpressure is a flag, not an epoll transition: when the send
+// queue passes the per-connection byte cap the Conn simply stops draining
+// input, the kernel receive buffer fills, the peer's TCP window closes —
+// and reading resumes once the queue drains below the low watermark.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "broker/send_queue.h"
+#include "pbio/context.h"
+#include "pbio/format_service.h"
+#include "transport/socket.h"
+#include "util/buffer.h"
+
+namespace pbio::broker {
+
+/// Ack frame kind: [kFrameAck u8][7 pad][u64 wire format id], 16 bytes like
+/// a data-frame header. Disjoint from kFrameFormat/kFrameData and from the
+/// format-service request/response bytes.
+inline constexpr std::uint8_t kFrameAck = 0x30;
+
+/// What the broker does with a data frame.
+enum class OnData : std::uint8_t {
+  kEcho,  // re-queue the received frame verbatim (zero-copy lease move)
+  kAck,   // reply with a 16-byte ack frame carrying the wire format id
+  kSink,  // absorb (count only) — upper bound / drain benchmarks
+};
+
+struct Config {
+  unsigned workers = 1;
+  int accept_backlog = 1024;
+  std::size_t max_connections = 8192;       // admission: accept-time cap
+  std::size_t max_inflight_frames = 65536;  // global queued-response cap
+  std::size_t conn_queue_cap_bytes = 256 * 1024;  // pause reading above this
+  std::size_t conn_queue_resume_bytes = 64 * 1024;  // resume below this
+  /// Per-connection stream-buffer chunk. Small by design: 10k connections
+  /// each pin one stream block, so the default 64 KiB point-to-point chunk
+  /// would cost 640 MB of mostly-empty buffers (and blow the cache working
+  /// set); 4 KiB still coalesces ~30 small frames per read. Frames larger
+  /// than the chunk grow their window on demand.
+  std::size_t stream_chunk_bytes = 4 * 1024;
+  /// Kernel send-buffer size for accepted sockets (0 = OS default). Small
+  /// values bound per-connection kernel memory at high fan-in and make the
+  /// userspace send-queue caps the operative backpressure layer.
+  int so_sndbuf = 0;
+  OnData on_data = OnData::kEcho;
+  bool decode = false;            // run wire->native conversion per frame
+  Engine engine = Engine::kDcg;
+  std::string stats_file;         // periodic obs::to_json dump (empty: off)
+  unsigned stats_interval_ms = 1000;
+};
+
+/// State shared by every connection across all workers. Counters are
+/// relaxed atomics — workers never synchronize through them; they exist for
+/// admission decisions (connections, inflight) and observability.
+struct Shared {
+  Shared(Context& c, Config cf) : ctx(c), cfg(std::move(cf)), svc(c) {}
+
+  Context& ctx;
+  const Config cfg;
+  FormatServiceServer svc;
+  /// Decode targets by format name (native ids registered before start();
+  /// read-only while the broker runs, so lock-free to read).
+  std::unordered_map<std::string, Context::FormatId> expected;
+
+  // Gauges backing admission control.
+  std::atomic<std::size_t> connections{0};
+  std::atomic<std::size_t> inflight{0};     // queued response frames
+  std::atomic<std::size_t> queued_bytes{0};  // bytes across all send queues
+
+  // Monotonic counters (mirrored into obs as pbio.broker.*).
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> closed{0};
+  std::atomic<std::uint64_t> shed_connections{0};  // over max_connections
+  std::atomic<std::uint64_t> shed_inflight{0};     // over max_inflight_frames
+  std::atomic<std::uint64_t> protocol_errors{0};
+  std::atomic<std::uint64_t> frames_in{0};
+  std::atomic<std::uint64_t> frames_out{0};
+  std::atomic<std::uint64_t> bytes_in{0};
+  std::atomic<std::uint64_t> bytes_out{0};
+  std::atomic<std::uint64_t> formats_learned{0};
+  std::atomic<std::uint64_t> decoded{0};
+  std::atomic<std::uint64_t> svc_requests{0};
+  std::atomic<std::uint64_t> pauses{0};
+  std::atomic<std::uint64_t> resumes{0};
+  std::atomic<std::uint64_t> recv_syscalls{0};
+  std::atomic<std::uint64_t> send_syscalls{0};
+};
+
+class Conn {
+ public:
+  /// Adopts `fd` (already non-blocking). `pool` is the owning worker's
+  /// arena — all stream buffers and response leases come from it.
+  Conn(int fd, Shared& sh, BufferPool& pool);
+  ~Conn();
+
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+
+  enum class Verdict : std::uint8_t {
+    kIdle,   // input drained, responses flushed or blocked — wait for epoll
+    kMore,   // frame budget exhausted with input still buffered — re-run
+    kClose,  // peer gone, protocol error, or shed — destroy the Conn
+  };
+
+  /// Drain + dispatch + flush, up to `frame_budget` inbound frames (the
+  /// worker's fairness quantum). Call on EPOLLIN, EPOLLOUT, and again while
+  /// kMore.
+  Verdict service(std::size_t frame_budget);
+
+  int fd() const { return ch_.fd(); }
+  bool want_write() const { return !sq_.empty(); }
+  bool read_paused() const { return read_paused_; }
+
+ private:
+  Status dispatch(FrameBuf frame);
+  Status on_data_frame(FrameBuf frame);
+  Status decode_frame(const FrameBuf& frame);
+  Status enqueue(FrameBuf frame);
+  // Flush the send queue; updates inflight/byte gauges. kWouldBlock is
+  // success (blocked=true inside); hard errors mean the peer is gone.
+  Status flush();
+  // Publish the channel's syscall-counter delta into the shared stats.
+  void fold_syscalls();
+  BufferPool& pool() { return pool_; }
+
+  BufferPool& pool_;
+  transport::SocketChannel ch_;
+  Shared& sh_;
+  std::uint64_t folded_recv_ = 0;
+  std::uint64_t folded_send_ = 0;
+  SendQueue sq_;
+  ByteBuffer svc_reply_{256};
+  std::vector<std::uint8_t> decode_out_;
+  bool read_paused_ = false;
+
+  // One-entry resolution cache (Reader's idiom, per connection).
+  bool cache_valid_ = false;
+  bool conv_cached_ = false;
+  Context::FormatId cached_wire_id_ = 0;
+  const fmt::FormatDesc* cached_wire_ = nullptr;
+  const fmt::FormatDesc* cached_native_ = nullptr;
+  std::shared_ptr<const Conversion> cached_conv_;
+};
+
+}  // namespace pbio::broker

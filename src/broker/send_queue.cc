@@ -1,0 +1,84 @@
+#include "broker/send_queue.h"
+
+#include "util/endian.h"
+
+namespace pbio::broker {
+
+void SendQueue::grow() {
+  const std::size_t cap = ring_.empty() ? 16 : ring_.size() * 2;
+  std::vector<Item> bigger(cap);
+  for (std::size_t i = 0; i < count_; ++i) {
+    Item& src = ring_[(head_ + i) & (ring_.size() - 1)];
+    bigger[i].frame = std::move(src.frame);
+    std::copy(std::begin(src.hdr), std::end(src.hdr), std::begin(bigger[i].hdr));
+  }
+  ring_ = std::move(bigger);
+  head_ = 0;
+}
+
+void SendQueue::push(FrameBuf frame) {
+  if (count_ == ring_.size()) grow();
+  Item& it = ring_[(head_ + count_) & (ring_.size() - 1)];
+  store_uint(it.hdr, frame.size(), transport::kFrameHeaderLen,
+             ByteOrder::kLittle);
+  queued_bytes_ += transport::kFrameHeaderLen + frame.size();
+  it.frame = std::move(frame);
+  ++count_;
+}
+
+Result<SendQueue::FlushResult> SendQueue::flush(transport::WireSink& sink) {
+  FlushResult res;
+  while (count_ > 0) {
+    // Gather up to kFlushFrames frames, the head one adjusted for bytes
+    // already on the wire from an earlier short write.
+    iov_scratch_.clear();
+    const std::size_t mask = ring_.size() - 1;
+    const std::size_t n = std::min(count_, kFlushFrames);
+    for (std::size_t i = 0; i < n; ++i) {
+      Item& it = ring_[(head_ + i) & mask];
+      std::size_t skip = (i == 0) ? head_written_ : 0;
+      if (skip < transport::kFrameHeaderLen) {
+        iov_scratch_.push_back(
+            {it.hdr + skip, transport::kFrameHeaderLen - skip});
+        skip = 0;
+      } else {
+        skip -= transport::kFrameHeaderLen;
+      }
+      if (it.frame.size() > skip) {
+        iov_scratch_.push_back({it.frame.data() + skip, it.frame.size() - skip});
+      }
+    }
+    auto wrote = sink.writev_some(iov_scratch_);
+    if (!wrote.is_ok()) {
+      if (wrote.status().code() == Errc::kWouldBlock) {
+        res.blocked = true;
+        return res;
+      }
+      return wrote.status();
+    }
+    std::size_t w = wrote.value();
+    res.bytes += w;
+    queued_bytes_ -= w;
+    // Retire fully-written head frames; a trailing partial write advances
+    // head_written_ so the next flush resumes mid-frame.
+    while (count_ > 0 && w > 0) {
+      Item& head = ring_[head_ & mask];
+      const std::size_t wire =
+          transport::kFrameHeaderLen + head.frame.size() - head_written_;
+      if (w < wire) {
+        head_written_ += w;
+        w = 0;
+        break;
+      }
+      w -= wire;
+      head.frame.reset();
+      head_written_ = 0;
+      head_ = (head_ + 1) & mask;
+      --count_;
+      ++res.frames;
+    }
+  }
+  return res;
+}
+
+}  // namespace pbio::broker

@@ -287,6 +287,129 @@ std::string to_json(const Snapshot& snap) {
   return out;
 }
 
+namespace {
+
+// Cursor over the to_json shape. Whitespace-tolerant; names un-escape the
+// \" \\ \uXXXX forms append_json_escaped produces.
+struct JsonCur {
+  std::string_view s;
+  std::size_t i = 0;
+
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\n' || s[i] == '\t' ||
+                            s[i] == '\r')) {
+      ++i;
+    }
+  }
+  bool lit(char c) {
+    ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  char peek() {
+    ws();
+    return i < s.size() ? s[i] : '\0';
+  }
+  bool str(std::string* out) {
+    if (!lit('"')) return false;
+    out->clear();
+    while (i < s.size() && s[i] != '"') {
+      char c = s[i++];
+      if (c == '\\') {
+        if (i >= s.size()) return false;
+        const char e = s[i++];
+        if (e == 'u') {
+          if (i + 4 > s.size()) return false;
+          unsigned v = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = s[i++];
+            v <<= 4;
+            if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') v |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') v |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          *out += static_cast<char>(v);
+        } else {
+          *out += e;
+        }
+      } else {
+        *out += c;
+      }
+    }
+    return lit('"');
+  }
+  bool uint(std::uint64_t* out) {
+    ws();
+    if (i >= s.size() || s[i] < '0' || s[i] > '9') return false;
+    std::uint64_t v = 0;
+    while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+      v = v * 10 + static_cast<std::uint64_t>(s[i++] - '0');
+    }
+    *out = v;
+    return true;
+  }
+};
+
+}  // namespace
+
+bool snapshot_from_json(std::string_view json, Snapshot* out) {
+  out->counters.clear();
+  out->histograms.clear();
+  JsonCur c{json};
+  std::string key;
+  if (!c.lit('{')) return false;
+
+  if (!c.str(&key) || key != "counters" || !c.lit(':') || !c.lit('{')) {
+    return false;
+  }
+  if (c.peek() != '}') {
+    do {
+      CounterSample cs;
+      if (!c.str(&cs.name) || !c.lit(':') || !c.uint(&cs.value)) return false;
+      out->counters.push_back(std::move(cs));
+    } while (c.lit(','));
+  }
+  if (!c.lit('}') || !c.lit(',')) return false;
+
+  if (!c.str(&key) || key != "histograms" || !c.lit(':') || !c.lit('{')) {
+    return false;
+  }
+  if (c.peek() != '}') {
+    do {
+      HistogramSample hs;
+      if (!c.str(&hs.name) || !c.lit(':') || !c.lit('{')) return false;
+      if (!c.str(&key) || key != "count" || !c.lit(':') || !c.uint(&hs.count) ||
+          !c.lit(',')) {
+        return false;
+      }
+      if (!c.str(&key) || key != "sum_ns" || !c.lit(':') ||
+          !c.uint(&hs.sum_ns) || !c.lit(',')) {
+        return false;
+      }
+      if (!c.str(&key) || key != "buckets" || !c.lit(':') || !c.lit('[')) {
+        return false;
+      }
+      std::uint32_t b = 0;
+      if (c.peek() != ']') {
+        do {
+          std::uint64_t v;
+          if (b >= kHistBuckets || !c.uint(&v)) return false;
+          hs.buckets[b++] = v;
+        } while (c.lit(','));
+      }
+      if (!c.lit(']') || !c.lit('}')) return false;
+      out->histograms.push_back(std::move(hs));
+    } while (c.lit(','));
+  }
+  if (!c.lit('}') || !c.lit('}')) return false;
+  c.ws();
+  return c.i == json.size();
+}
+
 // --- timing -----------------------------------------------------------------
 
 namespace {

@@ -102,6 +102,13 @@ void reset();
 /// bucket arrays are trimmed after the last non-zero bucket.
 std::string to_json(const Snapshot& snap);
 
+/// Inverse of to_json for the exact shape it emits (the `pbio_stat
+/// --watch --from <file>` channel reading a live broker's periodic dumps
+/// — not a general JSON parser). Escaped characters in metric names are
+/// limited to to_json's repertoire. Returns false on malformed input,
+/// leaving *out unspecified.
+bool snapshot_from_json(std::string_view json, Snapshot* out);
+
 /// Small dense id (1, 2, ...) for the calling thread — used as the trace
 /// "tid" and stable for the thread's lifetime.
 std::uint32_t thread_tid();

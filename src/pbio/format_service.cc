@@ -5,46 +5,51 @@
 
 namespace pbio {
 
-Status FormatServiceServer::serve_one(transport::Channel& ch) {
-  auto req = ch.recv();
-  if (!req.is_ok()) return req.status();
-  const auto& bytes = req.value();
-  if (bytes.empty()) {
+Status FormatServiceServer::handle(std::span<const std::uint8_t> request,
+                                   ByteBuffer& reply) {
+  reply.clear();
+  if (request.empty()) {
     return Status(Errc::kMalformed, "empty service request");
   }
-  ++requests_;
-  switch (bytes[0]) {
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  switch (request[0]) {
     case kSvcLookup: {
-      if (bytes.size() < 9) {
+      if (request.size() < 9) {
         return Status(Errc::kTruncated, "short lookup request");
       }
       const Context::FormatId id =
-          load_uint(bytes.data() + 1, 8, ByteOrder::kLittle);
+          load_uint(request.data() + 1, 8, ByteOrder::kLittle);
       const fmt::FormatDesc* f = ctx_.find(id);
       if (f == nullptr) {
-        const std::uint8_t miss[1] = {kSvcMiss};
-        return ch.send(miss);
+        reply.append_uint(kSvcMiss, 1, ByteOrder::kLittle);
+        return Status::ok();
       }
-      ByteBuffer reply(256);
       reply.append_uint(kSvcFound, 1, ByteOrder::kLittle);
       const auto meta = fmt::encode_meta(*f);
       reply.append(meta.data(), meta.size());
-      return ch.send(reply.view());
+      return Status::ok();
     }
     case kSvcRegister: {
-      auto meta = fmt::decode_meta(std::span(bytes.data() + 1,
-                                             bytes.size() - 1));
+      auto meta = fmt::decode_meta(request.subspan(1));
       if (!meta.is_ok()) return meta.status();
       const Context::FormatId id =
           ctx_.register_format(std::move(meta).take());
-      ByteBuffer reply(16);
       reply.append_uint(kSvcRegistered, 1, ByteOrder::kLittle);
       reply.append_uint(id, 8, ByteOrder::kLittle);
-      return ch.send(reply.view());
+      return Status::ok();
     }
     default:
       return Status(Errc::kMalformed, "unknown service request kind");
   }
+}
+
+Status FormatServiceServer::serve_one(transport::Channel& ch) {
+  auto req = ch.recv();
+  if (!req.is_ok()) return req.status();
+  ByteBuffer reply(256);
+  Status st = handle(req.value(), reply);
+  if (!st.is_ok()) return st;
+  return ch.send(reply.view());
 }
 
 void FormatServiceServer::serve_until_closed(transport::Channel& ch) {

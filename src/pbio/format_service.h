@@ -15,10 +15,12 @@
 //               [0x2F]              lookup miss
 #pragma once
 
+#include <atomic>
 #include <functional>
 
 #include "pbio/context.h"
 #include "transport/channel.h"
+#include "util/buffer.h"
 
 namespace pbio {
 
@@ -29,10 +31,23 @@ inline constexpr std::uint8_t kSvcRegistered = 0x21;
 inline constexpr std::uint8_t kSvcMiss = 0x2F;
 
 /// Server side: backs lookups with a Context's registry (typically a
-/// dedicated one). Run `serve_until_closed` on a thread per client channel.
+/// dedicated one). Two serving shapes:
+///  * thread-per-channel — `serve_until_closed` on a dedicated channel;
+///  * event-driven — `handle()` is the frame-in/frame-out dispatch an
+///    event loop (the broker) calls with a request frame it already read,
+///    collecting the reply bytes to send on its own schedule. handle() is
+///    thread-safe (the registry locks internally; the request counter is
+///    atomic), so thousands of connections across worker threads can share
+///    one format registry.
 class FormatServiceServer {
  public:
   explicit FormatServiceServer(Context& ctx) : ctx_(ctx) {}
+
+  /// Dispatch one request frame; on success `reply` holds the response
+  /// frame to send back (cleared and refilled — reuse one buffer per
+  /// connection to keep the steady state allocation-free). Errors produce
+  /// no reply (the transport layer decides whether to drop the client).
+  Status handle(std::span<const std::uint8_t> request, ByteBuffer& reply);
 
   /// Handle exactly one request. kChannelClosed when the peer is gone.
   Status serve_one(transport::Channel& ch);
@@ -40,11 +55,13 @@ class FormatServiceServer {
   /// Handle requests until the channel closes.
   void serve_until_closed(transport::Channel& ch);
 
-  std::uint64_t requests_served() const { return requests_; }
+  std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
 
  private:
   Context& ctx_;
-  std::uint64_t requests_ = 0;
+  std::atomic<std::uint64_t> requests_{0};
 };
 
 /// Client side: synchronous RPC over a dedicated channel.

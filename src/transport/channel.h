@@ -15,6 +15,8 @@
 //                 drains buffered frames with.
 #pragma once
 
+#include <sys/uio.h>
+
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -28,6 +30,18 @@ namespace pbio::transport {
 /// gathered multi-frame sends.
 struct FrameSegments {
   std::span<const std::span<const std::uint8_t>> segments;
+};
+
+/// A non-blocking gathered byte sink: write as much of `iov` as the sink
+/// can take right now. Returns the byte count written (>= 1), kWouldBlock
+/// when nothing can be accepted without waiting, or a hard error. This is
+/// the primitive event-driven senders (the broker's per-connection send
+/// queues) drain into; SocketChannel implements it over writev, and
+/// simnet's ThrottledWireSink implements it as a deterministic slow client.
+class WireSink {
+ public:
+  virtual ~WireSink() = default;
+  virtual Result<std::size_t> writev_some(std::span<const iovec> iov) = 0;
 };
 
 class Channel {

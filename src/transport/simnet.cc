@@ -1,2 +1,39 @@
-// Header-only; this TU anchors the library.
 #include "transport/simnet.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace pbio::transport {
+
+Result<std::size_t> ThrottledWireSink::writev_some(
+    std::span<const iovec> iov) {
+  if (iov.empty()) return std::size_t{0};
+  if (buffer_.size() >= capacity_) {
+    return Status(Errc::kWouldBlock, "sink full");
+  }
+  std::size_t room = capacity_ - buffer_.size();
+  std::size_t took = 0;
+  for (const iovec& v : iov) {
+    if (room == 0) break;
+    const std::size_t n = std::min(room, v.iov_len);
+    const auto* p = static_cast<const std::uint8_t*>(v.iov_base);
+    buffer_.insert(buffer_.end(), p, p + n);
+    took += n;
+    room -= n;
+    if (n < v.iov_len) break;  // partial segment: short write, stop here
+  }
+  if (took == 0) {
+    return Status(Errc::kWouldBlock, "sink full");
+  }
+  accepted_ += took;
+  return took;
+}
+
+std::size_t ThrottledWireSink::tick() {
+  const std::size_t n = std::min(drain_per_tick_, buffer_.size());
+  received_.insert(received_.end(), buffer_.begin(), buffer_.begin() + n);
+  buffer_.erase(buffer_.begin(), buffer_.begin() + n);
+  return n;
+}
+
+}  // namespace pbio::transport

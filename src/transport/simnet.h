@@ -9,6 +9,9 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
+
+#include "transport/channel.h"
 
 namespace pbio::transport {
 
@@ -72,5 +75,43 @@ inline NetworkModel modern_network() {
   m.bandwidth_mbps = 25000.0;
   return m;
 }
+
+/// Slow-client mode: a deterministic WireSink standing in for a TCP
+/// socket whose peer drains slowly. The sink models the kernel send
+/// buffer — writes are accepted up to `capacity` buffered bytes, then
+/// would-block exactly like a full socket; each tick() the "peer" drains
+/// up to `drain_per_tick` bytes. Backpressure and send-queue-cap logic
+/// (the broker's pause-reading / shed decisions) are driven against this
+/// instead of real sockets, so the exact byte-by-byte interleaving —
+/// short writes mid-frame, resume points, watermark crossings — is
+/// reproducible in tests.
+class ThrottledWireSink final : public WireSink {
+ public:
+  ThrottledWireSink(std::size_t capacity, std::size_t drain_per_tick)
+      : capacity_(capacity), drain_per_tick_(drain_per_tick) {}
+
+  /// Accept as much of `iov` as fits in the remaining buffer space;
+  /// kWouldBlock when the buffer is full (capacity 0 always blocks —
+  /// a peer that never drains).
+  Result<std::size_t> writev_some(std::span<const iovec> iov) override;
+
+  /// The peer drains up to drain_per_tick bytes into `received()`.
+  /// Returns the bytes drained this tick.
+  std::size_t tick();
+
+  std::size_t buffered() const { return buffer_.size(); }
+  std::uint64_t total_accepted() const { return accepted_; }
+
+  /// Everything the peer has drained so far, in order — tests reassemble
+  /// and verify frames from this.
+  const std::vector<std::uint8_t>& received() const { return received_; }
+
+ private:
+  std::size_t capacity_;
+  std::size_t drain_per_tick_;
+  std::vector<std::uint8_t> buffer_;    // in-flight (socket-buffer) bytes
+  std::vector<std::uint8_t> received_;  // drained by the peer
+  std::uint64_t accepted_ = 0;
+};
 
 }  // namespace pbio::transport

@@ -1,6 +1,7 @@
 #include "transport/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -11,6 +12,7 @@
 #include <cstring>
 
 #include "obs/span.h"
+#include "transport/io_retry.h"
 #include "util/endian.h"
 
 namespace pbio::transport {
@@ -21,11 +23,44 @@ Status errno_status(const char* what) {
   return Status(Errc::kIo, std::string(what) + ": " + std::strerror(errno));
 }
 
+bool errno_would_block() { return errno == EAGAIN || errno == EWOULDBLOCK; }
+
 }  // namespace
 
-SocketChannel::SocketChannel(int fd) : fd_(fd) {
+SocketChannel::SocketChannel(int fd, BufferPool& pool,
+                             std::size_t stream_chunk)
+    : fd_(fd), stream_(pool, stream_chunk) {
   const int one = 1;
   ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const int flags = ::fcntl(fd_, F_GETFL);
+  nonblocking_ = flags >= 0 && (flags & O_NONBLOCK) != 0;
+}
+
+Status SocketChannel::set_nonblocking(bool on) {
+  const int flags = ::fcntl(fd_, F_GETFL);
+  if (flags < 0) return errno_status("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd_, F_SETFL, want) != 0) {
+    return errno_status("fcntl(F_SETFL)");
+  }
+  nonblocking_ = on;
+  return Status::ok();
+}
+
+Result<std::size_t> SocketChannel::writev_some(std::span<const iovec> iov) {
+  if (iov.empty()) return std::size_t{0};
+  const ssize_t w =
+      io::retry_writev(fd_, iov.data(), static_cast<int>(iov.size()));
+  ++send_syscalls_;
+  if (w < 0) {
+    if (errno_would_block()) {
+      return Status(Errc::kWouldBlock, "would block");
+    }
+    return errno_status("writev");
+  }
+  bytes_sent_ += static_cast<std::size_t>(w);
+  OBS_COUNT("transport.socket.bytes_out", w);
+  return static_cast<std::size_t>(w);
 }
 
 SocketChannel::~SocketChannel() { close(); }
@@ -79,10 +114,9 @@ Status SocketChannel::send_frames(std::span<const FrameSegments> frames) {
     auto* iov = iov_scratch_.data();
     std::size_t iov_left = iov_scratch_.size();
     while (done < want) {
-      const ssize_t w = ::writev(fd_, iov, static_cast<int>(iov_left));
+      const ssize_t w = io::retry_writev(fd_, iov, static_cast<int>(iov_left));
       ++send_syscalls_;
       if (w < 0) {
-        if (errno == EINTR) continue;
         return errno_status("writev");
       }
       done += static_cast<std::size_t>(w);
@@ -114,25 +148,26 @@ Result<std::vector<std::uint8_t>> SocketChannel::recv() {
   return std::vector<std::uint8_t>(f.data(), f.data() + f.size());
 }
 
-/// One blocking read into the stream buffer. Ok with zero committed bytes
-/// signals end of stream.
+/// One read into the stream buffer. Ok with zero committed bytes signals
+/// end of stream; on a non-blocking socket an empty kernel buffer is
+/// surfaced as kWouldBlock instead of spinning.
 Status SocketChannel::fill_blocking() {
   auto window = stream_.write_window(stream_.fill_hint());
-  while (true) {
-    const ssize_t r = ::read(fd_, window.data(), window.size());
-    ++recv_syscalls_;
-    if (r < 0) {
-      if (errno == EINTR) continue;
-      return errno_status("read");
+  const ssize_t r = io::retry_read(fd_, window.data(), window.size());
+  ++recv_syscalls_;
+  if (r < 0) {
+    if (errno_would_block()) {
+      return Status(Errc::kWouldBlock, "would block");
     }
-    if (r > 0) {
-      stream_.commit(static_cast<std::size_t>(r));
-      bytes_received_ += static_cast<std::size_t>(r);
-      OBS_COUNT("transport.socket.read_calls", 1);
-      OBS_COUNT("transport.socket.read_bytes", r);
-    }
-    return Status::ok();
+    return errno_status("read");
   }
+  if (r > 0) {
+    stream_.commit(static_cast<std::size_t>(r));
+    bytes_received_ += static_cast<std::size_t>(r);
+    OBS_COUNT("transport.socket.read_calls", 1);
+    OBS_COUNT("transport.socket.read_bytes", r);
+  }
+  return Status::ok();
 }
 
 Result<FrameBuf> SocketChannel::recv_buf() {
@@ -179,11 +214,11 @@ Result<FrameBuf> SocketChannel::poll_buf() {
     }
     // Non-blocking top-up: whatever the kernel already has, or would-block.
     auto window = stream_.write_window(stream_.fill_hint());
-    const ssize_t r = ::recv(fd_, window.data(), window.size(), MSG_DONTWAIT);
+    const ssize_t r =
+        io::retry_recv(fd_, window.data(), window.size(), MSG_DONTWAIT);
     ++recv_syscalls_;
     if (r < 0) {
-      if (errno == EINTR) continue;
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      if (errno_would_block()) {
         // Short literal on purpose: fits in the SSO buffer, so draining a
         // batch to empty costs no heap allocation.
         return Status(Errc::kWouldBlock, "would block");
@@ -210,10 +245,9 @@ Result<FrameBuf> SocketChannel::recv_buf_legacy() {
   std::uint8_t header[kFrameHeaderLen];
   std::size_t got = 0;
   while (got < kFrameHeaderLen) {
-    const ssize_t r = ::read(fd_, header + got, kFrameHeaderLen - got);
+    const ssize_t r = io::retry_read(fd_, header + got, kFrameHeaderLen - got);
     ++recv_syscalls_;
     if (r < 0) {
-      if (errno == EINTR) continue;
       return errno_status("read");
     }
     if (r == 0) {
@@ -230,10 +264,9 @@ Result<FrameBuf> SocketChannel::recv_buf_legacy() {
   FrameBuf msg = FrameBuf::heap(static_cast<std::size_t>(len));
   std::size_t at = 0;
   while (at < msg.size()) {
-    const ssize_t r = ::read(fd_, msg.data() + at, msg.size() - at);
+    const ssize_t r = io::retry_read(fd_, msg.data() + at, msg.size() - at);
     ++recv_syscalls_;
     if (r < 0) {
-      if (errno == EINTR) continue;
       return errno_status("read");
     }
     if (r == 0) {
@@ -247,7 +280,7 @@ Result<FrameBuf> SocketChannel::recv_buf_legacy() {
   return msg;
 }
 
-SocketListener::SocketListener() : fd_(-1) {
+SocketListener::SocketListener(int backlog) : fd_(-1) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw PbioError("socket() failed");
   const int one = 1;
@@ -266,7 +299,7 @@ SocketListener::SocketListener() : fd_(-1) {
     throw PbioError("getsockname() failed");
   }
   port_ = ntohs(addr.sin_port);
-  if (::listen(fd_, 8) != 0) {
+  if (::listen(fd_, backlog) != 0) {
     ::close(fd_);
     throw PbioError("listen() failed");
   }
@@ -276,13 +309,29 @@ SocketListener::~SocketListener() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-Result<std::unique_ptr<SocketChannel>> SocketListener::accept() {
-  while (true) {
-    const int fd = ::accept(fd_, nullptr, nullptr);
-    if (fd >= 0) return std::make_unique<SocketChannel>(fd);
-    if (errno == EINTR) continue;
-    return errno_status("accept");
+Status SocketListener::set_nonblocking(bool on) {
+  const int flags = ::fcntl(fd_, F_GETFL);
+  if (flags < 0) return errno_status("fcntl(F_GETFL)");
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (want != flags && ::fcntl(fd_, F_SETFL, want) != 0) {
+    return errno_status("fcntl(F_SETFL)");
   }
+  return Status::ok();
+}
+
+Result<std::unique_ptr<SocketChannel>> SocketListener::accept() {
+  auto fd = accept_fd(/*nonblocking_conn=*/false);
+  if (!fd.is_ok()) return fd.status();
+  return std::make_unique<SocketChannel>(fd.value());
+}
+
+Result<int> SocketListener::accept_fd(bool nonblocking_conn) {
+  const int fd = io::retry_accept(fd_, nonblocking_conn ? SOCK_NONBLOCK : 0);
+  if (fd >= 0) return fd;
+  if (errno_would_block()) {
+    return Status(Errc::kWouldBlock, "accept queue empty");
+  }
+  return errno_status("accept");
 }
 
 Result<std::unique_ptr<SocketChannel>> socket_connect(std::uint16_t port) {

@@ -21,10 +21,18 @@
 
 namespace pbio::transport {
 
-class SocketChannel final : public Channel {
+class SocketChannel final : public Channel, public WireSink {
  public:
-  /// Adopt a connected stream socket file descriptor.
-  explicit SocketChannel(int fd);
+  /// Adopt a connected stream socket file descriptor. `pool` backs the
+  /// receive-side FrameStream — event-loop servers pass a per-worker pool
+  /// so frames never bounce between cores on the hot path. `stream_chunk`
+  /// sizes the stream buffer each fill targets: point-to-point channels
+  /// want the big default (few connections, deep coalescing); a
+  /// many-connection server passes a small chunk so 10k idle connections
+  /// don't pin 10k large blocks (frames larger than the chunk still fit —
+  /// the stream grows a window to the frame's size on demand).
+  explicit SocketChannel(int fd, BufferPool& pool = BufferPool::shared(),
+                         std::size_t stream_chunk = kStreamChunk);
   ~SocketChannel() override;
 
   SocketChannel(const SocketChannel&) = delete;
@@ -39,9 +47,23 @@ class SocketChannel final : public Channel {
   Result<FrameBuf> poll_buf() override;
   std::uint64_t bytes_sent() const override { return bytes_sent_; }
 
+  /// Switch the socket to (or from) non-blocking mode. In non-blocking
+  /// mode recv_buf() returns kWouldBlock instead of waiting (poll_buf()
+  /// is unchanged — it never waited), and writev_some() is the send
+  /// surface: the blocking send paths (send / send_frames) must not be
+  /// used, since a mid-frame EAGAIN would leave the stream torn.
+  Status set_nonblocking(bool on);
+  bool nonblocking() const { return nonblocking_; }
+
+  /// WireSink: one gathered write of whatever the kernel will take.
+  /// Returns bytes written, kWouldBlock when the socket buffer is full.
+  Result<std::size_t> writev_some(std::span<const iovec> iov) override;
+
   /// Toggle receive-side syscall coalescing (default on). Off = the
   /// legacy two-reads-per-frame path with per-frame heap blocks.
   void set_coalescing(bool on) { coalesce_ = on; }
+
+  int fd() const { return fd_; }
 
   /// Kernel crossings so far — syscall-count invariants for tests and the
   /// bytes-per-syscall bench metric.
@@ -57,6 +79,7 @@ class SocketChannel final : public Channel {
 
   int fd_;
   bool coalesce_ = true;
+  bool nonblocking_ = false;
   FrameStream stream_;
   std::uint64_t bytes_sent_ = 0;
   std::uint64_t bytes_received_ = 0;
@@ -65,19 +88,34 @@ class SocketChannel final : public Channel {
   std::vector<iovec> iov_scratch_;
 };
 
-/// Listening endpoint bound to 127.0.0.1 on an OS-chosen port.
+/// Listening endpoint bound to 127.0.0.1 on an OS-chosen port. `backlog`
+/// bounds the kernel accept queue — the first line of admission control
+/// for a server (SYN floods past it are dropped, not buffered without
+/// bound).
 class SocketListener {
  public:
-  SocketListener();
+  explicit SocketListener(int backlog = 8);
   ~SocketListener();
 
   SocketListener(const SocketListener&) = delete;
   SocketListener& operator=(const SocketListener&) = delete;
 
   std::uint16_t port() const { return port_; }
+  int fd() const { return fd_; }
+
+  /// Make accept_fd() return kWouldBlock instead of waiting when the
+  /// accept queue is empty (for event-loop servers that epoll the
+  /// listener).
+  Status set_nonblocking(bool on);
 
   /// Accept one connection (blocking).
   Result<std::unique_ptr<SocketChannel>> accept();
+
+  /// Accept one connection as a raw fd. The accepted socket starts in
+  /// non-blocking mode when `nonblocking_conn` is set (SOCK_NONBLOCK at
+  /// accept4, no extra fcntl). kWouldBlock when the listener is
+  /// non-blocking and the queue is empty.
+  Result<int> accept_fd(bool nonblocking_conn);
 
  private:
   int fd_;

@@ -22,6 +22,8 @@ const char* to_string(Errc e) {
       return "type-mismatch";
     case Errc::kIo:
       return "io";
+    case Errc::kOverloaded:
+      return "overloaded";
     case Errc::kWouldBlock:
       return "would-block";
   }

@@ -33,6 +33,7 @@ enum class Errc : std::uint8_t {
   kTypeMismatch,     // irreconcilable field types
   kIo,               // OS-level I/O failure
   kWouldBlock,       // no buffered frame available without blocking
+  kOverloaded,       // admission control: server shed the work
 };
 
 const char* to_string(Errc e);

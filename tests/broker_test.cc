@@ -1,0 +1,530 @@
+// Broker lifecycle, admission-control, and protocol tests.
+//
+// The deterministic pieces (SendQueue short-write resume) run against
+// simnet's ThrottledWireSink so the exact byte interleavings are
+// reproducible; the lifecycle pieces run a real Broker on loopback with
+// blocking SocketChannel clients. Kernel socket buffers are clamped
+// (Config::so_sndbuf broker-side, SO_RCVBUF client-side) wherever a test
+// needs backpressure to engage at small, fast byte counts.
+#include "broker/broker.h"
+
+#include <gtest/gtest.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "arch/layout.h"
+#include "fmt/meta.h"
+#include "obs/obs.h"
+#include "pbio/pbio.h"
+#include "transport/simnet.h"
+#include "transport/socket.h"
+#include "util/endian.h"
+#include "value/materialize.h"
+
+namespace pbio::broker {
+namespace {
+
+using transport::SocketChannel;
+using transport::ThrottledWireSink;
+using transport::kFrameHeaderLen;
+
+/// Build a self-contained data frame: header + `payload` bytes of `fill`.
+/// With Config::decode off the broker never resolves the id, so tests that
+/// only exercise flow control can use an arbitrary one.
+std::vector<std::uint8_t> data_frame(std::uint64_t id, std::size_t payload,
+                                     std::uint8_t fill) {
+  std::vector<std::uint8_t> f(kDataHeaderSize + payload, fill);
+  std::fill_n(f.begin(), kDataHeaderSize, std::uint8_t{0});
+  f[0] = kFrameData;
+  store_uint(f.data() + kDataHeaderIdOffset, id, 8, ByteOrder::kLittle);
+  return f;
+}
+
+/// Spin until `pred` holds or ~5s pass. Broker counters are updated by
+/// worker threads, so tests observe them with a bounded poll.
+template <typename Pred>
+bool eventually(Pred pred) {
+  for (int i = 0; i < 5000; ++i) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return pred();
+}
+
+void clamp_rcvbuf(int fd, int bytes) {
+  ASSERT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &bytes, sizeof(bytes)),
+            0);
+}
+
+TEST(SendQueue, FlushResumesFromShortWrites) {
+  // A 7-byte sink capacity forces every cut point: mid-header, on the
+  // header/payload seam, mid-payload, and across frame boundaries.
+  BufferPool pool(16);
+  SendQueue sq;
+  std::vector<std::uint8_t> expected;
+  for (int i = 0; i < 5; ++i) {
+    const std::size_t n = 3 + static_cast<std::size_t>(i) * 5;
+    FrameBuf fb = pool.lease(n);
+    for (std::size_t j = 0; j < n; ++j) {
+      fb.data()[j] = static_cast<std::uint8_t>(i * 40 + j);
+    }
+    std::uint8_t hdr[kFrameHeaderLen];
+    store_uint(hdr, n, kFrameHeaderLen, ByteOrder::kLittle);
+    expected.insert(expected.end(), hdr, hdr + kFrameHeaderLen);
+    expected.insert(expected.end(), fb.data(), fb.data() + n);
+    sq.push(std::move(fb));
+  }
+  EXPECT_EQ(sq.queued_frames(), 5u);
+  EXPECT_EQ(sq.queued_bytes(), expected.size());
+
+  ThrottledWireSink sink(7, 7);
+  std::size_t flushed_bytes = 0;
+  std::size_t flushed_frames = 0;
+  bool saw_blocked = false;
+  int guard = 0;
+  while (!sq.empty() && guard++ < 1000) {
+    auto r = sq.flush(sink);
+    ASSERT_TRUE(r.is_ok()) << r.status().to_string();
+    flushed_bytes += r.value().bytes;
+    flushed_frames += r.value().frames;
+    saw_blocked = saw_blocked || r.value().blocked;
+    sink.tick();
+  }
+  EXPECT_TRUE(saw_blocked);
+  EXPECT_EQ(flushed_bytes, expected.size());
+  EXPECT_EQ(flushed_frames, 5u);
+  EXPECT_EQ(sq.queued_bytes(), 0u);
+  while (sink.buffered() > 0) sink.tick();
+  EXPECT_EQ(sink.received(), expected);
+  // Every lease went back to the pool once its frame was fully written.
+  const auto ps = pool.stats();
+  EXPECT_EQ(ps.hits + ps.misses, ps.recycled);
+}
+
+TEST(SendQueue, StalledSinkKeepsEverythingQueued) {
+  BufferPool pool(16);
+  SendQueue sq;
+  sq.push(pool.lease(100));
+  sq.push(pool.lease(200));
+  const std::size_t queued = sq.queued_bytes();
+  EXPECT_EQ(queued, 300u + 2 * kFrameHeaderLen);
+
+  ThrottledWireSink stalled(0, 0);
+  auto r = sq.flush(stalled);
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_TRUE(r.value().blocked);
+  EXPECT_EQ(r.value().bytes, 0u);
+  EXPECT_EQ(r.value().frames, 0u);
+  EXPECT_EQ(sq.queued_bytes(), queued);
+  EXPECT_EQ(sq.queued_frames(), 2u);
+}
+
+TEST(Broker, EchoesAcrossManyConcurrentClients) {
+  Context ctx;
+  Config cfg;
+  cfg.workers = 2;
+  Broker b(ctx, cfg);
+  ASSERT_TRUE(b.start().is_ok());
+
+  constexpr int kClients = 8;
+  constexpr int kFrames = 40;
+  std::vector<std::thread> clients;
+  std::atomic<int> bad{0};
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      auto ch = transport::socket_connect(b.port());
+      if (!ch.is_ok()) {
+        ++bad;
+        return;
+      }
+      for (int i = 0; i < kFrames; ++i) {
+        const auto frame =
+            data_frame(0x42, 16 + static_cast<std::size_t>(i),
+                       static_cast<std::uint8_t>(c * 16 + i));
+        if (!ch.value()->send(frame).is_ok()) {
+          ++bad;
+          return;
+        }
+        auto echo = ch.value()->recv();
+        if (!echo.is_ok() || echo.value() != frame) {
+          ++bad;
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(bad.load(), 0);
+  ASSERT_TRUE(eventually([&] { return b.stats().connections == 0; }));
+
+  const BrokerStats s = b.stats();
+  EXPECT_EQ(s.accepted, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(s.closed, static_cast<std::uint64_t>(kClients));
+  EXPECT_EQ(s.frames_in, static_cast<std::uint64_t>(kClients) * kFrames);
+  EXPECT_EQ(s.frames_out, static_cast<std::uint64_t>(kClients) * kFrames);
+  EXPECT_EQ(s.bytes_in, s.bytes_out);  // pure echo
+  EXPECT_EQ(s.shed_connections, 0u);
+  EXPECT_EQ(s.shed_inflight, 0u);
+  EXPECT_EQ(s.protocol_errors, 0u);
+  EXPECT_EQ(s.inflight, 0u);
+  EXPECT_EQ(s.queued_bytes, 0u);
+
+  b.stop();
+  EXPECT_FALSE(b.running());
+  b.stop();  // idempotent
+  // Counters survive shutdown for post-run reporting.
+  EXPECT_EQ(b.stats().frames_in, s.frames_in);
+}
+
+TEST(Broker, AckModeRepliesWithWireFormatId) {
+  Context ctx;
+  Config cfg;
+  cfg.on_data = OnData::kAck;
+  Broker b(ctx, cfg);
+  ASSERT_TRUE(b.start().is_ok());
+  auto ch = transport::socket_connect(b.port());
+  ASSERT_TRUE(ch.is_ok());
+  const std::uint64_t id = 0xFEEDFACECAFEF00Dull;
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ch.value()->send(data_frame(id, 500, 1)).is_ok());
+    auto ack = ch.value()->recv();
+    ASSERT_TRUE(ack.is_ok());
+    ASSERT_EQ(ack.value().size(), kDataHeaderSize);
+    EXPECT_EQ(ack.value()[0], kFrameAck);
+    EXPECT_EQ(load_uint(ack.value().data() + kDataHeaderIdOffset, 8,
+                        ByteOrder::kLittle),
+              id);
+  }
+  b.stop();
+}
+
+TEST(Broker, ShedsAcceptsOverConnectionCap) {
+  Context ctx;
+  Config cfg;
+  cfg.max_connections = 2;
+  Broker b(ctx, cfg);
+  ASSERT_TRUE(b.start().is_ok());
+
+  // Two admitted connections, proven live with an echo round trip each.
+  auto a = transport::socket_connect(b.port());
+  auto c = transport::socket_connect(b.port());
+  ASSERT_TRUE(a.is_ok());
+  ASSERT_TRUE(c.is_ok());
+  for (auto* ch : {&a, &c}) {
+    const auto f = data_frame(1, 8, 9);
+    ASSERT_TRUE(ch->value()->send(f).is_ok());
+    auto echo = ch->value()->recv();
+    ASSERT_TRUE(echo.is_ok());
+    EXPECT_EQ(echo.value(), f);
+  }
+
+  // The third connects (the kernel backlog accepts the handshake) but the
+  // broker sheds it: clean EOF, no broker memory spent.
+  auto shed = transport::socket_connect(b.port());
+  ASSERT_TRUE(shed.is_ok());
+  auto m = shed.value()->recv();
+  ASSERT_FALSE(m.is_ok());
+  EXPECT_EQ(m.status().code(), Errc::kChannelClosed);
+  ASSERT_TRUE(eventually([&] { return b.stats().shed_connections >= 1; }));
+  EXPECT_EQ(b.stats().connections, 2u);
+
+  // An admitted connection still works after the shed.
+  const auto f = data_frame(2, 8, 3);
+  ASSERT_TRUE(a.value()->send(f).is_ok());
+  auto echo = a.value()->recv();
+  ASSERT_TRUE(echo.is_ok());
+  EXPECT_EQ(echo.value(), f);
+  b.stop();
+}
+
+TEST(Broker, ShedsConnectionOverInflightFrameCap) {
+  Context ctx;
+  Config cfg;
+  cfg.max_inflight_frames = 8;
+  // Make the global inflight cap the binding constraint: the per-connection
+  // byte cap is effectively infinite, the broker-side socket buffer tiny.
+  cfg.conn_queue_cap_bytes = std::size_t{1} << 30;
+  cfg.conn_queue_resume_bytes = std::size_t{1} << 29;
+  cfg.so_sndbuf = 4096;
+  Broker b(ctx, cfg);
+  ASSERT_TRUE(b.start().is_ok());
+
+  auto ch = transport::socket_connect(b.port());
+  ASSERT_TRUE(ch.is_ok());
+  clamp_rcvbuf(ch.value()->fd(), 4096);  // stop the kernel absorbing echoes
+  ASSERT_TRUE(ch.value()->set_nonblocking(true).is_ok());
+
+  // Firehose 1KB frames without ever reading. Echo responses back up in
+  // the broker until the inflight cap trips and the connection is shed
+  // (writes then fail, or simply stop being accepted — both fine).
+  const auto frame = data_frame(7, 1024, 5);
+  std::vector<std::uint8_t> wire(kFrameHeaderLen + frame.size());
+  store_uint(wire.data(), frame.size(), kFrameHeaderLen, ByteOrder::kLittle);
+  std::copy(frame.begin(), frame.end(), wire.begin() + kFrameHeaderLen);
+  for (int i = 0; i < 600 && b.stats().shed_inflight == 0; ++i) {
+    std::size_t at = 0;
+    while (at < wire.size()) {
+      const iovec iov[] = {{wire.data() + at, wire.size() - at}};
+      auto n = ch.value()->writev_some(iov);
+      if (n.is_ok()) {
+        at += n.value();
+        continue;
+      }
+      if (n.status().code() != Errc::kWouldBlock) {
+        at = wire.size();  // peer closed us: the shed already happened
+        i = 600;
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  EXPECT_TRUE(eventually([&] { return b.stats().shed_inflight >= 1; }))
+      << "inflight cap never tripped";
+  ASSERT_TRUE(eventually([&] { return b.stats().connections == 0; }));
+  // Shedding released the queued responses' admission slots.
+  EXPECT_EQ(b.stats().inflight, 0u);
+  EXPECT_EQ(b.stats().queued_bytes, 0u);
+  b.stop();
+}
+
+TEST(Broker, SlowClientPausesReadingThenResumes) {
+  Context ctx;
+  Config cfg;
+  cfg.conn_queue_cap_bytes = 8 * 1024;
+  cfg.conn_queue_resume_bytes = 2 * 1024;
+  cfg.so_sndbuf = 8192;
+  Broker b(ctx, cfg);
+  ASSERT_TRUE(b.start().is_ok());
+
+  auto ch = transport::socket_connect(b.port());
+  ASSERT_TRUE(ch.is_ok());
+  clamp_rcvbuf(ch.value()->fd(), 4096);
+
+  // The writer pushes ~160KB of frames while the main thread refuses to
+  // read. Kernel buffers between broker and client hold only a few tens of
+  // KB, so the broker's send queue must cross the 8KB cap and pause.
+  constexpr int kFrames = 150;
+  const auto frame = data_frame(3, 1024, 6);
+  std::thread writer([&] {
+    for (int i = 0; i < kFrames; ++i) {
+      ASSERT_TRUE(ch.value()->send(frame).is_ok());
+    }
+  });
+  ASSERT_TRUE(eventually([&] { return b.stats().pauses >= 1; }))
+      << "send-queue cap never paused the connection";
+
+  // Now drain: every frame must still arrive intact and in order, and the
+  // broker must resume reading once the queue falls below the watermark.
+  for (int i = 0; i < kFrames; ++i) {
+    auto echo = ch.value()->recv();
+    ASSERT_TRUE(echo.is_ok()) << i << ": " << echo.status().to_string();
+    ASSERT_EQ(echo.value(), frame) << i;
+  }
+  writer.join();
+  EXPECT_GE(b.stats().resumes, 1u);
+  EXPECT_EQ(b.stats().shed_connections, 0u);
+  EXPECT_EQ(b.stats().shed_inflight, 0u);
+  EXPECT_EQ(b.stats().protocol_errors, 0u);
+  b.stop();
+}
+
+TEST(Broker, AbruptDisconnectReleasesAllPoolLeases) {
+  Context ctx;
+  Config cfg;
+  cfg.workers = 1;
+  Broker b(ctx, cfg);
+  ASSERT_TRUE(b.start().is_ok());
+
+  // Three clients: one full round trip each (so stream + send-queue leases
+  // are exercised), then a *partial* frame — header promising 1000 bytes,
+  // only 400 delivered — then an abrupt close mid-frame.
+  for (int c = 0; c < 3; ++c) {
+    auto ch = transport::socket_connect(b.port());
+    ASSERT_TRUE(ch.is_ok());
+    const auto f = data_frame(4, 64, static_cast<std::uint8_t>(c));
+    ASSERT_TRUE(ch.value()->send(f).is_ok());
+    auto echo = ch.value()->recv();
+    ASSERT_TRUE(echo.is_ok());
+
+    std::uint8_t partial[kFrameHeaderLen + 400] = {};
+    store_uint(partial, 1000, kFrameHeaderLen, ByteOrder::kLittle);
+    ASSERT_EQ(::write(ch.value()->fd(), partial, sizeof(partial)),
+              static_cast<ssize_t>(sizeof(partial)));
+    // Give the broker a moment to buffer the torn frame before the close,
+    // so the stream window lease is actually held when the peer vanishes.
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    ch.value()->close();
+  }
+  ASSERT_TRUE(eventually([&] {
+    return b.stats().connections == 0 && b.stats().closed == 3;
+  }));
+  // Every lease — stream windows holding torn frames included — went back.
+  ASSERT_TRUE(eventually([&] {
+    const auto ps = b.pool_stats();
+    return ps.hits + ps.misses == ps.recycled;
+  })) << "pool leases leaked after abrupt disconnects";
+  EXPECT_EQ(b.stats().protocol_errors, 0u);  // EOF mid-frame is not garbage
+  b.stop();
+}
+
+TEST(Broker, AnswersFormatServiceRequestsInline) {
+  // The format service rides the same connection as data: late joiners
+  // resolve formats against whatever any client registered earlier.
+  Context ctx;
+  Broker b(ctx);
+  ASSERT_TRUE(b.start().is_ok());
+
+  arch::StructSpec spec;
+  spec.name = "svc_sample";
+  spec.fields = {{.name = "a", .type = arch::CType::kInt},
+                 {.name = "b", .type = arch::CType::kDouble}};
+  const auto f = arch::layout_format(spec, arch::abi_sparc_v8());
+
+  auto pub_ch = transport::socket_connect(b.port());
+  ASSERT_TRUE(pub_ch.is_ok());
+  FormatServiceClient publisher(*pub_ch.value());
+  auto id = publisher.publish(f);
+  ASSERT_TRUE(id.is_ok()) << id.status().to_string();
+  EXPECT_EQ(id.value(), f.fingerprint());
+
+  // A different, later connection sees the registration.
+  auto look_ch = transport::socket_connect(b.port());
+  ASSERT_TRUE(look_ch.is_ok());
+  FormatServiceClient joiner(*look_ch.value());
+  auto fetched = joiner.lookup(id.value());
+  ASSERT_TRUE(fetched.is_ok()) << fetched.status().to_string();
+  EXPECT_EQ(fetched.value(), f);
+  EXPECT_EQ(joiner.lookup(0x1234).status().code(), Errc::kUnknownFormat);
+  EXPECT_EQ(b.stats().svc_requests, 3u);
+  b.stop();
+}
+
+struct Sample {
+  int a;
+  double b;
+};
+
+TEST(Broker, DecodesDataFramesForExpectedFormats) {
+  Context ctx;
+  const NativeField fields[] = {
+      PBIO_FIELD(Sample, a, arch::CType::kInt),
+      PBIO_FIELD(Sample, b, arch::CType::kDouble),
+  };
+  const auto native_id = ctx.register_format(
+      native_format("sample", fields, sizeof(Sample)));
+
+  Config cfg;
+  cfg.decode = true;
+  Broker b(ctx, cfg);
+  b.expect("sample", native_id);
+  ASSERT_TRUE(b.start().is_ok());
+
+  // A foreign (sparc) writer announces in-band and streams records; the
+  // broker learns the format from the announcement and converts every data
+  // frame to the native layout before echoing.
+  arch::StructSpec spec;
+  spec.name = "sample";
+  spec.fields = {{.name = "a", .type = arch::CType::kInt},
+                 {.name = "b", .type = arch::CType::kDouble}};
+  const auto wire_fmt = arch::layout_format(spec, arch::abi_sparc_v8());
+
+  auto ch = transport::socket_connect(b.port());
+  ASSERT_TRUE(ch.is_ok());
+  std::vector<std::uint8_t> announce{kFrameFormat};
+  const auto meta = fmt::encode_meta(wire_fmt);
+  announce.insert(announce.end(), meta.begin(), meta.end());
+  ASSERT_TRUE(ch.value()->send(announce).is_ok());
+
+  value::Record rec;
+  rec.set("a", value::Value(41));
+  rec.set("b", value::Value(6.5));
+  const auto image = value::materialize(wire_fmt, rec);
+  std::vector<std::uint8_t> frame(kDataHeaderSize, 0);
+  frame[0] = kFrameData;
+  store_uint(frame.data() + kDataHeaderIdOffset, wire_fmt.fingerprint(), 8,
+             ByteOrder::kLittle);
+  frame.insert(frame.end(), image.begin(), image.end());
+  for (int i = 0; i < 2; ++i) {  // second frame rides the resolution cache
+    ASSERT_TRUE(ch.value()->send(frame).is_ok());
+    auto echo = ch.value()->recv();
+    ASSERT_TRUE(echo.is_ok()) << echo.status().to_string();
+    EXPECT_EQ(echo.value(), frame);
+  }
+  EXPECT_EQ(b.stats().formats_learned, 1u);
+  EXPECT_EQ(b.stats().decoded, 2u);
+  EXPECT_EQ(b.stats().protocol_errors, 0u);
+
+  // A data frame for a format nobody announced is a protocol error: the
+  // broker drops the connection rather than forwarding undecodable bytes.
+  auto bad_ch = transport::socket_connect(b.port());
+  ASSERT_TRUE(bad_ch.is_ok());
+  ASSERT_TRUE(bad_ch.value()->send(data_frame(0x999, 64, 1)).is_ok());
+  auto dropped = bad_ch.value()->recv();
+  ASSERT_FALSE(dropped.is_ok());
+  EXPECT_EQ(dropped.status().code(), Errc::kChannelClosed);
+  ASSERT_TRUE(eventually([&] { return b.stats().protocol_errors >= 1; }));
+  b.stop();
+}
+
+TEST(Broker, GarbageFrameDropsOnlyThatConnection) {
+  Context ctx;
+  Broker b(ctx);
+  ASSERT_TRUE(b.start().is_ok());
+  auto good = transport::socket_connect(b.port());
+  auto bad = transport::socket_connect(b.port());
+  ASSERT_TRUE(good.is_ok());
+  ASSERT_TRUE(bad.is_ok());
+
+  const std::vector<std::uint8_t> junk{0x7F, 1, 2, 3};
+  ASSERT_TRUE(bad.value()->send(junk).is_ok());
+  auto dropped = bad.value()->recv();
+  EXPECT_EQ(dropped.status().code(), Errc::kChannelClosed);
+  ASSERT_TRUE(eventually([&] { return b.stats().protocol_errors >= 1; }));
+
+  const auto f = data_frame(5, 32, 8);
+  ASSERT_TRUE(good.value()->send(f).is_ok());
+  auto echo = good.value()->recv();
+  ASSERT_TRUE(echo.is_ok());
+  EXPECT_EQ(echo.value(), f);
+  b.stop();
+}
+
+TEST(Broker, PublishesObsCountersUnderBrokerNamespace) {
+  Context ctx;
+  Broker b(ctx);
+  ASSERT_TRUE(b.start().is_ok());
+  auto ch = transport::socket_connect(b.port());
+  ASSERT_TRUE(ch.is_ok());
+  constexpr int kFrames = 5;
+  for (int i = 0; i < kFrames; ++i) {
+    const auto f = data_frame(6, 24, 2);
+    ASSERT_TRUE(ch.value()->send(f).is_ok());
+    ASSERT_TRUE(ch.value()->recv().is_ok());
+  }
+  // The client sees an echo mid-writev, a beat before the worker thread
+  // bumps frames_out after the flush returns — wait for the counter.
+  ASSERT_TRUE(eventually([&] {
+    return b.stats().frames_out == static_cast<std::uint64_t>(kFrames);
+  }));
+  b.publish_obs();
+  b.publish_obs();  // delta publishing: a second call must not double-count
+  const auto snap = obs::snapshot();
+  const auto* in = snap.find_counter("pbio.broker.frames_in");
+  const auto* out = snap.find_counter("pbio.broker.frames_out");
+  const auto* acc = snap.find_counter("pbio.broker.accepted");
+  ASSERT_NE(in, nullptr);
+  ASSERT_NE(out, nullptr);
+  ASSERT_NE(acc, nullptr);
+  EXPECT_EQ(in->value, static_cast<std::uint64_t>(kFrames));
+  EXPECT_EQ(out->value, static_cast<std::uint64_t>(kFrames));
+  EXPECT_EQ(acc->value, 1u);
+  b.stop();
+}
+
+}  // namespace
+}  // namespace pbio::broker

@@ -4,7 +4,9 @@
 
 #include <thread>
 
+#include "fmt/meta.h"
 #include "pbio/pbio.h"
+#include "util/endian.h"
 #include "value/materialize.h"
 
 namespace pbio {
@@ -144,6 +146,60 @@ TEST(FormatService, ResolverReturningWrongFormatIsRejected) {
     return wrong;
   });
   EXPECT_EQ(r.next().status().code(), Errc::kUnknownFormat);
+}
+
+TEST(FormatServiceHandle, RegisterThenLookupRoundTrip) {
+  // The event-driven entry point the broker uses: frame in, reply out, no
+  // channel involved.
+  Context ctx;
+  FormatServiceServer server(ctx);
+  const auto f = sample_format();
+  ByteBuffer req(256);
+  req.append_uint(kSvcRegister, 1, ByteOrder::kLittle);
+  const auto meta = fmt::encode_meta(f);
+  req.append(meta.data(), meta.size());
+  ByteBuffer reply(256);
+  ASSERT_TRUE(server.handle(req.view(), reply).is_ok());
+  ASSERT_GE(reply.size(), 9u);
+  EXPECT_EQ(reply.view()[0], kSvcRegistered);
+  EXPECT_EQ(load_uint(reply.data() + 1, 8, ByteOrder::kLittle),
+            f.fingerprint());
+
+  req.clear();
+  req.append_uint(kSvcLookup, 1, ByteOrder::kLittle);
+  req.append_uint(f.fingerprint(), 8, ByteOrder::kLittle);
+  ASSERT_TRUE(server.handle(req.view(), reply).is_ok());
+  ASSERT_GE(reply.size(), 2u);
+  EXPECT_EQ(reply.view()[0], kSvcFound);
+  auto fetched = fmt::decode_meta(reply.view().subspan(1));
+  ASSERT_TRUE(fetched.is_ok());
+  EXPECT_EQ(fetched.value(), f);
+  EXPECT_EQ(server.requests_served(), 2u);
+}
+
+TEST(FormatServiceHandle, MissAndMalformedRequests) {
+  Context ctx;
+  FormatServiceServer server(ctx);
+  ByteBuffer req(64);
+  ByteBuffer reply(64);
+  // Unknown id: a miss is a successful reply, not an error.
+  req.append_uint(kSvcLookup, 1, ByteOrder::kLittle);
+  req.append_uint(0xDEADBEEF, 8, ByteOrder::kLittle);
+  ASSERT_TRUE(server.handle(req.view(), reply).is_ok());
+  ASSERT_EQ(reply.size(), 1u);
+  EXPECT_EQ(reply.view()[0], kSvcMiss);
+  // Malformed requests fail without producing a reply frame.
+  EXPECT_EQ(server.handle({}, reply).code(), Errc::kMalformed);
+  const std::uint8_t junk[] = {0x77, 1, 2};
+  EXPECT_EQ(server.handle(junk, reply).code(), Errc::kMalformed);
+  const std::uint8_t truncated[] = {kSvcLookup, 1, 2};
+  EXPECT_EQ(server.handle(truncated, reply).code(), Errc::kTruncated);
+  // The server is still healthy afterwards.
+  req.clear();
+  req.append_uint(kSvcRegister, 1, ByteOrder::kLittle);
+  const auto meta = fmt::encode_meta(sample_format());
+  req.append(meta.data(), meta.size());
+  EXPECT_TRUE(server.handle(req.view(), reply).is_ok());
 }
 
 TEST(FormatService, ServerSurvivesMalformedRequests) {

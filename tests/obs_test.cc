@@ -177,6 +177,55 @@ TEST(ObsTiming, TicksMonotonicAndCalibrated) {
   EXPECT_LT(ns, 200'000'000u);
 }
 
+TEST(ObsJson, SnapshotRoundTripsThroughFromJson) {
+  // The pbio_stat --watch channel: a broker dumps to_json periodically,
+  // the tool re-parses it. Build a snapshot by hand so the test is
+  // independent of PBIO_OBS gating.
+  Snapshot snap;
+  snap.counters.push_back({"pbio.broker.frames_in", 123456789});
+  snap.counters.push_back({R"(weird "name" with \ and	tab)", 7});
+  snap.counters.push_back({"zero", 0});
+  HistogramSample h;
+  h.name = "pbio.recv.batch_ns";
+  h.count = 42;
+  h.sum_ns = 99999;
+  h.buckets[0] = 1;
+  h.buckets[3] = 40;
+  h.buckets[17] = 1;
+  snap.histograms.push_back(h);
+
+  const std::string json = to_json(snap);
+  Snapshot back;
+  ASSERT_TRUE(snapshot_from_json(json, &back));
+  ASSERT_EQ(back.counters.size(), snap.counters.size());
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    EXPECT_EQ(back.counters[i].name, snap.counters[i].name);
+    EXPECT_EQ(back.counters[i].value, snap.counters[i].value);
+  }
+  ASSERT_EQ(back.histograms.size(), 1u);
+  EXPECT_EQ(back.histograms[0].name, h.name);
+  EXPECT_EQ(back.histograms[0].count, h.count);
+  EXPECT_EQ(back.histograms[0].sum_ns, h.sum_ns);
+  EXPECT_EQ(back.histograms[0].buckets, h.buckets);
+  // Round-tripping the reconstruction is a fixed point.
+  EXPECT_EQ(to_json(back), json);
+}
+
+TEST(ObsJson, FromJsonRejectsMalformedInput) {
+  Snapshot out;
+  EXPECT_FALSE(snapshot_from_json("", &out));
+  EXPECT_FALSE(snapshot_from_json("{", &out));
+  EXPECT_FALSE(snapshot_from_json(R"({"counters": [1,2]})", &out));
+  EXPECT_FALSE(snapshot_from_json(R"({"counters": {"a": })", &out));
+  EXPECT_FALSE(
+      snapshot_from_json(R"({"counters": {}, "histograms": {"h": 3}})", &out));
+  // The empty registry shape parses.
+  EXPECT_TRUE(
+      snapshot_from_json(R"({"counters": {}, "histograms": {}})", &out));
+  EXPECT_TRUE(out.counters.empty());
+  EXPECT_TRUE(out.histograms.empty());
+}
+
 TEST(ObsThreads, TidsAreSmallDenseAndStable) {
   const std::uint32_t here = thread_tid();
   EXPECT_GT(here, 0u);

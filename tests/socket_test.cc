@@ -1,13 +1,19 @@
 #include "transport/socket.h"
 
+#include <fcntl.h>
 #include <gtest/gtest.h>
+#include <pthread.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <cstring>
 #include <thread>
 
+#include "transport/io_retry.h"
 #include "util/endian.h"
 
 namespace pbio::transport {
@@ -327,6 +333,134 @@ TEST(SocketSyscalls, SendFramesBatchesManyFramesPerWritev) {
     EXPECT_EQ(got, i);
   }
   client.join();
+}
+
+TEST(SocketNonblocking, RecvBufWouldBlockInsteadOfWaiting) {
+  RawPair pair;
+  ASSERT_TRUE(pair.receiver->set_nonblocking(true).is_ok());
+  EXPECT_TRUE(pair.receiver->nonblocking());
+  auto empty = pair.receiver->recv_buf();
+  ASSERT_FALSE(empty.is_ok());
+  EXPECT_EQ(empty.status().code(), Errc::kWouldBlock);
+  // A frame arriving later is still delivered intact.
+  const auto f = framed({5, 6, 7});
+  write_all(pair.sender_fd, f, f.size());
+  auto m = pair.receiver->recv_buf();
+  ASSERT_TRUE(m.is_ok()) << m.status().to_string();
+  EXPECT_EQ(m.value().size(), 3u);
+  EXPECT_EQ(m.value().data()[0], 5);
+  // Back to blocking mode restores the waiting recv path.
+  ASSERT_TRUE(pair.receiver->set_nonblocking(false).is_ok());
+  EXPECT_FALSE(pair.receiver->nonblocking());
+}
+
+TEST(SocketNonblocking, WritevSomeFillsBufferThenWouldBlocks) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  SocketChannel writer(fds[0]);
+  ASSERT_TRUE(writer.set_nonblocking(true).is_ok());
+  std::vector<std::uint8_t> chunk(64 * 1024, 0xAB);
+  const iovec iov[] = {{chunk.data(), chunk.size()}};
+  std::size_t written = 0;
+  bool blocked = false;
+  for (int i = 0; i < 1000 && !blocked; ++i) {
+    auto n = writer.writev_some(iov);
+    if (n.is_ok()) {
+      written += n.value();
+      continue;
+    }
+    ASSERT_EQ(n.status().code(), Errc::kWouldBlock);
+    blocked = true;
+  }
+  EXPECT_TRUE(blocked) << "an un-drained socket must eventually would-block";
+  EXPECT_GT(written, 0u);
+  // Drain the peer side; the sink accepts bytes again.
+  std::vector<std::uint8_t> sink(chunk.size());
+  while (::recv(fds[1], sink.data(), sink.size(), MSG_DONTWAIT) > 0) {
+  }
+  auto again = writer.writev_some(iov);
+  ASSERT_TRUE(again.is_ok());
+  EXPECT_GT(again.value(), 0u);
+  ::close(fds[1]);
+}
+
+TEST(SocketNonblocking, ListenerAcceptFdWouldBlockOnEmptyQueue) {
+  SocketListener listener;
+  ASSERT_TRUE(listener.set_nonblocking(true).is_ok());
+  auto none = listener.accept_fd(true);
+  ASSERT_FALSE(none.is_ok());
+  EXPECT_EQ(none.status().code(), Errc::kWouldBlock);
+
+  auto client = socket_connect(listener.port());
+  ASSERT_TRUE(client.is_ok());
+  // Loopback handshake completes quickly but not instantly: poll briefly.
+  int fd = -1;
+  for (int i = 0; i < 2000 && fd < 0; ++i) {
+    auto got = listener.accept_fd(true);
+    if (got.is_ok()) {
+      fd = got.value();
+      break;
+    }
+    ASSERT_EQ(got.status().code(), Errc::kWouldBlock);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_GE(fd, 0) << "connection never surfaced on the listener";
+  // accept_fd(true) promised a socket born non-blocking.
+  const int flags = ::fcntl(fd, F_GETFL);
+  EXPECT_NE(flags & O_NONBLOCK, 0);
+  ::close(fd);
+}
+
+TEST(IoRetry, ReadRetriesAcrossSignalInterruption) {
+  // A signal handler installed without SA_RESTART makes blocking reads
+  // fail with EINTR; the retry helpers must hide that from callers.
+  struct sigaction sa {};
+  struct sigaction old {};
+  sa.sa_handler = [](int) {};
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART
+  ASSERT_EQ(sigaction(SIGUSR1, &sa, &old), 0);
+
+  int p[2];
+  ASSERT_EQ(::pipe(p), 0);
+  std::atomic<bool> entered{false};
+  std::thread reader([&] {
+    entered.store(true);
+    char c = 0;
+    const ssize_t r = io::retry_read(p[0], &c, 1);
+    EXPECT_EQ(r, 1);
+    EXPECT_EQ(c, 'x');
+  });
+  while (!entered.load()) {
+  }
+  // Pepper the blocked reader with signals, then satisfy the read.
+  for (int i = 0; i < 5; ++i) {
+    pthread_kill(reader.native_handle(), SIGUSR1);
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_EQ(::write(p[1], "x", 1), 1);
+  reader.join();
+  ::close(p[0]);
+  ::close(p[1]);
+  sigaction(SIGUSR1, &old, nullptr);
+}
+
+TEST(IoRetry, HelpersPassThroughNormalResults) {
+  int p[2];
+  ASSERT_EQ(::pipe(p), 0);
+  const char msg[] = "abc";
+  EXPECT_EQ(io::retry_write(p[1], msg, 3), 3);
+  char buf[8];
+  EXPECT_EQ(io::retry_read(p[0], buf, sizeof(buf)), 3);
+  EXPECT_EQ(std::memcmp(buf, msg, 3), 0);
+  const iovec iov[] = {{const_cast<char*>(msg), 2},
+                       {const_cast<char*>(msg) + 2, 1}};
+  EXPECT_EQ(io::retry_writev(p[1], iov, 2), 3);
+  EXPECT_EQ(io::retry_read(p[0], buf, sizeof(buf)), 3);
+  ::close(p[1]);
+  // Writer closed: EOF, not an error.
+  EXPECT_EQ(io::retry_read(p[0], buf, sizeof(buf)), 0);
+  ::close(p[0]);
 }
 
 }  // namespace

@@ -1,0 +1,91 @@
+// pbio_broker — run a wire broker as a standalone process.
+//
+// Binds 127.0.0.1 on an OS-chosen port (printed on stdout), serves pbio
+// frames and format-service requests until SIGINT/SIGTERM. Pair it with
+// `pbio_stat --watch SEC --from FILE` in a second terminal to watch the
+// live pbio.broker.* metrics.
+//
+//   pbio_broker [--workers N] [--mode echo|ack|sink] [--stats FILE]
+//               [--interval MS] [--max-conns N] [--max-inflight N]
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include "broker/broker.h"
+
+namespace {
+std::atomic<bool> g_stop{false};
+void on_signal(int) { g_stop.store(true, std::memory_order_release); }
+}  // namespace
+
+int main(int argc, char** argv) {
+  pbio::broker::Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const auto int_arg = [&](long fallback) {
+      return i + 1 < argc ? std::strtol(argv[++i], nullptr, 10) : fallback;
+    };
+    if (std::strcmp(argv[i], "--workers") == 0) {
+      cfg.workers = static_cast<unsigned>(int_arg(1));
+    } else if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
+      const char* m = argv[++i];
+      if (std::strcmp(m, "echo") == 0) cfg.on_data = pbio::broker::OnData::kEcho;
+      else if (std::strcmp(m, "ack") == 0) cfg.on_data = pbio::broker::OnData::kAck;
+      else if (std::strcmp(m, "sink") == 0) cfg.on_data = pbio::broker::OnData::kSink;
+      else {
+        std::fprintf(stderr, "pbio_broker: unknown --mode %s\n", m);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--stats") == 0 && i + 1 < argc) {
+      cfg.stats_file = argv[++i];
+    } else if (std::strcmp(argv[i], "--interval") == 0) {
+      cfg.stats_interval_ms = static_cast<unsigned>(int_arg(1000));
+    } else if (std::strcmp(argv[i], "--max-conns") == 0) {
+      cfg.max_connections = static_cast<std::size_t>(int_arg(8192));
+    } else if (std::strcmp(argv[i], "--max-inflight") == 0) {
+      cfg.max_inflight_frames = static_cast<std::size_t>(int_arg(65536));
+    } else {
+      std::fprintf(stderr,
+                   "usage: pbio_broker [--workers N] [--mode echo|ack|sink] "
+                   "[--stats FILE] [--interval MS] [--max-conns N] "
+                   "[--max-inflight N]\n");
+      return 2;
+    }
+  }
+
+  pbio::Context ctx;
+  pbio::broker::Broker broker(ctx, cfg);
+  pbio::Status st = broker.start();
+  if (!st.is_ok()) {
+    std::fprintf(stderr, "pbio_broker: start failed: %s\n",
+                 st.to_string().c_str());
+    return 1;
+  }
+  std::printf("pbio_broker listening on 127.0.0.1:%u (%u worker%s)\n",
+              broker.port(), cfg.workers, cfg.workers == 1 ? "" : "s");
+  if (!cfg.stats_file.empty()) {
+    std::printf("stats: pbio_stat --watch 2 --from %s\n",
+                cfg.stats_file.c_str());
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (!g_stop.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  broker.stop();
+
+  const auto s = broker.stats();
+  std::printf("served %llu frames over %llu connections (%llu shed)\n",
+              static_cast<unsigned long long>(s.frames_in),
+              static_cast<unsigned long long>(s.accepted - s.shed_connections),
+              static_cast<unsigned long long>(s.shed_connections +
+                                              s.shed_inflight));
+  return 0;
+}
