@@ -311,7 +311,7 @@ struct CellResult {
 
 bool run_cell(std::size_t conns, std::uint32_t frames, bench::Size size,
               unsigned workers, broker::OnData mode, bool decode,
-              CellResult* out) {
+              int scrape_port, CellResult* out) {
   Context ctx;
   bench::Workload w =
       bench::make_workload(size, arch::abi_x86(), arch::abi_x86_64());
@@ -343,6 +343,7 @@ bool run_cell(std::size_t conns, std::uint32_t frames, bench::Size size,
   cfg.max_connections = conns + 64;
   cfg.on_data = mode;
   cfg.decode = decode;
+  cfg.scrape_port = scrape_port;
   broker::Broker b(ctx, cfg);
   if (decode) b.expect(w.src_fmt.name, native_id);
 
@@ -418,10 +419,15 @@ double us(std::uint64_t ns) { return static_cast<double>(ns) / 1e3; }
 
 int run(const std::vector<std::size_t>& conn_list, std::uint32_t frames_opt,
         bench::Size size, unsigned workers, broker::OnData mode, bool decode,
-        bool write_json, unsigned repeat) {
+        bool write_json, unsigned repeat, int scrape_port) {
   std::printf("broker_scale: echo broker, %s payload, %u worker(s), "
-              "decode=%s\n\n",
+              "decode=%s\n",
               bench::label(size), workers, decode ? "on" : "off");
+  if (scrape_port >= 0) {
+    std::printf("scrape: curl http://127.0.0.1:%d/metrics (during cells)\n",
+                scrape_port);
+  }
+  std::printf("\n");
   bench::Table t("Broker scale (ping-pong, depth 1)",
                  {"conns", "frames/conn", "msgs", "msgs/sec", "p50 us",
                   "p99 us", "p999 us", "p99/p50", "sys/msg", "sheds"});
@@ -446,7 +452,8 @@ int run(const std::vector<std::size_t>& conn_list, std::uint32_t frames_opt,
     };
     for (unsigned rep = 0; rep < (repeat == 0 ? 1 : repeat); ++rep) {
       CellResult attempt;
-      if (!run_cell(conns, frames, size, workers, mode, decode, &attempt)) {
+      if (!run_cell(conns, frames, size, workers, mode, decode, scrape_port,
+                    &attempt)) {
         std::fprintf(stderr, "cell %zu conns failed\n", conns);
         return 1;
       }
@@ -535,6 +542,7 @@ int main(int argc, char** argv) {
   bool decode = true;
   bool write_json = true;
   unsigned repeat = 1;
+  int scrape_port = -1;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--connections") == 0 && i + 1 < argc) {
       conns.clear();
@@ -572,12 +580,14 @@ int main(int argc, char** argv) {
       write_json = false;
     } else if (std::strcmp(argv[i], "--repeat") == 0 && i + 1 < argc) {
       repeat = static_cast<unsigned>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (std::strcmp(argv[i], "--scrape-port") == 0 && i + 1 < argc) {
+      scrape_port = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else {
       std::fprintf(stderr,
                    "usage: broker_scale [--connections A,B,C] [--frames N] "
                    "[--size 100B|1KB|10KB|100KB] [--workers N] "
                    "[--mode echo|ack|sink] [--no-decode] [--no-json] "
-                   "[--repeat N]\n");
+                   "[--repeat N] [--scrape-port P]\n");
       return 2;
     }
   }
@@ -588,5 +598,5 @@ int main(int argc, char** argv) {
     return 2;
   }
   return pbio::run(conns, frames, size, workers, mode, decode, write_json,
-                   repeat);
+                   repeat, scrape_port);
 }

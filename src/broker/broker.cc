@@ -12,7 +12,10 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "broker/http.h"
+#include "obs/flight.h"
 #include "obs/obs.h"
+#include "util/error.h"
 
 namespace pbio::broker {
 
@@ -57,6 +60,15 @@ class Worker {
     ::epoll_ctl(ep_, EPOLL_CTL_ADD, fd, &ev);
   }
 
+  /// Register the HTTP scrape listener (worker 0 only).
+  void adopt_scrape_listener(int fd) {
+    scrape_fd_ = fd;
+    epoll_event ev{};
+    ev.events = EPOLLIN | EPOLLET;
+    ev.data.fd = fd;
+    ::epoll_ctl(ep_, EPOLL_CTL_ADD, fd, &ev);
+  }
+
   /// Hand a freshly accepted fd to this worker from another thread.
   void hand_off(int fd) {
     {
@@ -87,6 +99,10 @@ class Worker {
           drain_wake();
         } else if (fd == listen_fd_) {
           accept_burst();
+        } else if (fd == scrape_fd_) {
+          accept_scrape_burst();
+        } else if (scrape_conns_.find(fd) != scrape_conns_.end()) {
+          service_scrape(fd);
         } else {
           service_conn(fd);
         }
@@ -118,6 +134,11 @@ class Worker {
           owner_.sh_.cfg.max_connections) {
         // Over the connection cap: shed with an immediate close. The
         // client sees a clean EOF, the broker spends no memory on it.
+#if PBIO_OBS_ENABLED
+        obs::flight_record(obs::FlightKind::kShedConn,
+                           static_cast<std::uint64_t>(fd.value()),
+                           owner_.sh_.connections.load(kRelaxed));
+#endif
         ::close(fd.value());
         owner_.sh_.shed_connections.fetch_add(1, kRelaxed);
         continue;
@@ -150,6 +171,34 @@ class Worker {
     service_conn(fd);  // frames may have landed before registration
   }
 
+  void accept_scrape_burst() {
+    // Edge-triggered like the data listener: accept until empty. Scrape
+    // connections live outside the admission caps — a saturated broker
+    // must still answer /healthz.
+    while (true) {
+      auto fd = owner_.scrape_listener_->accept_fd(true);
+      if (!fd.is_ok()) return;
+      epoll_event ev{};
+      ev.events = EPOLLIN | EPOLLOUT | EPOLLET | EPOLLRDHUP;
+      ev.data.fd = fd.value();
+      if (::epoll_ctl(ep_, EPOLL_CTL_ADD, fd.value(), &ev) != 0) {
+        ::close(fd.value());
+        continue;
+      }
+      scrape_conns_.emplace(fd.value(),
+                            std::make_unique<ScrapeConn>(fd.value()));
+      service_scrape(fd.value());  // the request may already be buffered
+    }
+  }
+
+  void service_scrape(int fd) {
+    auto it = scrape_conns_.find(fd);
+    if (it == scrape_conns_.end()) return;
+    if (!it->second->service(owner_)) {
+      scrape_conns_.erase(it);  // ScrapeConn dtor closes the fd
+    }
+  }
+
   void service_conn(int fd) {
     auto it = conns_.find(fd);
     if (it == conns_.end()) return;
@@ -180,7 +229,9 @@ class Worker {
   int ep_ = -1;
   int wake_ = -1;
   int listen_fd_ = -1;
+  int scrape_fd_ = -1;
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;
+  std::unordered_map<int, std::unique_ptr<ScrapeConn>> scrape_conns_;
   std::vector<int> ready_;
   std::mutex inbox_mu_;
   std::vector<int> inbox_;
@@ -201,6 +252,18 @@ Status Broker::start() {
   Status st = listener_.set_nonblocking(true);
   if (!st.is_ok()) return st;
 
+  if (!sh_.cfg.flight_file.empty()) obs::flight_arm(sh_.cfg.flight_file);
+  if (sh_.cfg.scrape_port >= 0) {
+    try {
+      scrape_listener_ = std::make_unique<transport::SocketListener>(
+          16, static_cast<std::uint16_t>(sh_.cfg.scrape_port));
+    } catch (const PbioError&) {
+      return Status(Errc::kIo, "scrape listener bind failed");
+    }
+    st = scrape_listener_->set_nonblocking(true);
+    if (!st.is_ok()) return st;
+  }
+
   const unsigned n = sh_.cfg.workers == 0 ? 1 : sh_.cfg.workers;
   workers_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
@@ -211,6 +274,9 @@ Status Broker::start() {
     }
   }
   workers_[0]->adopt_listener(listener_.fd());
+  if (scrape_listener_) {
+    workers_[0]->adopt_scrape_listener(scrape_listener_->fd());
+  }
 
   stopping_.store(false, std::memory_order_release);
   threads_.reserve(n);
@@ -249,6 +315,7 @@ BrokerStats Broker::stats() const {
   s.connections = sh_.connections.load(kRelaxed);
   s.inflight = sh_.inflight.load(kRelaxed);
   s.queued_bytes = sh_.queued_bytes.load(kRelaxed);
+  s.paused = sh_.paused.load(kRelaxed);
   s.accepted = sh_.accepted.load(kRelaxed);
   s.closed = sh_.closed.load(kRelaxed);
   s.shed_connections = sh_.shed_connections.load(kRelaxed);
@@ -265,6 +332,7 @@ BrokerStats Broker::stats() const {
   s.resumes = sh_.resumes.load(kRelaxed);
   s.recv_syscalls = sh_.recv_syscalls.load(kRelaxed);
   s.send_syscalls = sh_.send_syscalls.load(kRelaxed);
+  s.slow_frames = sh_.slow_frames.load(kRelaxed);
   return s;
 }
 
@@ -283,7 +351,9 @@ BufferPool::Stats Broker::pool_stats() const {
 void Broker::publish_obs() {
   // Publish monotonic deltas; gauges are derivable from the monotonic
   // pairs (connections = accepts - closes - sheds, and so on), which keeps
-  // the obs contract — counters only ever go up.
+  // the obs contract — counters only ever go up. Serialized because both
+  // the stats thread and /metrics scrapes land here.
+  std::lock_guard<std::mutex> lk(publish_mu_);
   const BrokerStats now = stats();
   const auto pub = [](const char* name, std::uint64_t cur,
                       std::uint64_t& last) {
@@ -312,6 +382,7 @@ void Broker::publish_obs() {
       published_.recv_syscalls);
   pub("pbio.broker.send_syscalls", now.send_syscalls,
       published_.send_syscalls);
+  pub("pbio.broker.slow_frames", now.slow_frames, published_.slow_frames);
 }
 
 void Broker::dump_stats_file() {

@@ -28,6 +28,7 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -42,6 +43,7 @@ struct BrokerStats {
   std::size_t connections = 0;
   std::size_t inflight = 0;
   std::size_t queued_bytes = 0;
+  std::size_t paused = 0;
   std::uint64_t accepted = 0;
   std::uint64_t closed = 0;
   std::uint64_t shed_connections = 0;
@@ -58,6 +60,7 @@ struct BrokerStats {
   std::uint64_t resumes = 0;
   std::uint64_t recv_syscalls = 0;
   std::uint64_t send_syscalls = 0;
+  std::uint64_t slow_frames = 0;
 };
 
 class Broker {
@@ -81,6 +84,13 @@ class Broker {
   void stop();
 
   std::uint16_t port() const { return listener_.port(); }
+  /// Port of the HTTP scrape endpoint (0 when Config::scrape_port is -1 or
+  /// the broker has not started). With scrape_port 0 this is where the
+  /// ephemeral bind landed.
+  std::uint16_t scrape_port() const {
+    return scrape_listener_ ? scrape_listener_->port() : 0;
+  }
+  const Config& config() const { return sh_.cfg; }
   bool running() const { return running_.load(std::memory_order_acquire); }
 
   BrokerStats stats() const;
@@ -102,12 +112,15 @@ class Broker {
 
   Shared sh_;
   transport::SocketListener listener_;
+  /// HTTP scrape listener (Config::scrape_port >= 0), adopted by worker 0.
+  std::unique_ptr<transport::SocketListener> scrape_listener_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::thread> threads_;
   std::thread stats_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
-  BrokerStats published_{};  // last obs-published values (stats thread only)
+  std::mutex publish_mu_;    // stats thread and /metrics scrapes both publish
+  BrokerStats published_{};  // last obs-published values (under publish_mu_)
 };
 
 }  // namespace pbio::broker

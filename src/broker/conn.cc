@@ -1,7 +1,10 @@
 #include "broker/conn.h"
 
 #include "fmt/meta.h"
+#include "obs/flight.h"
+#include "obs/span.h"
 #include "pbio/encode.h"
+#include "transport/tracewire.h"
 #include "util/arena.h"
 #include "util/endian.h"
 
@@ -9,16 +12,34 @@ namespace pbio::broker {
 
 namespace {
 constexpr auto kRelaxed = std::memory_order_relaxed;
+
+#if PBIO_OBS_ENABLED
+// Residency class histograms, registered once per process. "slow" is any
+// connection that has ever hit the pause watermark — separating the tail
+// a misbehaving client creates from the fleet's normal egress latency.
+obs::MetricId residency_hist(bool ever_paused) {
+  static const obs::MetricId normal =
+      obs::histogram("pbio.broker.residency_ns.normal");
+  static const obs::MetricId slow =
+      obs::histogram("pbio.broker.residency_ns.slow");
+  return ever_paused ? slow : normal;
 }
+#endif
+}  // namespace
 
 Conn::Conn(int fd, Shared& sh, BufferPool& pool)
     : pool_(pool), ch_(fd, pool, sh.cfg.stream_chunk_bytes), sh_(sh) {
   sh_.connections.fetch_add(1, kRelaxed);
+#if PBIO_OBS_ENABLED
+  obs::flight_record(obs::FlightKind::kAccept,
+                     static_cast<std::uint64_t>(fd));
+#endif
 }
 
 Conn::~Conn() {
   sh_.connections.fetch_sub(1, kRelaxed);
   sh_.closed.fetch_add(1, kRelaxed);
+  if (read_paused_) sh_.paused.fetch_sub(1, kRelaxed);
   // Undrained responses die with the connection: release their slots in
   // the global inflight/byte gauges (the FrameBuf leases themselves return
   // to the pool when the SendQueue member destructs).
@@ -26,6 +47,10 @@ Conn::~Conn() {
   sh_.queued_bytes.fetch_sub(sq_.queued_bytes(), kRelaxed);
   sh_.recv_syscalls.fetch_add(ch_.recv_syscalls() - folded_recv_, kRelaxed);
   sh_.send_syscalls.fetch_add(ch_.send_syscalls() - folded_send_, kRelaxed);
+#if PBIO_OBS_ENABLED
+  obs::flight_record(obs::FlightKind::kClose,
+                     static_cast<std::uint64_t>(ch_.fd()));
+#endif
 }
 
 void Conn::fold_syscalls() {
@@ -37,7 +62,7 @@ void Conn::fold_syscalls() {
   folded_send_ = s;
 }
 
-Status Conn::enqueue(FrameBuf frame) {
+Status Conn::enqueue(FrameBuf frame, const obs::TraceCtx* trace) {
   // Global inflight limiter: admission for response memory. A connection
   // that would push the broker past the cap is shed (closed), never
   // buffered without bound.
@@ -45,17 +70,42 @@ Status Conn::enqueue(FrameBuf frame) {
   if (prev >= sh_.cfg.max_inflight_frames) {
     sh_.inflight.fetch_sub(1, kRelaxed);
     sh_.shed_inflight.fetch_add(1, kRelaxed);
+#if PBIO_OBS_ENABLED
+    obs::flight_record(obs::FlightKind::kShedInflight,
+                       static_cast<std::uint64_t>(ch_.fd()), prev);
+#endif
     return Status(Errc::kOverloaded, "inflight frame cap");
   }
   const std::size_t wire = transport::kFrameHeaderLen + frame.size();
   sh_.queued_bytes.fetch_add(wire, kRelaxed);
-  sq_.push(std::move(frame));
+  sq_.push(std::move(frame), trace);
   return Status::ok();
+}
+
+Status Conn::forward_trace(FrameBuf response) {
+  // The sidecar goes out ahead of the response it describes, re-stamped
+  // with a fresh span id so each hop's emission is distinguishable; the
+  // ids let the Reader on the far side continue the same trace.
+  obs::TraceCtx fwd = pending_trace_;
+#if PBIO_OBS_ENABLED
+  fwd.span_id = obs::new_trace_id();
+#endif
+  FrameBuf side = pool().lease(transport::kTraceFrameLen);
+  std::uint8_t raw[transport::kTraceFrameLen];
+  transport::encode_trace_frame(raw, fwd);
+  std::copy_n(raw, transport::kTraceFrameLen, side.data());
+  Status st = enqueue(std::move(side));
+  if (!st.is_ok()) return st;
+  return enqueue(std::move(response), &pending_trace_);
 }
 
 Status Conn::flush() {
   if (sq_.empty()) return Status::ok();
+#if PBIO_OBS_ENABLED
+  auto res = sq_.flush(ch_, residency_hist(ever_paused_));
+#else
   auto res = sq_.flush(ch_);
+#endif
   if (!res.is_ok()) return res.status();
   sh_.inflight.fetch_sub(res.value().frames, kRelaxed);
   sh_.queued_bytes.fetch_sub(res.value().bytes, kRelaxed);
@@ -92,6 +142,13 @@ Status Conn::decode_frame(const FrameBuf& frame) {
       if (!conv.is_ok()) return conv.status();
       cached_native_ = sh_.ctx.find(it->second);
       cached_conv_ = std::move(conv).take();
+#if PBIO_OBS_ENABLED
+      // Cold: one registration per (wire, native) pair per process — the
+      // per-format-pair latency series behind /metrics p50/p99/p999.
+      decode_hist_ = obs::histogram("pbio.broker.decode_ns." +
+                                    cached_wire_->name + "->" +
+                                    cached_native_->name);
+#endif
     }
     conv_cached_ = true;
   }
@@ -100,6 +157,9 @@ Status Conn::decode_frame(const FrameBuf& frame) {
   if (decode_out_.size() < cached_native_->fixed_size) {
     decode_out_.resize(cached_native_->fixed_size);
   }
+#if PBIO_OBS_ENABLED
+  const std::uint64_t t0 = obs::ticks();
+#endif
   convert::ExecInput in;
   in.src = frame.data() + kDataHeaderSize;
   in.src_size = frame.size() - kDataHeaderSize;
@@ -118,6 +178,12 @@ Status Conn::decode_frame(const FrameBuf& frame) {
     Status st = cached_conv_->run(in, sh_.cfg.engine);
     if (!st.is_ok()) return st;
   }
+#if PBIO_OBS_ENABLED
+  if (decode_hist_ != obs::kInvalidMetric) {
+    obs::histogram_record(decode_hist_,
+                          obs::ticks_to_ns(obs::ticks() - t0));
+  }
+#endif
   sh_.decoded.fetch_add(1, kRelaxed);
   return Status::ok();
 }
@@ -128,10 +194,33 @@ Status Conn::on_data_frame(FrameBuf frame) {
   }
   if (sh_.cfg.decode) {
     Status st = decode_frame(frame);
-    if (!st.is_ok()) return st;
+    if (!st.is_ok()) {
+#if PBIO_OBS_ENABLED
+      obs::flight_record(obs::FlightKind::kDecodeError,
+                         static_cast<std::uint64_t>(ch_.fd()),
+                         static_cast<std::uint64_t>(st.code()));
+#endif
+      return st;
+    }
   }
+  // This data frame consumes any pending trace sidecar: emit the ingress
+  // span (sidecar arrival to dispatch complete) and clear it regardless of
+  // response mode, so a stale ctx can never attach to a later message.
+  const bool traced = pending_trace_.valid();
+#if PBIO_OBS_ENABLED
+  if (traced) {
+    obs::trace_emit_ctx("pbio.trace.ingress", pending_trace_,
+                        pending_trace_ns_, obs::epoch_ns());
+  }
+#endif
+  struct ClearTrace {
+    obs::TraceCtx* ctx;
+    ~ClearTrace() { *ctx = obs::TraceCtx{}; }
+  } clear{&pending_trace_};
+
   switch (sh_.cfg.on_data) {
     case OnData::kEcho:
+      if (traced) return forward_trace(std::move(frame));
       return enqueue(std::move(frame));
     case OnData::kAck: {
       const Context::FormatId wire_id = load_uint(
@@ -142,6 +231,7 @@ Status Conn::on_data_frame(FrameBuf frame) {
       ack.data()[0] = kFrameAck;
       store_uint(ack.data() + kDataHeaderIdOffset, wire_id, 8,
                  ByteOrder::kLittle);
+      if (traced) return forward_trace(std::move(ack));
       return enqueue(std::move(ack));
     }
     case OnData::kSink:
@@ -193,8 +283,31 @@ Status Conn::dispatch(FrameBuf frame) {
       frame.reset();
       return enqueue(std::move(reply));
     }
+    case transport::kFrameTrace: {
+      // Trace sidecar for the next data frame. Handled in every build
+      // configuration (the sampling writer may be an obs-on peer); only
+      // the ingress timestamping is an obs concern.
+      obs::TraceCtx ctx;
+      if (!transport::decode_trace_frame(frame.view(), &ctx)) {
+        sh_.protocol_errors.fetch_add(1, kRelaxed);
+#if PBIO_OBS_ENABLED
+        obs::flight_record(obs::FlightKind::kProtocolError,
+                           static_cast<std::uint64_t>(ch_.fd()));
+#endif
+        return Status(Errc::kMalformed, "bad trace sidecar frame");
+      }
+      pending_trace_ = ctx;
+#if PBIO_OBS_ENABLED
+      pending_trace_ns_ = obs::epoch_ns();
+#endif
+      return Status::ok();
+    }
     default:
       sh_.protocol_errors.fetch_add(1, kRelaxed);
+#if PBIO_OBS_ENABLED
+      obs::flight_record(obs::FlightKind::kProtocolError,
+                         static_cast<std::uint64_t>(ch_.fd()));
+#endif
       return Status(Errc::kMalformed, "unknown frame kind");
   }
 }
@@ -216,7 +329,19 @@ Conn::Verdict Conn::service(std::size_t frame_budget) {
           return Verdict::kClose;
         }
         ++used;
+#if PBIO_OBS_ENABLED
+        const std::uint64_t disp_t0 = obs::ticks();
+#endif
         Status st = dispatch(std::move(frame).take());
+#if PBIO_OBS_ENABLED
+        const std::uint64_t disp_ns =
+            obs::ticks_to_ns(obs::ticks() - disp_t0);
+        if (disp_ns > sh_.cfg.slow_frame_ns) {
+          sh_.slow_frames.fetch_add(1, kRelaxed);
+          obs::flight_record(obs::FlightKind::kSlowFrame,
+                             static_cast<std::uint64_t>(ch_.fd()), disp_ns);
+        }
+#endif
         if (!st.is_ok()) {
           fold_syscalls();
           return Verdict::kClose;
@@ -225,7 +350,14 @@ Conn::Verdict Conn::service(std::size_t frame_budget) {
           // Peer won't drain our responses: stop reading. The kernel
           // receive buffer fills and TCP backpressures the sender.
           read_paused_ = true;
+          ever_paused_ = true;
           sh_.pauses.fetch_add(1, kRelaxed);
+          sh_.paused.fetch_add(1, kRelaxed);
+#if PBIO_OBS_ENABLED
+          obs::flight_record(obs::FlightKind::kPause,
+                             static_cast<std::uint64_t>(ch_.fd()),
+                             sq_.queued_bytes());
+#endif
           break;
         }
       }
@@ -240,6 +372,12 @@ Conn::Verdict Conn::service(std::size_t frame_budget) {
         sq_.queued_bytes() <= sh_.cfg.conn_queue_resume_bytes) {
       read_paused_ = false;
       sh_.resumes.fetch_add(1, kRelaxed);
+      sh_.paused.fetch_sub(1, kRelaxed);
+#if PBIO_OBS_ENABLED
+      obs::flight_record(obs::FlightKind::kResume,
+                         static_cast<std::uint64_t>(ch_.fd()),
+                         sq_.queued_bytes());
+#endif
       if (used < frame_budget) continue;  // drain what piled up while paused
       more = true;
     }

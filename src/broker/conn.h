@@ -65,6 +65,16 @@ struct Config {
   Engine engine = Engine::kDcg;
   std::string stats_file;         // periodic obs::to_json dump (empty: off)
   unsigned stats_interval_ms = 1000;
+  /// HTTP scrape endpoint (/metrics, /healthz, /tracez) riding worker 0's
+  /// epoll: -1 = off, 0 = ephemeral port (Broker::scrape_port() reports
+  /// it), otherwise the fixed port to bind on 127.0.0.1.
+  int scrape_port = -1;
+  /// Arm the fault flight recorder with this post-mortem path (empty:
+  /// off). See obs/flight.h for what gets recorded and when it dumps.
+  std::string flight_file;
+  /// Dispatch time above which a frame counts as "slow" (flight event +
+  /// pbio.broker.slow_frames). Only measured in PBIO_OBS builds.
+  std::uint64_t slow_frame_ns = 10'000'000;
 };
 
 /// State shared by every connection across all workers. Counters are
@@ -84,6 +94,7 @@ struct Shared {
   std::atomic<std::size_t> connections{0};
   std::atomic<std::size_t> inflight{0};     // queued response frames
   std::atomic<std::size_t> queued_bytes{0};  // bytes across all send queues
+  std::atomic<std::size_t> paused{0};        // connections with reads paused
 
   // Monotonic counters (mirrored into obs as pbio.broker.*).
   std::atomic<std::uint64_t> accepted{0};
@@ -102,6 +113,7 @@ struct Shared {
   std::atomic<std::uint64_t> resumes{0};
   std::atomic<std::uint64_t> recv_syscalls{0};
   std::atomic<std::uint64_t> send_syscalls{0};
+  std::atomic<std::uint64_t> slow_frames{0};  // dispatch over slow_frame_ns
 };
 
 class Conn {
@@ -133,7 +145,9 @@ class Conn {
   Status dispatch(FrameBuf frame);
   Status on_data_frame(FrameBuf frame);
   Status decode_frame(const FrameBuf& frame);
-  Status enqueue(FrameBuf frame);
+  Status enqueue(FrameBuf frame, const obs::TraceCtx* trace = nullptr);
+  // Forward the pending trace sidecar ahead of the traced response frame.
+  Status forward_trace(FrameBuf response);
   // Flush the send queue; updates inflight/byte gauges. kWouldBlock is
   // success (blocked=true inside); hard errors mean the peer is gone.
   Status flush();
@@ -150,6 +164,15 @@ class Conn {
   ByteBuffer svc_reply_{256};
   std::vector<std::uint8_t> decode_out_;
   bool read_paused_ = false;
+  /// Flips on the first pause and never back: this connection's residency
+  /// samples land in the "slow" class histogram from then on.
+  bool ever_paused_ = false;
+
+  // Trace sidecar for the next data frame on this connection (see
+  // transport/tracewire.h). Parsed even in PBIO_OBS=OFF builds so an
+  // obs-on writer can traverse an obs-off broker; stamping is gated.
+  obs::TraceCtx pending_trace_;
+  std::uint64_t pending_trace_ns_ = 0;  // ingress wall clock
 
   // One-entry resolution cache (Reader's idiom, per connection).
   bool cache_valid_ = false;
@@ -158,6 +181,9 @@ class Conn {
   const fmt::FormatDesc* cached_wire_ = nullptr;
   const fmt::FormatDesc* cached_native_ = nullptr;
   std::shared_ptr<const Conversion> cached_conv_;
+  /// Per-format-pair decode latency histogram (registered cold when the
+  /// conversion is first cached): pbio.broker.decode_ns.<wire>-><native>.
+  obs::MetricId decode_hist_ = obs::kInvalidMetric;
 };
 
 }  // namespace pbio::broker

@@ -1,0 +1,65 @@
+// Minimal HTTP scrape endpoint riding the broker's worker-0 epoll.
+//
+// Three read-only paths:
+//   GET /metrics  -> Prometheus 0.0.4 text exposition of the obs registry
+//                    plus live broker gauges (connections, inflight, ...)
+//   GET /healthz  -> JSON admission state (gauges vs caps, shed counters)
+//   GET /tracez   -> recent sampled trace spans, oldest first
+//
+// This is deliberately not a web server: HTTP/1.0 semantics, one request
+// per connection, Connection: close, 8 KiB request cap, no keep-alive, no
+// chunking. Scrapers (Prometheus, curl) need nothing more, and the broker
+// spends no thread on it — ScrapeConns are edge-triggered fds on worker
+// 0's existing epoll, serviced between data frames.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace pbio::broker {
+
+class Broker;
+
+/// Render the /metrics body: the obs registry in Prometheus text format
+/// plus pbio_broker_* gauge lines (publishes broker counter deltas first
+/// so scrapes see fresh pbio.broker.* series without the stats thread).
+std::string render_metrics(Broker& b);
+
+/// Render the /healthz body: JSON admission state. "ok" flips false when
+/// a cap is saturated (connections or inflight at limit).
+std::string render_healthz(Broker& b);
+
+/// Render the /tracez body: the recent sampled-span ring, oldest first.
+std::string render_tracez();
+
+/// Request size cap — a scrape request is one short GET line.
+inline constexpr std::size_t kScrapeRequestCap = 8 * 1024;
+
+/// One scrape connection: read request -> build response -> write -> close.
+class ScrapeConn {
+ public:
+  /// Adopts `fd` (already non-blocking).
+  explicit ScrapeConn(int fd) : fd_(fd) {}
+  ~ScrapeConn();
+
+  ScrapeConn(const ScrapeConn&) = delete;
+  ScrapeConn& operator=(const ScrapeConn&) = delete;
+
+  int fd() const { return fd_; }
+
+  /// Drive the state machine on any epoll readiness. Returns false when
+  /// the connection is finished (response fully written, peer gone, or
+  /// the request was oversized) and should be destroyed.
+  bool service(Broker& b);
+
+ private:
+  void build_response(Broker& b);
+
+  int fd_;
+  bool responding_ = false;
+  std::string req_;
+  std::string out_;
+  std::size_t written_ = 0;
+};
+
+}  // namespace pbio::broker

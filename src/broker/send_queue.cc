@@ -1,5 +1,6 @@
 #include "broker/send_queue.h"
 
+#include "obs/span.h"
 #include "util/endian.h"
 
 namespace pbio::broker {
@@ -11,22 +12,34 @@ void SendQueue::grow() {
     Item& src = ring_[(head_ + i) & (ring_.size() - 1)];
     bigger[i].frame = std::move(src.frame);
     std::copy(std::begin(src.hdr), std::end(src.hdr), std::begin(bigger[i].hdr));
+    bigger[i].enq_ticks = src.enq_ticks;
+    bigger[i].trace = src.trace;
   }
   ring_ = std::move(bigger);
   head_ = 0;
 }
 
-void SendQueue::push(FrameBuf frame) {
+void SendQueue::push(FrameBuf frame, const obs::TraceCtx* trace) {
   if (count_ == ring_.size()) grow();
   Item& it = ring_[(head_ + count_) & (ring_.size() - 1)];
   store_uint(it.hdr, frame.size(), transport::kFrameHeaderLen,
              ByteOrder::kLittle);
   queued_bytes_ += transport::kFrameHeaderLen + frame.size();
   it.frame = std::move(frame);
+#if PBIO_OBS_ENABLED
+  it.enq_ticks = obs::ticks();
+  it.trace = trace != nullptr ? *trace : obs::TraceCtx{};
+#else
+  (void)trace;
+#endif
   ++count_;
 }
 
-Result<SendQueue::FlushResult> SendQueue::flush(transport::WireSink& sink) {
+Result<SendQueue::FlushResult> SendQueue::flush(transport::WireSink& sink,
+                                                obs::MetricId residency_hist) {
+#if !PBIO_OBS_ENABLED
+  (void)residency_hist;
+#endif
   FlushResult res;
   while (count_ > 0) {
     // Gather up to kFlushFrames frames, the head one adjusted for bytes
@@ -71,6 +84,23 @@ Result<SendQueue::FlushResult> SendQueue::flush(transport::WireSink& sink) {
         break;
       }
       w -= wire;
+#if PBIO_OBS_ENABLED
+      // Egress stamp: this frame is fully on the wire (kernel-accepted).
+      // Residency = enqueue to here — the time a response waited behind a
+      // slow peer or a deep queue.
+      const std::uint64_t now_ticks = obs::ticks();
+      const std::uint64_t res_ns = obs::ticks_to_ns(
+          now_ticks >= head.enq_ticks ? now_ticks - head.enq_ticks : 0);
+      if (residency_hist != obs::kInvalidMetric) {
+        obs::histogram_record(residency_hist, res_ns);
+      }
+      if (head.trace.valid()) {
+        const std::uint64_t end_ns = obs::epoch_ns();
+        obs::trace_emit_ctx("pbio.trace.queue", head.trace,
+                            end_ns - res_ns, end_ns);
+        head.trace = obs::TraceCtx{};
+      }
+#endif
       head.frame.reset();
       head_written_ = 0;
       head_ = (head_ + 1) & mask;

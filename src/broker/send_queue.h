@@ -19,6 +19,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/obs.h"
+#include "obs/tracectx.h"
 #include "transport/channel.h"
 #include "transport/framing.h"
 
@@ -33,7 +35,9 @@ class SendQueue {
 
   /// Append `frame` (taking ownership of the lease). The wire image is
   /// [len u32 LE][frame bytes], matching FrameStream on the peer side.
-  void push(FrameBuf frame);
+  /// A non-null `trace` marks the frame as belonging to a sampled message:
+  /// its queue-residency span is emitted when the frame fully drains.
+  void push(FrameBuf frame, const obs::TraceCtx* trace = nullptr);
 
   struct FlushResult {
     std::size_t bytes = 0;    // wire bytes written (headers + payloads)
@@ -44,7 +48,11 @@ class SendQueue {
   /// Write queued frames into `sink` until the queue empties or the sink
   /// would block. Hard sink errors are returned as-is (the connection is
   /// dead); kWouldBlock is folded into FlushResult::blocked.
-  Result<FlushResult> flush(transport::WireSink& sink);
+  /// `residency_hist` (when not kInvalidMetric) receives one enqueue-to-
+  /// egress nanosecond sample per fully written frame — the broker's
+  /// queue-residency series, classed by the owning connection.
+  Result<FlushResult> flush(transport::WireSink& sink,
+                            obs::MetricId residency_hist = obs::kInvalidMetric);
 
   std::size_t queued_bytes() const { return queued_bytes_; }
   std::size_t queued_frames() const { return count_; }
@@ -54,6 +62,8 @@ class SendQueue {
   struct Item {
     std::uint8_t hdr[transport::kFrameHeaderLen];
     FrameBuf frame;
+    std::uint64_t enq_ticks = 0;    // residency stamp (obs builds only)
+    obs::TraceCtx trace;            // valid for sampled-message frames
   };
 
   void grow();

@@ -1,0 +1,276 @@
+#include "obs/flight.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+
+#include "obs/obs.h"
+
+namespace pbio::obs {
+
+namespace {
+
+struct Ev {
+  std::uint64_t ns = 0;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint8_t kind = 0;
+};
+
+struct Ring {
+  std::atomic<std::uint64_t> idx{0};  // total events ever written
+  Ev ev[kFlightRingEvents];
+  std::uint32_t tid = 0;
+};
+
+constexpr std::size_t kMaxRings = 128;
+
+// Lock-free ring table: slots are claimed with a fetch_add and published
+// with a release store so a signal handler walking the table sees fully
+// constructed rings. Rings leak on thread exit by design — the crash we
+// are recording for may be that thread's teardown.
+std::atomic<Ring*> g_rings[kMaxRings];
+std::atomic<std::uint32_t> g_ring_count{0};
+
+std::atomic<bool> g_armed{false};
+char g_path[512] = {};
+std::mutex g_arm_mu;
+struct sigaction g_prev_segv, g_prev_abrt;
+
+std::atomic<std::uint64_t> g_sheds{0};
+std::atomic<std::uint64_t> g_last_burst_dump_ns{0};
+
+std::uint64_t wall_ns() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+Ring* ring() {
+  thread_local Ring* r = [] {
+    const std::uint32_t slot =
+        g_ring_count.fetch_add(1, std::memory_order_relaxed);
+    if (slot >= kMaxRings) return static_cast<Ring*>(nullptr);
+    Ring* fresh = new Ring;
+    fresh->tid = thread_tid();
+    g_rings[slot].store(fresh, std::memory_order_release);
+    return fresh;
+  }();
+  return r;
+}
+
+// --- async-signal-safe text emission ---------------------------------------
+
+void put_str(int fd, const char* s) {
+  std::size_t n = 0;
+  while (s[n] != 0) ++n;
+  ssize_t ignored = ::write(fd, s, n);
+  (void)ignored;
+}
+
+void put_u64(int fd, std::uint64_t v) {
+  char buf[24];
+  char* p = buf + sizeof buf;
+  do {
+    *--p = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  ssize_t ignored = ::write(fd, p, static_cast<std::size_t>(buf + sizeof buf - p));
+  (void)ignored;
+}
+
+std::size_t dump_to(int fd, const char* reason) {
+  put_str(fd, "pbio-flight v1 reason=");
+  put_str(fd, reason);
+  put_str(fd, " pid=");
+  put_u64(fd, static_cast<std::uint64_t>(::getpid()));
+  put_str(fd, " now=");
+  put_u64(fd, wall_ns());
+  put_str(fd, "\n");
+
+  std::size_t total = 0;
+  const std::uint32_t rings =
+      g_ring_count.load(std::memory_order_acquire);
+  for (std::uint32_t s = 0; s < rings && s < kMaxRings; ++s) {
+    Ring* r = g_rings[s].load(std::memory_order_acquire);
+    if (r == nullptr) continue;
+    const std::uint64_t idx = r->idx.load(std::memory_order_acquire);
+    const std::uint64_t n =
+        idx < kFlightRingEvents ? idx : kFlightRingEvents;
+    put_str(fd, "ring tid=");
+    put_u64(fd, r->tid);
+    put_str(fd, " count=");
+    put_u64(fd, n);
+    put_str(fd, "\n");
+    for (std::uint64_t i = idx - n; i < idx; ++i) {
+      const Ev& e = r->ev[i % kFlightRingEvents];
+      put_str(fd, "e ");
+      put_u64(fd, e.ns);
+      put_str(fd, " ");
+      put_str(fd, flight_kind_name(static_cast<FlightKind>(e.kind)));
+      put_str(fd, " ");
+      put_u64(fd, e.a);
+      put_str(fd, " ");
+      put_u64(fd, e.b);
+      put_str(fd, "\n");
+      ++total;
+    }
+  }
+  put_str(fd, "end events=");
+  put_u64(fd, total);
+  put_str(fd, "\n");
+  return total;
+}
+
+void on_fatal_signal(int sig) {
+  flight_dump(sig == SIGSEGV ? "SIGSEGV" : "SIGABRT");
+  // Restore the previous disposition and re-raise so the process still
+  // dies (or the previous handler — a sanitizer's reporter — still runs).
+  const struct sigaction& prev = sig == SIGSEGV ? g_prev_segv : g_prev_abrt;
+  ::sigaction(sig, &prev, nullptr);
+  ::raise(sig);
+}
+
+void on_usr2(int) { flight_dump("SIGUSR2"); }
+
+}  // namespace
+
+const char* flight_kind_name(FlightKind k) {
+  switch (k) {
+    case FlightKind::kAccept: return "accept";
+    case FlightKind::kClose: return "close";
+    case FlightKind::kShedConn: return "shed_conn";
+    case FlightKind::kShedInflight: return "shed_inflight";
+    case FlightKind::kDecodeError: return "decode_error";
+    case FlightKind::kProtocolError: return "protocol_error";
+    case FlightKind::kSlowFrame: return "slow_frame";
+    case FlightKind::kPause: return "pause";
+    case FlightKind::kResume: return "resume";
+    case FlightKind::kMark: return "mark";
+  }
+  return "unknown";
+}
+
+void flight_record(FlightKind k, std::uint64_t a, std::uint64_t b) {
+  Ring* r = ring();
+  if (r == nullptr) return;  // past kMaxRings threads: drop, never block
+  const std::uint64_t i = r->idx.load(std::memory_order_relaxed);
+  Ev& e = r->ev[i % kFlightRingEvents];
+  e.ns = wall_ns();
+  e.a = a;
+  e.b = b;
+  e.kind = static_cast<std::uint8_t>(k);
+  // Publish after the payload: a dump racing this write sees either the
+  // old event or the complete new one (single-writer ring).
+  r->idx.store(i + 1, std::memory_order_release);
+
+  if ((k == FlightKind::kShedConn || k == FlightKind::kShedInflight) &&
+      g_armed.load(std::memory_order_relaxed)) {
+    // Shed-burst auto-dump: every 32nd shed, at most one dump per 2s —
+    // the post-mortem survives even when nothing ever crashes.
+    const std::uint64_t sheds =
+        g_sheds.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (sheds % 32 == 0) {
+      const std::uint64_t now = wall_ns();
+      std::uint64_t last = g_last_burst_dump_ns.load(std::memory_order_relaxed);
+      if (now - last > 2'000'000'000ull &&
+          g_last_burst_dump_ns.compare_exchange_strong(
+              last, now, std::memory_order_relaxed)) {
+        flight_dump("shed-burst");
+      }
+    }
+  }
+}
+
+void flight_arm(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_arm_mu);
+  if (path.size() >= sizeof g_path) return;
+  std::memcpy(g_path, path.c_str(), path.size() + 1);
+  if (!g_armed.exchange(true, std::memory_order_release)) {
+    struct sigaction sa{};
+    sa.sa_handler = on_fatal_signal;
+    ::sigemptyset(&sa.sa_mask);
+    sa.sa_flags = SA_NODEFER;
+    ::sigaction(SIGSEGV, &sa, &g_prev_segv);
+    ::sigaction(SIGABRT, &sa, &g_prev_abrt);
+    struct sigaction su{};
+    su.sa_handler = on_usr2;
+    ::sigemptyset(&su.sa_mask);
+    ::sigaction(SIGUSR2, &su, nullptr);
+  }
+}
+
+bool flight_armed() { return g_armed.load(std::memory_order_acquire); }
+
+std::size_t flight_dump(const char* reason) {
+  if (!g_armed.load(std::memory_order_acquire)) return 0;
+  const int fd =
+      ::open(g_path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) return 0;
+  const std::size_t n = dump_to(fd, reason);
+  ::close(fd);
+  return n;
+}
+
+bool flight_parse(std::string_view text, std::vector<FlightEvent>* out) {
+  out->clear();
+  std::size_t pos = 0;
+  std::uint32_t cur_tid = 0;
+  bool saw_header = false;
+  bool saw_end = false;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+    if (line.starts_with("pbio-flight v1 ")) {
+      saw_header = true;
+      continue;
+    }
+    if (!saw_header) return false;
+    if (line.starts_with("ring tid=")) {
+      cur_tid = static_cast<std::uint32_t>(
+          std::strtoul(std::string(line.substr(9)).c_str(), nullptr, 10));
+      continue;
+    }
+    if (line.starts_with("end ")) {
+      saw_end = true;
+      continue;
+    }
+    if (!line.starts_with("e ")) return false;
+    // e <ns> <kind> <a> <b>
+    const std::string rest(line.substr(2));
+    char kind_buf[32] = {};
+    unsigned long long ns = 0, a = 0, b = 0;
+    if (std::sscanf(rest.c_str(), "%llu %31s %llu %llu", &ns, kind_buf, &a,
+                    &b) != 4) {
+      return false;
+    }
+    FlightEvent e;
+    e.ns = ns;
+    e.tid = cur_tid;
+    e.a = a;
+    e.b = b;
+    e.kind = FlightKind::kMark;
+    for (int k = 0; k <= static_cast<int>(FlightKind::kMark); ++k) {
+      if (std::strcmp(flight_kind_name(static_cast<FlightKind>(k)),
+                      kind_buf) == 0) {
+        e.kind = static_cast<FlightKind>(k);
+        break;
+      }
+    }
+    out->push_back(e);
+  }
+  return saw_header && saw_end;
+}
+
+}  // namespace pbio::obs

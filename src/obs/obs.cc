@@ -74,6 +74,7 @@ struct Registry {
   std::vector<ThreadSlab*> live;
   ThreadSlab retired;  // merged totals of exited threads
   std::uint32_t next_tid = 1;
+  std::unordered_map<std::uint32_t, std::string> thread_names;
 };
 
 // Intentionally leaked: thread_local slab destructors (including ones on
@@ -156,13 +157,35 @@ void histogram_record(MetricId id, std::uint64_t ns) {
 
 std::uint32_t thread_tid() { return slab().tid; }
 
+void set_thread_name(std::string_view name) {
+  const std::uint32_t tid = thread_tid();
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.thread_names[tid] = std::string(name);
+}
+
+std::string thread_name(std::uint32_t tid) {
+  Registry& r = reg();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.thread_names.find(tid);
+  return it == r.thread_names.end() ? std::string() : it->second;
+}
+
 std::uint64_t HistogramSample::percentile_ns(double p) const {
   if (count == 0) return 0;
   const double want = p * static_cast<double>(count);
   std::uint64_t seen = 0;
   for (std::uint32_t b = 0; b < kHistBuckets; ++b) {
+    if (buckets[b] == 0) continue;
+    const double before = static_cast<double>(seen);
     seen += buckets[b];
-    if (static_cast<double>(seen) >= want) return hist_bucket_upper(b);
+    if (static_cast<double>(seen) < want) continue;
+    if (b == 0) return 0;  // bucket 0 holds only the value 0
+    const std::uint64_t lo = std::uint64_t{1} << (b - 1);
+    const std::uint64_t hi = hist_bucket_upper(b);
+    const double frac = (want - before) / static_cast<double>(buckets[b]);
+    return lo + static_cast<std::uint64_t>(frac *
+                                           static_cast<double>(hi - lo));
   }
   return hist_bucket_upper(kHistBuckets - 1);
 }
@@ -240,12 +263,18 @@ namespace {
 
 void append_json_escaped(std::string& out, const std::string& s) {
   for (char c : s) {
+    const unsigned char u = static_cast<unsigned char>(c);
     if (c == '"' || c == '\\') {
       out += '\\';
       out += c;
-    } else if (static_cast<unsigned char>(c) < 0x20) {
+    } else if (u < 0x20 || u >= 0x7F) {
+      // Control bytes and anything past printable ASCII: metric names are
+      // arbitrary bytes (a hostile peer's format name flows into
+      // per-format metric names), and raw high bytes are not guaranteed
+      // to be valid UTF-8 — a strict JSON consumer would reject the whole
+      // snapshot. \u00XX round-trips byte-exactly through JsonCur::str.
       char buf[8];
-      std::snprintf(buf, sizeof buf, "\\u%04x", c);
+      std::snprintf(buf, sizeof buf, "\\u%04x", u);
       out += buf;
     } else {
       out += c;
@@ -346,10 +375,18 @@ struct JsonCur {
     ws();
     if (i >= s.size() || s[i] < '0' || s[i] > '9') return false;
     std::uint64_t v = 0;
+    bool overflow = false;
     while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
-      v = v * 10 + static_cast<std::uint64_t>(s[i++] - '0');
+      const std::uint64_t d = static_cast<std::uint64_t>(s[i++] - '0');
+      // Saturate instead of wrapping: a hand-edited or corrupt stats file
+      // must not turn a huge literal into a small counter value.
+      if (overflow || v > (~std::uint64_t{0} - d) / 10) {
+        overflow = true;
+        continue;
+      }
+      v = v * 10 + d;
     }
-    *out = v;
+    *out = overflow ? ~std::uint64_t{0} : v;
     return true;
   }
 };

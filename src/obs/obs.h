@@ -26,6 +26,10 @@ namespace pbio::obs {
 
 using MetricId = std::uint32_t;
 
+/// "No metric": callers with an optional histogram/counter hook pass this
+/// to mean "don't record" (recording APIs must never see it).
+inline constexpr MetricId kInvalidMetric = ~MetricId{0} - 1;
+
 inline constexpr std::uint32_t kMaxCounters = 256;
 inline constexpr std::uint32_t kMaxHistograms = 64;
 /// Bucket 0 holds the value 0; bucket i (i >= 1) holds values in
@@ -77,9 +81,12 @@ struct HistogramSample {
     return count == 0 ? 0.0
                       : static_cast<double>(sum_ns) / static_cast<double>(count);
   }
-  /// Upper bound of the bucket where the cumulative count crosses p
-  /// (0 < p <= 1). An over-estimate by at most 2x — enough for the
-  /// order-of-magnitude questions this layer answers.
+  /// Percentile estimate (0 < p <= 1): linear interpolation within the
+  /// power-of-2 bucket where the cumulative count crosses p, assuming the
+  /// samples inside a bucket are uniformly spread over its [2^(b-1), 2^b)
+  /// range. Exact for bucket boundaries; bounded by the bucket's own
+  /// bounds otherwise (the old upper-bound report could read up to 2x
+  /// high for a p99 sitting at the bottom of its bucket).
   std::uint64_t percentile_ns(double p) const;
 };
 
@@ -112,6 +119,14 @@ bool snapshot_from_json(std::string_view json, Snapshot* out);
 /// Small dense id (1, 2, ...) for the calling thread — used as the trace
 /// "tid" and stable for the thread's lifetime.
 std::uint32_t thread_tid();
+
+/// Name the calling thread for trace exports (the Perfetto thread_name
+/// metadata event). Cold path; idempotent, last call wins. Names survive
+/// the thread itself so an end-of-process trace flush can still label it.
+void set_thread_name(std::string_view name);
+
+/// Name recorded for dense thread id `tid`, empty if never named.
+std::string thread_name(std::uint32_t tid);
 
 // --- timing -----------------------------------------------------------------
 

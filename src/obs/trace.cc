@@ -1,12 +1,16 @@
 #include "obs/trace.h"
 
+#include <unistd.h>
+
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <mutex>
+#include <set>
 #include <vector>
 
 #include "obs/obs.h"
+#include "obs/tracectx.h"
 
 namespace pbio::obs {
 
@@ -15,9 +19,11 @@ namespace {
 struct TraceEvent {
   const char* name;
   std::uint32_t tid;
-  std::uint64_t start_ticks;
-  std::uint64_t end_ticks;
-  std::uint64_t arg;
+  std::uint64_t start;  // ticks, or epoch ns when abs
+  std::uint64_t end;
+  std::uint64_t arg;       // byte/element count for span events
+  std::uint64_t trace_id;  // nonzero for cross-process (abs) events
+  bool abs;
 };
 
 struct TraceSink {
@@ -25,6 +31,10 @@ struct TraceSink {
   std::vector<TraceEvent> events;
   std::string path;
   bool running = false;
+  // Tick<->wall anchor captured at trace_start so tick-based span events
+  // and absolute (epoch ns) wire events land on one timeline.
+  std::uint64_t anchor_ticks = 0;
+  std::uint64_t anchor_ns = 0;
 };
 
 std::atomic<bool> g_trace_on{false};
@@ -49,6 +59,20 @@ struct TraceEnvInit {
   }
 } g_trace_env_init;
 
+std::string process_name() {
+  std::string name = "pbio";
+  if (std::FILE* f = std::fopen("/proc/self/comm", "r"); f != nullptr) {
+    char buf[64] = {};
+    if (std::fgets(buf, sizeof buf, f) != nullptr) {
+      std::string s(buf);
+      while (!s.empty() && (s.back() == '\n' || s.back() == '\r')) s.pop_back();
+      if (!s.empty()) name = s;
+    }
+    std::fclose(f);
+  }
+  return name;
+}
+
 }  // namespace
 
 bool trace_enabled() { return g_trace_on.load(std::memory_order_relaxed); }
@@ -62,6 +86,8 @@ bool trace_start(const std::string& path) {
   s.events.reserve(4096);
   s.running = true;
   calibrate();
+  s.anchor_ticks = ticks();
+  s.anchor_ns = epoch_ns();
   g_trace_on.store(true, std::memory_order_relaxed);
   return true;
 }
@@ -72,7 +98,16 @@ void trace_emit(const char* name, std::uint64_t start_ticks,
   const std::uint32_t tid = thread_tid();
   std::lock_guard<std::mutex> lock(s.mu);
   if (!s.running) return;
-  s.events.push_back({name, tid, start_ticks, end_ticks, arg});
+  s.events.push_back({name, tid, start_ticks, end_ticks, arg, 0, false});
+}
+
+void trace_emit_abs(const char* name, std::uint64_t start_ns,
+                    std::uint64_t end_ns, std::uint64_t trace_id) {
+  TraceSink& s = sink();
+  const std::uint32_t tid = thread_tid();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.running) return;
+  s.events.push_back({name, tid, start_ns, end_ns, 0, trace_id, true});
 }
 
 std::size_t trace_stop() {
@@ -89,24 +124,74 @@ std::size_t trace_stop() {
     s.events.clear();
     return 0;
   }
-  std::uint64_t t0 = ~std::uint64_t{0};
-  for (const TraceEvent& e : s.events) {
-    if (e.start_ticks < t0) t0 = e.start_ticks;
-  }
+
+  // Every event is rendered at an absolute wall-clock microsecond offset
+  // from the most recent UTC midnight: absolute, so traces from different
+  // processes line up when loaded together; day-relative, so the value
+  // stays ~8.6e10 µs max and a JSON double (53-bit mantissa) still
+  // resolves sub-microsecond differences. Tick-based span events convert
+  // through the anchor captured at trace_start.
+  constexpr std::uint64_t kDayNs = 86'400ull * 1'000'000'000ull;
+  const std::uint64_t base_ns = (s.anchor_ns / kDayNs) * kDayNs;
+  const auto event_start_ns = [&](const TraceEvent& e) {
+    if (e.abs) return e.start;
+    return e.start >= s.anchor_ticks
+               ? s.anchor_ns + ticks_to_ns(e.start - s.anchor_ticks)
+               : s.anchor_ns - ticks_to_ns(s.anchor_ticks - e.start);
+  };
+
+  const long pid_l = static_cast<long>(::getpid());
   std::fprintf(f, "{\"traceEvents\": [\n");
+
+  // Metadata first: process name, then a thread_name entry per tid seen
+  // (named threads like broker workers keep their name; anonymous ones get
+  // a stable "pbio-t<N>" label). Perfetto uses these to label the tracks
+  // of a multi-process broker trace.
+  const std::string proc = process_name();
+  std::set<std::uint32_t> tids;
+  for (const TraceEvent& e : s.events) tids.insert(e.tid);
+  std::fprintf(f,
+               "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": %ld, "
+               "\"args\": {\"name\": \"%s\"}}%s\n",
+               pid_l, proc.c_str(), s.events.empty() && tids.empty() ? "" : ",");
+  std::size_t meta_left = tids.size();
+  for (std::uint32_t tid : tids) {
+    --meta_left;
+    std::string tname = thread_name(tid);
+    if (tname.empty()) tname = "pbio-t" + std::to_string(tid);
+    std::fprintf(f,
+                 "  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": %ld, "
+                 "\"tid\": %u, \"args\": {\"name\": \"%s\"}}%s\n",
+                 pid_l, tid, tname.c_str(),
+                 meta_left == 0 && s.events.empty() ? "" : ",");
+  }
+
   for (std::size_t i = 0; i < s.events.size(); ++i) {
     const TraceEvent& e = s.events[i];
-    const double ts_us =
-        static_cast<double>(ticks_to_ns(e.start_ticks - t0)) / 1e3;
-    const double dur_us =
-        static_cast<double>(ticks_to_ns(e.end_ticks - e.start_ticks)) / 1e3;
-    std::fprintf(f,
-                 "  {\"name\": \"%s\", \"cat\": \"pbio\", \"ph\": \"X\", "
-                 "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u, "
-                 "\"args\": {\"arg\": %llu}}%s\n",
-                 e.name, ts_us, dur_us, e.tid,
-                 static_cast<unsigned long long>(e.arg),
-                 i + 1 == s.events.size() ? "" : ",");
+    const std::uint64_t start_ns = event_start_ns(e);
+    const std::uint64_t dur_ns =
+        e.abs ? e.end - e.start : ticks_to_ns(e.end - e.start);
+    const double ts_us = static_cast<double>(start_ns - base_ns) / 1e3;
+    const double dur_us = static_cast<double>(dur_ns) / 1e3;
+    if (e.trace_id != 0) {
+      // Trace ids are emitted as hex strings: 64-bit values do not survive
+      // JSON's double-precision numbers.
+      std::fprintf(f,
+                   "  {\"name\": \"%s\", \"cat\": \"pbio\", \"ph\": \"X\", "
+                   "\"ts\": %.3f, \"dur\": %.3f, \"pid\": %ld, \"tid\": %u, "
+                   "\"args\": {\"trace\": \"%016llx\"}}%s\n",
+                   e.name, ts_us, dur_us, pid_l, e.tid,
+                   static_cast<unsigned long long>(e.trace_id),
+                   i + 1 == s.events.size() ? "" : ",");
+    } else {
+      std::fprintf(f,
+                   "  {\"name\": \"%s\", \"cat\": \"pbio\", \"ph\": \"X\", "
+                   "\"ts\": %.3f, \"dur\": %.3f, \"pid\": %ld, \"tid\": %u, "
+                   "\"args\": {\"arg\": %llu}}%s\n",
+                   e.name, ts_us, dur_us, pid_l, e.tid,
+                   static_cast<unsigned long long>(e.arg),
+                   i + 1 == s.events.size() ? "" : ",");
+    }
   }
   std::fprintf(f, "]}\n");
   std::fclose(f);

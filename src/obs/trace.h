@@ -23,13 +23,21 @@ bool trace_enabled();
 bool trace_start(const std::string& path);
 
 /// Flush buffered events to the file given at trace_start() and disable
-/// tracing. No-op when tracing is off. Returns the number of events
-/// written.
+/// tracing. No-op when tracing is off. Returns the number of span events
+/// written (process/thread-name metadata events are not counted).
 std::size_t trace_stop();
 
 /// Record one complete span. `name` must outlive the trace (string
 /// literals; span sites guarantee this). Tick values come from obs::ticks().
 void trace_emit(const char* name, std::uint64_t start_ticks,
                 std::uint64_t end_ticks, std::uint64_t arg);
+
+/// Record one complete span with CLOCK_REALTIME nanosecond endpoints and a
+/// trace id (rendered as a hex-string arg so 64-bit ids survive JSON's
+/// double numbers) — the cross-process form trace_emit_ctx() feeds.
+/// Wall-clock timestamps are what let two processes' exports line up on a
+/// shared Perfetto timeline.
+void trace_emit_abs(const char* name, std::uint64_t start_ns,
+                    std::uint64_t end_ns, std::uint64_t trace_id);
 
 }  // namespace pbio::obs

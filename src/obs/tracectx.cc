@@ -1,0 +1,139 @@
+#include "obs/tracectx.h"
+
+#include <time.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#include "obs/obs.h"
+#include "obs/trace.h"
+
+namespace pbio::obs {
+
+namespace {
+
+std::atomic<std::uint32_t> g_sample_pm{0};
+
+// PBIO_TRACE_SAMPLE=<per-mille> arms sampling before main, the same
+// pattern as PBIO_TRACE: benches and the broker daemon opt in from the
+// environment without code changes.
+struct SampleEnvInit {
+  SampleEnvInit() {
+    if (const char* p = std::getenv("PBIO_TRACE_SAMPLE");
+        p != nullptr && *p != 0) {
+      set_trace_sampling(static_cast<std::uint32_t>(std::strtoul(p, nullptr, 10)));
+    }
+  }
+} g_sample_env_init;
+
+struct RecentRing {
+  std::mutex mu;
+  std::vector<TraceRecord> rows;
+  std::size_t next = 0;  // write cursor once full
+  static constexpr std::size_t kCap = 512;
+};
+
+// Leaked for the same reason as the trace sink: span emission may happen
+// during static destruction of other TUs.
+RecentRing& ring() {
+  static RecentRing* r = new RecentRing;
+  return *r;
+}
+
+}  // namespace
+
+void set_trace_sampling(std::uint32_t per_mille) {
+  g_sample_pm.store(per_mille > 1000 ? 1000 : per_mille,
+                    std::memory_order_relaxed);
+}
+
+std::uint32_t trace_sampling() {
+  return g_sample_pm.load(std::memory_order_relaxed);
+}
+
+bool trace_sample() {
+  const std::uint32_t pm = g_sample_pm.load(std::memory_order_relaxed);
+  if (pm == 0) return false;
+  if (pm >= 1000) return true;
+  thread_local std::uint32_t acc = 0;
+  acc += pm;
+  if (acc >= 1000) {
+    acc -= 1000;
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t epoch_ns() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<std::uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<std::uint64_t>(ts.tv_nsec);
+}
+
+std::uint64_t new_trace_id() {
+  // splitmix64 per thread, seeded once from the thread id and the clock:
+  // ids are unique within a process run and collide across processes with
+  // birthday probability only — fine for trace grouping.
+  thread_local std::uint64_t state =
+      (static_cast<std::uint64_t>(thread_tid()) << 48) ^ epoch_ns();
+  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  return z != 0 ? z : 1;
+}
+
+TraceCtx make_trace_ctx() {
+  TraceCtx c;
+  c.trace_id = new_trace_id();
+  c.span_id = new_trace_id();
+  c.origin_ns = epoch_ns();
+  return c;
+}
+
+void trace_emit_ctx(const char* name, const TraceCtx& ctx,
+                    std::uint64_t start_ns, std::uint64_t end_ns) {
+  if (!ctx.valid()) return;
+  if (end_ns < start_ns) end_ns = start_ns;
+  {
+    RecentRing& r = ring();
+    std::lock_guard<std::mutex> lock(r.mu);
+    TraceRecord row{ctx.trace_id, ctx.span_id, start_ns, end_ns - start_ns,
+                    name};
+    if (r.rows.size() < RecentRing::kCap) {
+      r.rows.push_back(row);
+    } else {
+      r.rows[r.next] = row;
+      r.next = (r.next + 1) % RecentRing::kCap;
+    }
+  }
+  if (trace_enabled()) {
+    trace_emit_abs(name, start_ns, end_ns, ctx.trace_id);
+  }
+}
+
+std::vector<TraceRecord> recent_traces(std::size_t max) {
+  RecentRing& r = ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<TraceRecord> out;
+  const std::size_t n = r.rows.size();
+  const std::size_t take = max < n ? max : n;
+  out.reserve(take);
+  // rows is a ring once full: oldest element sits at `next`.
+  const std::size_t start = (r.next + (n - take)) % (n == 0 ? 1 : n);
+  for (std::size_t i = 0; i < take; ++i) {
+    out.push_back(r.rows[(start + i) % n]);
+  }
+  return out;
+}
+
+void clear_recent_traces() {
+  RecentRing& r = ring();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.rows.clear();
+  r.next = 0;
+}
+
+}  // namespace pbio::obs

@@ -32,6 +32,23 @@ Status Message::decode_into(void* out, std::size_t size, Engine engine) {
   if (!has_native() || conv_ == nullptr) {
     return Status(Errc::kUnknownFormat, "no native format expected");
   }
+#if PBIO_OBS_ENABLED
+  // Sampled messages stamp their decode as the final hop of the wire
+  // trace; the unsampled majority pays one branch on an invalid ctx.
+  const bool traced = trace_ctx_.valid();
+  const std::uint64_t trace_t0 = traced ? obs::epoch_ns() : 0;
+  struct DecodeStamp {
+    const Message* m;
+    bool traced;
+    std::uint64_t t0;
+    ~DecodeStamp() {
+      if (traced) {
+        obs::trace_emit_ctx("pbio.trace.decode", m->trace_ctx_, t0,
+                            obs::epoch_ns());
+      }
+    }
+  } stamp{this, traced, trace_t0};
+#endif
   if (zero_copy()) {
     // Identity layouts: a single block copy of the fixed part suffices; in
     // fact callers should prefer view<T>() and skip even this copy.

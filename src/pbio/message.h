@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "obs/span.h"
+#include "obs/tracectx.h"
 #include "pbio/context.h"
 #include "util/pool.h"
 #include "value/value.h"
@@ -160,6 +161,11 @@ class Message {
   /// under the wire format (the reflection feature of §4.4).
   Result<value::Record> reflect() const;
 
+  /// Trace context from the sampled sidecar that preceded this message
+  /// (invalid for the unsampled majority). Decode paths stamp their span
+  /// onto it, completing the Writer -> broker -> Reader causal trace.
+  const obs::TraceCtx& trace() const { return trace_ctx_; }
+
  private:
   friend class Reader;
 
@@ -171,6 +177,7 @@ class Message {
   const fmt::FormatDesc* wire_ = nullptr;    // owned by the context registry
   const fmt::FormatDesc* native_ = nullptr;  // owned by the context registry
   Context::FormatId wire_id_ = 0;
+  obs::TraceCtx trace_ctx_;                  // valid only for sampled messages
   std::shared_ptr<const Conversion> conv_;
   Arena arena_;                              // empty until a decode needs it
   std::vector<std::uint8_t> decoded_;        // lazy view<T>() storage

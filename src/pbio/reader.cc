@@ -3,6 +3,7 @@
 #include "fmt/meta.h"
 #include "obs/span.h"
 #include "pbio/encode.h"
+#include "transport/tracewire.h"
 
 namespace pbio {
 
@@ -35,6 +36,21 @@ Result<bool> Reader::consume_frame(FrameBuf frame, Message* m) {
     cache_valid_ = false;
     conv_cached_ = false;
     cached_conv_.reset();
+    return false;
+  }
+
+  if (kind == transport::kFrameTrace) {
+    // Sidecar for the next data frame. Parsed unconditionally (an obs-on
+    // peer may sample regardless of this build's configuration); a
+    // malformed sidecar is a protocol error like any other bad frame.
+    obs::TraceCtx ctx;
+    if (!transport::decode_trace_frame(frame.view(), &ctx)) {
+      return Status(Errc::kMalformed, "bad trace sidecar frame");
+    }
+#if PBIO_OBS_ENABLED
+    pending_trace_ = ctx;
+    pending_trace_ns_ = obs::epoch_ns();
+#endif
     return false;
   }
 
@@ -101,6 +117,16 @@ Result<bool> Reader::consume_frame(FrameBuf frame, Message* m) {
   m->wire_id_ = wire_id;
   m->native_ = cached_native_;
   m->conv_ = cached_conv_;
+#if PBIO_OBS_ENABLED
+  if (pending_trace_.valid()) {
+    // The receive span: sidecar arrival to data-frame delivery. The ctx
+    // rides on the Message so decode_into can stamp the decode span too.
+    m->trace_ctx_ = pending_trace_;
+    obs::trace_emit_ctx("pbio.trace.recv", pending_trace_, pending_trace_ns_,
+                        obs::epoch_ns());
+    pending_trace_ = obs::TraceCtx{};
+  }
+#endif
   return true;
 }
 

@@ -15,6 +15,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/tracectx.h"
 #include "pbio/context.h"
 #include "pbio/message.h"
 #include "transport/channel.h"
@@ -66,6 +67,12 @@ class Reader {
   FormatResolver resolver_;
   std::size_t formats_learned_ = 0;
   Status pending_ = Status::ok();  // deferred mid-batch error
+
+  // Trace sidecar consumed but not yet attached: it describes the next
+  // data frame on the channel (always consumed, even with PBIO_OBS=OFF —
+  // the peer may be an obs-on build; only the stamping compiles out).
+  obs::TraceCtx pending_trace_;
+  std::uint64_t pending_trace_ns_ = 0;  // sidecar arrival wall clock
 
   // One-entry resolution cache: wire id -> (wire desc, native desc,
   // conversion). Invalidated by expect() and by format announcements.

@@ -2,6 +2,8 @@
 
 #include "fmt/meta.h"
 #include "obs/span.h"
+#include "obs/tracectx.h"
+#include "transport/tracewire.h"
 
 namespace pbio {
 
@@ -34,17 +36,50 @@ Status Writer::send_payload(Context::FormatId fmt_id,
   store_uint(header + kDataHeaderIdOffset, fmt_id, 8, ByteOrder::kLittle);
   const std::span<const std::uint8_t> data_segs[] = {
       {header, kDataHeaderSize}, image};
+
+#if PBIO_OBS_ENABLED
+  // Sampled messages grow a trace sidecar frame that leaves in the same
+  // gathered call as the data frame (one writev either way): the broker
+  // and Reader stamp their hops onto the ids it carries. Sampling off
+  // (the default) costs one relaxed load here.
+  obs::TraceCtx tctx;
+  std::uint8_t tframe[transport::kTraceFrameLen];
+  const bool traced = obs::trace_sample();
+  if (traced) {
+    tctx = obs::make_trace_ctx();
+    transport::encode_trace_frame(tframe, tctx);
+  }
+#else
+  constexpr bool traced = false;
+#endif
+
   Status st;
-  if (announce_in_band_ && !announced_.contains(fmt_id)) {
-    // First message of a format: the announcement and the data frame leave
-    // in one gathered call — on sockets that is a single writev, so the
-    // format's meta-information costs no extra kernel crossing.
-    st = build_announce(fmt_id, announce_buf_);
-    if (!st.is_ok()) return st;
-    const std::span<const std::uint8_t> fmt_segs[] = {announce_buf_.view()};
-    const transport::FrameSegments frames[] = {{fmt_segs}, {data_segs}};
-    st = channel_.send_frames(frames);
-    if (st.is_ok()) announced_.insert(fmt_id);
+  const bool announce_now = announce_in_band_ && !announced_.contains(fmt_id);
+  if (announce_now || traced) {
+    // Multi-frame send: [announce]? [trace sidecar]? [data] in one
+    // gathered call — on sockets a single writev, so neither the format's
+    // meta-information nor the sidecar costs an extra kernel crossing.
+    std::span<const std::uint8_t> fmt_segs[1];
+    std::span<const std::uint8_t> trace_segs[1];
+    transport::FrameSegments frames[3];
+    std::size_t n = 0;
+    if (announce_now) {
+      st = build_announce(fmt_id, announce_buf_);
+      if (!st.is_ok()) return st;
+      fmt_segs[0] = announce_buf_.view();
+      frames[n++] = {fmt_segs};
+    }
+#if PBIO_OBS_ENABLED
+    if (traced) {
+      trace_segs[0] = {tframe, transport::kTraceFrameLen};
+      frames[n++] = {trace_segs};
+    }
+#else
+    (void)trace_segs;
+#endif
+    frames[n++] = {data_segs};
+    st = channel_.send_frames({frames, n});
+    if (st.is_ok() && announce_now) announced_.insert(fmt_id);
   } else {
     st = channel_.send_gather(data_segs);
   }
@@ -52,6 +87,14 @@ Status Writer::send_payload(Context::FormatId fmt_id,
     ++records_written_;
     OBS_COUNT("pbio.encode.records", 1);
     OBS_COUNT("pbio.encode.data_bytes", kDataHeaderSize + image.size());
+#if PBIO_OBS_ENABLED
+    if (traced) {
+      // The encode span: origin (context creation, before the send) to
+      // now (payload handed to the kernel).
+      obs::trace_emit_ctx("pbio.trace.encode", tctx, tctx.origin_ns,
+                          obs::epoch_ns());
+    }
+#endif
   }
   return st;
 }

@@ -280,7 +280,7 @@ Result<FrameBuf> SocketChannel::recv_buf_legacy() {
   return msg;
 }
 
-SocketListener::SocketListener(int backlog) : fd_(-1) {
+SocketListener::SocketListener(int backlog, std::uint16_t port) : fd_(-1) {
   fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (fd_ < 0) throw PbioError("socket() failed");
   const int one = 1;
@@ -288,7 +288,7 @@ SocketListener::SocketListener(int backlog) : fd_(-1) {
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = 0;
+  addr.sin_port = htons(port);
   if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
     ::close(fd_);
     throw PbioError("bind() failed");

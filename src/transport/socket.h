@@ -88,13 +88,13 @@ class SocketChannel final : public Channel, public WireSink {
   std::vector<iovec> iov_scratch_;
 };
 
-/// Listening endpoint bound to 127.0.0.1 on an OS-chosen port. `backlog`
-/// bounds the kernel accept queue — the first line of admission control
-/// for a server (SYN floods past it are dropped, not buffered without
-/// bound).
+/// Listening endpoint bound to 127.0.0.1 on an OS-chosen port (`port` 0)
+/// or a fixed one. `backlog` bounds the kernel accept queue — the first
+/// line of admission control for a server (SYN floods past it are
+/// dropped, not buffered without bound).
 class SocketListener {
  public:
-  explicit SocketListener(int backlog = 8);
+  explicit SocketListener(int backlog = 8, std::uint16_t port = 0);
   ~SocketListener();
 
   SocketListener(const SocketListener&) = delete;

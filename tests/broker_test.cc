@@ -239,7 +239,16 @@ TEST(Broker, ShedsAcceptsOverConnectionCap) {
   auto echo = a.value()->recv();
   ASSERT_TRUE(echo.is_ok());
   EXPECT_EQ(echo.value(), f);
+
+  // The shed is visible on the telemetry plane too: publishing mirrors it
+  // into the obs registry as the series /metrics serves.
+  b.publish_obs();
+  const auto snap = obs::snapshot();
+  const auto* shed_ctr = snap.find_counter("pbio.broker.shed_connections");
+  ASSERT_NE(shed_ctr, nullptr);
+  EXPECT_GE(shed_ctr->value, 1u);
   b.stop();
+  obs::reset();  // later tests pin exact global counter values
 }
 
 TEST(Broker, ShedsConnectionOverInflightFrameCap) {
@@ -289,7 +298,14 @@ TEST(Broker, ShedsConnectionOverInflightFrameCap) {
   // Shedding released the queued responses' admission slots.
   EXPECT_EQ(b.stats().inflight, 0u);
   EXPECT_EQ(b.stats().queued_bytes, 0u);
+
+  b.publish_obs();
+  const auto snap = obs::snapshot();
+  const auto* shed_ctr = snap.find_counter("pbio.broker.shed_inflight");
+  ASSERT_NE(shed_ctr, nullptr);
+  EXPECT_GE(shed_ctr->value, 1u);
   b.stop();
+  obs::reset();  // later tests pin exact global counter values
 }
 
 TEST(Broker, SlowClientPausesReadingThenResumes) {
@@ -317,6 +333,9 @@ TEST(Broker, SlowClientPausesReadingThenResumes) {
   });
   ASSERT_TRUE(eventually([&] { return b.stats().pauses >= 1; }))
       << "send-queue cap never paused the connection";
+  // While the client refuses to read, the paused gauge shows the stuck
+  // connection — the /healthz "paused_connections" signal.
+  ASSERT_TRUE(eventually([&] { return b.stats().paused >= 1; }));
 
   // Now drain: every frame must still arrive intact and in order, and the
   // broker must resume reading once the queue falls below the watermark.
@@ -327,10 +346,20 @@ TEST(Broker, SlowClientPausesReadingThenResumes) {
   }
   writer.join();
   EXPECT_GE(b.stats().resumes, 1u);
+  ASSERT_TRUE(eventually([&] { return b.stats().paused == 0; }));
   EXPECT_EQ(b.stats().shed_connections, 0u);
   EXPECT_EQ(b.stats().shed_inflight, 0u);
   EXPECT_EQ(b.stats().protocol_errors, 0u);
   b.stop();
+#if PBIO_OBS_ENABLED
+  // Frames flushed after the first pause file their queue residency under
+  // the slow-client series, keeping well-behaved clients' latency clean.
+  const auto snap = obs::snapshot();
+  const auto* slow = snap.find_histogram("pbio.broker.residency_ns.slow");
+  ASSERT_NE(slow, nullptr);
+  EXPECT_GT(slow->count, 0u);
+#endif
+  obs::reset();
 }
 
 TEST(Broker, AbruptDisconnectReleasesAllPoolLeases) {

@@ -99,6 +99,37 @@ TEST(ObsHistogram, RecordCountSumAndPercentiles) {
   EXPECT_EQ(h->percentile_ns(1.0), hist_bucket_upper(11));
 }
 
+TEST(ObsHistogram, PercentileInterpolatesWithinBucket) {
+  // Exact reference: 1024 samples spread uniformly over [1024, 2048) all
+  // land in bucket 11. The sorted sample at rank ceil(p*n) is 1024+rank-1,
+  // so every percentile is computable exactly — interpolation must track
+  // it closely, where the old upper-bound report pinned everything at
+  // 2047.
+  reset();
+  const MetricId id = histogram("test.obs.interp");
+  for (std::uint64_t v = 1024; v < 2048; ++v) histogram_record(id, v);
+  const Snapshot snap = snapshot();
+  const HistogramSample* h = snap.find_histogram("test.obs.interp");
+  ASSERT_NE(h, nullptr);
+  ASSERT_EQ(h->count, 1024u);
+  for (double p : {0.10, 0.25, 0.50, 0.90, 0.99, 0.999}) {
+    const std::uint64_t exact =
+        1024 + static_cast<std::uint64_t>(p * 1024.0) - 1;
+    const std::uint64_t est = h->percentile_ns(p);
+    EXPECT_NEAR(static_cast<double>(est), static_cast<double>(exact), 2.0)
+        << "p=" << p;
+    // Within the bucket's own bounds, and no longer the flat upper bound
+    // for mid-bucket percentiles.
+    EXPECT_GE(est, 1024u);
+    EXPECT_LE(est, 2047u);
+    if (p <= 0.9) {
+      EXPECT_LT(est, 2047u);
+    }
+  }
+  // Boundary behavior is unchanged: p=1.0 is the bucket upper bound.
+  EXPECT_EQ(h->percentile_ns(1.0), hist_bucket_upper(11));
+}
+
 TEST(ObsSnapshot, SortedByNameAndDeterministic) {
   reset();
   counter_add(counter("test.obs.zz"), 1);
@@ -209,6 +240,45 @@ TEST(ObsJson, SnapshotRoundTripsThroughFromJson) {
   EXPECT_EQ(back.histograms[0].buckets, h.buckets);
   // Round-tripping the reconstruction is a fixed point.
   EXPECT_EQ(to_json(back), json);
+}
+
+TEST(ObsJson, HostileMetricNamesRoundTrip) {
+  // Control characters, DEL, and high-bit bytes in metric names must come
+  // out as strict-JSON \uXXXX escapes and still round-trip (a hostile
+  // format name reaches the registry via pbio.broker.decode_ns.<name>).
+  Snapshot snap;
+  snap.counters.push_back({std::string("ctl\x01\x1f\x7f"), 1});
+  snap.counters.push_back({std::string("hi\xc3\xa9gh"), 2});  // UTF-8 é
+  snap.counters.push_back({std::string("nul\0byte", 8), 3});
+  const std::string json = to_json(snap);
+  // Raw control bytes never appear in the output (the newlines are
+  // to_json's own pretty-printing, not name bytes).
+  for (char c : json) {
+    if (c == '\n') continue;
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\u007f"), std::string::npos);
+  EXPECT_NE(json.find("\\u0000"), std::string::npos);
+  Snapshot back;
+  ASSERT_TRUE(snapshot_from_json(json, &back));
+  ASSERT_EQ(back.counters.size(), snap.counters.size());
+  for (std::size_t i = 0; i < snap.counters.size(); ++i) {
+    EXPECT_EQ(back.counters[i].name, snap.counters[i].name);
+    EXPECT_EQ(back.counters[i].value, snap.counters[i].value);
+  }
+  EXPECT_EQ(to_json(back), json);
+}
+
+TEST(ObsJson, FromJsonSaturatesOversizedValues) {
+  // A hand-edited or corrupt dump with a value past uint64 must not wrap
+  // silently; the parser saturates and keeps the snapshot usable.
+  Snapshot out;
+  ASSERT_TRUE(snapshot_from_json(
+      R"({"counters": {"big": 99999999999999999999999}, "histograms": {}})",
+      &out));
+  ASSERT_EQ(out.counters.size(), 1u);
+  EXPECT_EQ(out.counters[0].value, ~std::uint64_t{0});
 }
 
 TEST(ObsJson, FromJsonRejectsMalformedInput) {

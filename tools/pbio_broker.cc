@@ -7,8 +7,16 @@
 //
 //   pbio_broker [--workers N] [--mode echo|ack|sink] [--stats FILE]
 //               [--interval MS] [--max-conns N] [--max-inflight N]
+//               [--scrape-port P] [--flight FILE]
+//
+// --scrape-port P serves GET /metrics (Prometheus), /healthz (JSON
+// admission state) and /tracez (recent sampled spans) on 127.0.0.1:P
+// (0 = OS-chosen, printed on stdout). --flight FILE arms the fault
+// flight recorder: SIGSEGV/SIGABRT/SIGUSR2 (and shed bursts) dump the
+// recent-event rings to FILE; read it back with `pbio_dump --flight`.
 #include <csignal>
 #include <cstdio>
+#include <unistd.h>
 #include <cstdlib>
 #include <cstring>
 
@@ -49,11 +57,15 @@ int main(int argc, char** argv) {
       cfg.max_connections = static_cast<std::size_t>(int_arg(8192));
     } else if (std::strcmp(argv[i], "--max-inflight") == 0) {
       cfg.max_inflight_frames = static_cast<std::size_t>(int_arg(65536));
+    } else if (std::strcmp(argv[i], "--scrape-port") == 0) {
+      cfg.scrape_port = static_cast<int>(int_arg(0));
+    } else if (std::strcmp(argv[i], "--flight") == 0 && i + 1 < argc) {
+      cfg.flight_file = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: pbio_broker [--workers N] [--mode echo|ack|sink] "
                    "[--stats FILE] [--interval MS] [--max-conns N] "
-                   "[--max-inflight N]\n");
+                   "[--max-inflight N] [--scrape-port P] [--flight FILE]\n");
       return 2;
     }
   }
@@ -71,6 +83,14 @@ int main(int argc, char** argv) {
   if (!cfg.stats_file.empty()) {
     std::printf("stats: pbio_stat --watch 2 --from %s\n",
                 cfg.stats_file.c_str());
+  }
+  if (broker.scrape_port() != 0) {
+    std::printf("scrape: curl http://127.0.0.1:%u/metrics\n",
+                broker.scrape_port());
+  }
+  if (!cfg.flight_file.empty()) {
+    std::printf("flight: kill -USR2 %d && pbio_dump --flight %s\n",
+                static_cast<int>(::getpid()), cfg.flight_file.c_str());
   }
   std::fflush(stdout);
 

@@ -2,8 +2,12 @@
 // knowledge: every record prints through the reflection API.
 //
 //   pbio_dump <frame-log> [--formats] [--max N] [--disasm FORMAT]
+//   pbio_dump --flight <dump-file>
 //     --formats  also print each format description as it is announced
 //     --max N    stop after N records
+//     --flight   read a fault flight-recorder dump (obs::flight_dump, the
+//                file a crashed/SIGUSR2'd broker wrote) instead of a frame
+//                log: events merge-sorted by time, one line each
 //     --disasm FORMAT
 //                after reading the log, compile the conversion from wire
 //                format FORMAT to this host's native layout and print the
@@ -18,7 +22,11 @@
 #include <cstring>
 #include <string>
 
+#include <algorithm>
+#include <vector>
+
 #include "arch/layout.h"
+#include "obs/flight.h"
 #include "pbio/pbio.h"
 #include "verify/tval/decode.h"
 #include "verify/tval/tval.h"
@@ -122,8 +130,41 @@ int disassemble(const pbio::fmt::FormatDesc& wire) {
 
 int usage() {
   std::fprintf(stderr, "usage: pbio_dump <frame-log> [--formats] [--max N] "
-                       "[--disasm FORMAT]\n");
+                       "[--disasm FORMAT] | pbio_dump --flight <dump-file>\n");
   return 2;
+}
+
+/// Render a flight-recorder dump as a single time-sorted event listing.
+int dump_flight(const char* path) {
+  std::FILE* f = std::fopen(path, "r");
+  if (f == nullptr) {
+    std::fprintf(stderr, "pbio_dump: cannot open %s\n", path);
+    return 1;
+  }
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+
+  std::vector<pbio::obs::FlightEvent> events;
+  if (!pbio::obs::flight_parse(text, &events)) {
+    std::fprintf(stderr, "pbio_dump: %s is not a flight dump\n", path);
+    return 1;
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const pbio::obs::FlightEvent& a,
+                      const pbio::obs::FlightEvent& b) { return a.ns < b.ns; });
+  const std::uint64_t t0 = events.empty() ? 0 : events.front().ns;
+  for (const auto& e : events) {
+    std::printf("+%12.6fms tid=%u %-14s a=%llu b=%llu\n",
+                static_cast<double>(e.ns - t0) / 1e6, e.tid,
+                pbio::obs::flight_kind_name(e.kind),
+                static_cast<unsigned long long>(e.a),
+                static_cast<unsigned long long>(e.b));
+  }
+  std::printf("-- %zu events\n", events.size());
+  return 0;
 }
 
 }  // namespace
@@ -132,9 +173,12 @@ int main(int argc, char** argv) {
   const char* path = nullptr;
   const char* disasm_format = nullptr;
   bool show_formats = false;
+  bool flight = false;
   long max_records = -1;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--formats") == 0) {
+    if (std::strcmp(argv[i], "--flight") == 0) {
+      flight = true;
+    } else if (std::strcmp(argv[i], "--formats") == 0) {
       show_formats = true;
     } else if (std::strcmp(argv[i], "--max") == 0 && i + 1 < argc) {
       max_records = std::strtol(argv[++i], nullptr, 10);
@@ -148,6 +192,9 @@ int main(int argc, char** argv) {
   }
   if (path == nullptr) {
     return usage();
+  }
+  if (flight) {
+    return dump_flight(path);
   }
 
   auto ch = pbio::transport::FileReadChannel::open(path);

@@ -13,8 +13,10 @@
 // from a second terminal, refreshing every 2 seconds with derived
 // pbio.broker.* gauges (live connections, per-interval message rate).
 //
-//   pbio_stat [--json] [--messages N] [--from FILE] [--watch SEC]
+//   pbio_stat [--json] [--prom] [--messages N] [--from FILE] [--watch SEC]
 //     --json        print the JSON snapshot instead of the human tables
+//     --prom        print the Prometheus text exposition (what a broker's
+//                   /metrics endpoint serves) instead of the human tables
 //     --messages N  messages per (size, direction) cell (default 64)
 //     --from FILE   render FILE (an obs::to_json dump) instead of running
 //                   the canned workload
@@ -31,6 +33,7 @@
 #include "bench_support/harness.h"
 #include "bench_support/workload.h"
 #include "obs/obs.h"
+#include "obs/prom.h"
 #include "pbio/pbio.h"
 #include "transport/loopback.h"
 
@@ -125,7 +128,8 @@ void render(const obs::Snapshot& snap, const obs::Snapshot* prev,
   render_broker(snap, prev, interval_s);
 }
 
-int run_from_file(const std::string& path, bool json, int watch_sec) {
+int run_from_file(const std::string& path, bool json, bool prom,
+                  int watch_sec) {
   obs::Snapshot prev;
   bool have_prev = false;
   while (true) {
@@ -152,6 +156,8 @@ int run_from_file(const std::string& path, bool json, int watch_sec) {
     }
     if (json) {
       std::printf("%s\n", obs::to_json(snap).c_str());
+    } else if (prom) {
+      std::printf("%s", obs::to_prometheus(snap).c_str());
     } else {
       if (watch_sec > 0) std::printf("\x1b[2J\x1b[H");  // clear, home
       std::printf("%s (refresh %ds, ctrl-c to stop)\n", path.c_str(),
@@ -167,7 +173,7 @@ int run_from_file(const std::string& path, bool json, int watch_sec) {
   }
 }
 
-int run(bool json, int messages) {
+int run(bool json, bool prom, int messages) {
   // Canned workload: every size, a heterogeneous direction (x86 wire into
   // x86-64 native: swaps-free but size-changing conversion) and a
   // homogeneous one (identity, the zero-copy path).
@@ -181,6 +187,10 @@ int run(bool json, int messages) {
     std::printf("%s\n", obs::to_json(snap).c_str());
     return 0;
   }
+  if (prom) {
+    std::printf("%s", obs::to_prometheus(snap).c_str());
+    return 0;
+  }
 
 #if !PBIO_OBS_ENABLED
   std::printf("note: built with PBIO_OBS=OFF — span histograms and hot-path "
@@ -189,7 +199,7 @@ int run(bool json, int messages) {
 #endif
   render(snap, nullptr, 0.0);
   std::printf(
-      "\np50/p99 are power-of-2 bucket upper bounds. Set PBIO_TRACE=out.json "
+      "\np50/p99 interpolate within power-of-2 buckets. Set PBIO_TRACE=out.json "
       "to record\na chrome://tracing / Perfetto trace of this workload.\n");
   return 0;
 }
@@ -199,12 +209,15 @@ int run(bool json, int messages) {
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool prom = false;
   int messages = 64;
   int watch_sec = 0;
   std::string from;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
+    } else if (std::strcmp(argv[i], "--prom") == 0) {
+      prom = true;
     } else if (std::strcmp(argv[i], "--messages") == 0 && i + 1 < argc) {
       messages = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
       if (messages <= 0) messages = 1;
@@ -215,8 +228,8 @@ int main(int argc, char** argv) {
       if (watch_sec <= 0) watch_sec = 1;
     } else {
       std::fprintf(stderr,
-                   "usage: pbio_stat [--json] [--messages N] [--from FILE] "
-                   "[--watch SEC]\n");
+                   "usage: pbio_stat [--json] [--prom] [--messages N] "
+                   "[--from FILE] [--watch SEC]\n");
       return 2;
     }
   }
@@ -225,6 +238,6 @@ int main(int argc, char** argv) {
                          "stats_file dump)\n");
     return 2;
   }
-  if (!from.empty()) return pbio::run_from_file(from, json, watch_sec);
-  return pbio::run(json, messages);
+  if (!from.empty()) return pbio::run_from_file(from, json, prom, watch_sec);
+  return pbio::run(json, prom, messages);
 }
