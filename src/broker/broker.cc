@@ -9,17 +9,20 @@
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
-#include <mutex>
 #include <unordered_map>
 
 #include "broker/http.h"
 #include "obs/flight.h"
 #include "obs/obs.h"
+#include "util/affinity.h"
 #include "util/error.h"
 
 namespace pbio::broker {
 
 namespace {
+// mo: every kRelaxed site below is an independent gauge or monotonic
+// counter (admission hints and observability); none publishes data other
+// threads then dereference — the epoll loop and inbox_mu_ carry ordering.
 constexpr auto kRelaxed = std::memory_order_relaxed;
 /// Frames one service() call may consume — the fairness quantum keeping a
 /// firehose connection from starving its worker's other connections.
@@ -29,6 +32,9 @@ constexpr int kEpollWaitMs = 50;
 
 /// One event loop: an epoll fd, an eventfd for cross-thread wakeups, a
 /// private BufferPool arena, and the connections hashed onto this worker.
+/// Everything below is single-threaded on the worker's own thread except
+/// hand_off/wake, which other threads call to push work in.
+// thread-domain: worker
 class Worker {
  public:
   Worker(Broker& owner, std::size_t index)
@@ -70,22 +76,30 @@ class Worker {
   }
 
   /// Hand a freshly accepted fd to this worker from another thread.
+  // thread-domain: any
   void hand_off(int fd) {
     {
-      std::lock_guard<std::mutex> lk(inbox_mu_);
+      MutexLock lk(inbox_mu_);
       inbox_.push_back(fd);
     }
     wake();
   }
 
+  // thread-domain: any
   void wake() {
     const std::uint64_t one = 1;
     [[maybe_unused]] ssize_t n = ::write(wake_, &one, sizeof(one));
   }
 
   void run() {
+    // The whole-loop affinity contract: the arena and epoll state belong
+    // to this thread from here to loop exit. Unbound again before
+    // returning so stop()'s cross-thread teardown (Conn dtors releasing
+    // leases back into this pool) stays legal.
+    pool_.bind_owner();
+    loop_owner_.bind();
     std::vector<epoll_event> events(256);
-    while (!owner_.stopping_.load(std::memory_order_acquire)) {
+    while (!owner_.stopping_.load(std::memory_order_acquire)) {  // mo: pairs with stop()'s release store; loop exit must see all pre-stop writes
       const int timeout = ready_.empty() ? kEpollWaitMs : 0;
       const int n = ::epoll_wait(ep_, events.data(),
                                  static_cast<int>(events.size()), timeout);
@@ -109,6 +123,8 @@ class Worker {
       }
       run_ready();
     }
+    loop_owner_.unbind();
+    pool_.unbind_owner();
   }
 
  private:
@@ -118,7 +134,7 @@ class Worker {
     }
     std::vector<int> fds;
     {
-      std::lock_guard<std::mutex> lk(inbox_mu_);
+      MutexLock lk(inbox_mu_);
       fds.swap(inbox_);
     }
     for (int fd : fds) add_conn(fd);
@@ -200,6 +216,7 @@ class Worker {
   }
 
   void service_conn(int fd) {
+    loop_owner_.assert_held("Worker epoll state");
     auto it = conns_.find(fd);
     if (it == conns_.end()) return;
     switch (it->second->service(kFrameBudget)) {
@@ -230,11 +247,15 @@ class Worker {
   int wake_ = -1;
   int listen_fd_ = -1;
   int scrape_fd_ = -1;
+  // Single-threaded worker state: owned by the loop thread while run() is
+  // live (loop_owner_ asserts that in PBIO_AFFINITY_CHECK builds), and by
+  // whoever start()/stop() is on either side of it.
   std::unordered_map<int, std::unique_ptr<Conn>> conns_;
   std::unordered_map<int, std::unique_ptr<ScrapeConn>> scrape_conns_;
   std::vector<int> ready_;
-  std::mutex inbox_mu_;
-  std::vector<int> inbox_;
+  ThreadOwner loop_owner_;
+  Mutex inbox_mu_;
+  std::vector<int> inbox_ PBIO_GUARDED_BY(inbox_mu_);
 };
 
 Broker::Broker(Context& ctx, Config cfg)
@@ -248,7 +269,7 @@ void Broker::expect(const std::string& name, Context::FormatId native_id) {
 }
 
 Status Broker::start() {
-  if (running_.load(std::memory_order_acquire)) return Status::ok();
+  if (running_.load(std::memory_order_acquire)) return Status::ok();  // mo: pairs with the release stores in start()/stop()
   Status st = listener_.set_nonblocking(true);
   if (!st.is_ok()) return st;
 
@@ -278,14 +299,14 @@ Status Broker::start() {
     workers_[0]->adopt_scrape_listener(scrape_listener_->fd());
   }
 
-  stopping_.store(false, std::memory_order_release);
+  stopping_.store(false, std::memory_order_release);  // mo: reset before the workers that read it exist; release is free insurance
   threads_.reserve(n);
   for (unsigned i = 0; i < n; ++i) {
     threads_.emplace_back([w = workers_[i].get()] { w->run(); });
   }
   if (!sh_.cfg.stats_file.empty()) {
     stats_thread_ = std::thread([this] {
-      while (!stopping_.load(std::memory_order_acquire)) {
+      while (!stopping_.load(std::memory_order_acquire)) {  // mo: pairs with stop()'s release store
         publish_obs();
         dump_stats_file();
         std::this_thread::sleep_for(
@@ -295,19 +316,19 @@ Status Broker::start() {
       dump_stats_file();
     });
   }
-  running_.store(true, std::memory_order_release);
+  running_.store(true, std::memory_order_release);  // mo: publishes the fully built worker/thread state to running() readers
   return Status::ok();
 }
 
 void Broker::stop() {
-  if (!running_.load(std::memory_order_acquire)) return;
-  stopping_.store(true, std::memory_order_release);
+  if (!running_.load(std::memory_order_acquire)) return;  // mo: pairs with start()'s release
+  stopping_.store(true, std::memory_order_release);  // mo: workers' acquire loads must see every pre-stop write before exiting
   for (auto& w : workers_) w->wake();
   for (auto& t : threads_) t.join();
   threads_.clear();
   if (stats_thread_.joinable()) stats_thread_.join();
   workers_.clear();  // destroys every Conn, closing client sockets
-  running_.store(false, std::memory_order_release);
+  running_.store(false, std::memory_order_release);  // mo: joined-thread state published to a later start()/running() reader
 }
 
 BrokerStats Broker::stats() const {
@@ -353,7 +374,7 @@ void Broker::publish_obs() {
   // pairs (connections = accepts - closes - sheds, and so on), which keeps
   // the obs contract — counters only ever go up. Serialized because both
   // the stats thread and /metrics scrapes land here.
-  std::lock_guard<std::mutex> lk(publish_mu_);
+  MutexLock lk(publish_mu_);
   const BrokerStats now = stats();
   const auto pub = [](const char* name, std::uint64_t cur,
                       std::uint64_t& last) {

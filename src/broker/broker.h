@@ -28,11 +28,11 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "broker/conn.h"
+#include "util/mutex.h"
 
 namespace pbio::broker {
 
@@ -63,6 +63,7 @@ struct BrokerStats {
   std::uint64_t slow_frames = 0;
 };
 
+// thread-domain: any
 class Broker {
  public:
   explicit Broker(Context& ctx, Config cfg = {});
@@ -91,7 +92,9 @@ class Broker {
     return scrape_listener_ ? scrape_listener_->port() : 0;
   }
   const Config& config() const { return sh_.cfg; }
-  bool running() const { return running_.load(std::memory_order_acquire); }
+  bool running() const {
+    return running_.load(std::memory_order_acquire);  // mo: pairs with start()'s release store so a true reader sees the spawned workers
+  }
 
   BrokerStats stats() const;
 
@@ -119,8 +122,9 @@ class Broker {
   std::thread stats_thread_;
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
-  std::mutex publish_mu_;    // stats thread and /metrics scrapes both publish
-  BrokerStats published_{};  // last obs-published values (under publish_mu_)
+  Mutex publish_mu_;  // stats thread and /metrics scrapes both publish
+  /// Last obs-published values — the delta baseline.
+  BrokerStats published_ PBIO_GUARDED_BY(publish_mu_){};
 };
 
 }  // namespace pbio::broker

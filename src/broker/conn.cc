@@ -11,6 +11,9 @@
 namespace pbio::broker {
 
 namespace {
+// mo: every kRelaxed site below is an independent admission gauge or
+// monotonic observability counter; no thread dereferences data published
+// through them — ordering comes from the per-worker event loop itself.
 constexpr auto kRelaxed = std::memory_order_relaxed;
 
 #if PBIO_OBS_ENABLED
@@ -29,6 +32,10 @@ obs::MetricId residency_hist(bool ever_paused) {
 
 Conn::Conn(int fd, Shared& sh, BufferPool& pool)
     : pool_(pool), ch_(fd, pool, sh.cfg.stream_chunk_bytes), sh_(sh) {
+  // Conns are born on their worker thread (add_conn); pin the contract.
+  // The dtor deliberately does not assert: stop() tears down from the
+  // main thread after the worker loop has exited.
+  owner_.bind();
   sh_.connections.fetch_add(1, kRelaxed);
 #if PBIO_OBS_ENABLED
   obs::flight_record(obs::FlightKind::kAccept,
@@ -313,6 +320,7 @@ Status Conn::dispatch(FrameBuf frame) {
 }
 
 Conn::Verdict Conn::service(std::size_t frame_budget) {
+  owner_.assert_held("Conn::service");
   std::size_t used = 0;
   bool more = false;
   while (true) {

@@ -27,6 +27,7 @@
 #include "pbio/context.h"
 #include "pbio/format_service.h"
 #include "transport/socket.h"
+#include "util/affinity.h"
 #include "util/buffer.h"
 
 namespace pbio::broker {
@@ -80,6 +81,7 @@ struct Config {
 /// State shared by every connection across all workers. Counters are
 /// relaxed atomics — workers never synchronize through them; they exist for
 /// admission decisions (connections, inflight) and observability.
+// thread-domain: any
 struct Shared {
   Shared(Context& c, Config cf) : ctx(c), cfg(std::move(cf)), svc(c) {}
 
@@ -116,6 +118,11 @@ struct Shared {
   std::atomic<std::uint64_t> slow_frames{0};  // dispatch over slow_frame_ns
 };
 
+/// A Conn lives its whole life on the worker thread its fd hashed to:
+/// constructed there (add_conn), serviced there, destroyed there — except
+/// for Broker::stop() teardown, which happens after the worker loop has
+/// exited and unbound its arena.
+// thread-domain: worker
 class Conn {
  public:
   /// Adopts `fd` (already non-blocking). `pool` is the owning worker's
@@ -156,6 +163,7 @@ class Conn {
   BufferPool& pool() { return pool_; }
 
   BufferPool& pool_;
+  ThreadOwner owner_;
   transport::SocketChannel ch_;
   Shared& sh_;
   std::uint64_t folded_recv_ = 0;

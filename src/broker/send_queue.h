@@ -26,6 +26,9 @@
 
 namespace pbio::broker {
 
+/// Owned by one Conn, hence by that Conn's worker thread — no locks, no
+/// atomics; cross-thread use is a bug the affinity checker hunts.
+// thread-domain: worker
 class SendQueue {
  public:
   /// Frames per gathered writev (two iovecs each: header + payload).

@@ -69,15 +69,17 @@ Isa detected_isa() {
   return t;
 }
 
-Isa active_isa() { return active_slot().load(std::memory_order_relaxed); }
+Isa active_isa() {
+  return active_slot().load(std::memory_order_relaxed);  // mo: lone enum word; bench/test override, no data published through it
+}
 
 void force_isa(Isa isa) {
   if (isa > detected_isa()) isa = detected_isa();
-  active_slot().store(isa, std::memory_order_relaxed);
+  active_slot().store(isa, std::memory_order_relaxed);  // mo: see active_isa
 }
 
 void reset_isa() {
-  active_slot().store(detected_isa(), std::memory_order_relaxed);
+  active_slot().store(detected_isa(), std::memory_order_relaxed);  // mo: see active_isa
 }
 
 KernelFn scalar_swap_kernel(unsigned width) {

@@ -5,7 +5,7 @@ namespace pbio::fmt {
 FormatId FormatRegistry::register_format(FormatDesc f) {
   f.validate();
   const FormatId id = f.fingerprint();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = formats_.find(id);
   if (it != formats_.end()) {
     if (*it->second != f) {
@@ -19,13 +19,13 @@ FormatId FormatRegistry::register_format(FormatDesc f) {
 }
 
 const FormatDesc* FormatRegistry::find(FormatId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = formats_.find(id);
   return it == formats_.end() ? nullptr : it->second.get();
 }
 
 const FormatDesc* FormatRegistry::find_by_name(std::string_view name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = by_name_.find(std::string(name));
   if (it == by_name_.end()) return nullptr;
   auto fit = formats_.find(it->second);
@@ -33,12 +33,12 @@ const FormatDesc* FormatRegistry::find_by_name(std::string_view name) const {
 }
 
 std::size_t FormatRegistry::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return formats_.size();
 }
 
 std::vector<FormatId> FormatRegistry::ids() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<FormatId> out;
   out.reserve(formats_.size());
   for (const auto& [id, _] : formats_) out.push_back(id);

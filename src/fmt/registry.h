@@ -8,11 +8,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "fmt/format.h"
+#include "util/mutex.h"
 
 namespace pbio::fmt {
 
@@ -42,9 +42,12 @@ class FormatRegistry {
   std::vector<FormatId> ids() const;
 
  private:
-  mutable std::mutex mu_;
-  std::unordered_map<FormatId, std::unique_ptr<FormatDesc>> formats_;
-  std::unordered_map<std::string, FormatId> by_name_;
+  mutable Mutex mu_;
+  // unique_ptr values are guarded but the FormatDescs they point at are
+  // immutable after insert — find() hands out raw pointers by design.
+  std::unordered_map<FormatId, std::unique_ptr<FormatDesc>> formats_
+      PBIO_GUARDED_BY(mu_);
+  std::unordered_map<std::string, FormatId> by_name_ PBIO_GUARDED_BY(mu_);
 };
 
 }  // namespace pbio::fmt

@@ -9,19 +9,30 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
 
 #include "obs/obs.h"
+#include "util/mutex.h"
 
 namespace pbio::obs {
 
 namespace {
 
+// mo: every kRelaxed site below is a ring-slot payload field access; the
+// idx release/acquire pair publishes complete events, and the slot a
+// wrapped writer overwrites under a racing dump needs atomicity only (Ev).
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+// Fields are relaxed atomics, not plain scalars: once the ring wraps, the
+// single writer overwrites the oldest slot in place while a concurrent
+// dump (signal handler or live snapshot) may be reading it. The dump
+// tolerates stale-vs-new values per field — the idx release/acquire pair
+// bounds which slots are complete — but the racing access itself must be
+// atomic to be defined behaviour (and tsan-clean).
 struct Ev {
-  std::uint64_t ns = 0;
-  std::uint64_t a = 0;
-  std::uint64_t b = 0;
-  std::uint8_t kind = 0;
+  std::atomic<std::uint64_t> ns{0};
+  std::atomic<std::uint64_t> a{0};
+  std::atomic<std::uint64_t> b{0};
+  std::atomic<std::uint8_t> kind{0};
 };
 
 struct Ring {
@@ -40,9 +51,13 @@ std::atomic<Ring*> g_rings[kMaxRings];
 std::atomic<std::uint32_t> g_ring_count{0};
 
 std::atomic<bool> g_armed{false};
+// Deliberately unguarded: read lock-free from signal context by
+// flight_dump. Writes happen only in flight_arm under g_arm_mu, and the
+// g_armed release-exchange publishes the bytes before any handler can run.
 char g_path[512] = {};
-std::mutex g_arm_mu;
-struct sigaction g_prev_segv, g_prev_abrt;
+Mutex g_arm_mu;
+struct sigaction g_prev_segv PBIO_GUARDED_BY(g_arm_mu);
+struct sigaction g_prev_abrt PBIO_GUARDED_BY(g_arm_mu);
 
 std::atomic<std::uint64_t> g_sheds{0};
 std::atomic<std::uint64_t> g_last_burst_dump_ns{0};
@@ -57,17 +72,22 @@ std::uint64_t wall_ns() {
 Ring* ring() {
   thread_local Ring* r = [] {
     const std::uint32_t slot =
-        g_ring_count.fetch_add(1, std::memory_order_relaxed);
+        g_ring_count.fetch_add(1, std::memory_order_relaxed);  // mo: slot claim; only uniqueness matters, publication is the release store below
     if (slot >= kMaxRings) return static_cast<Ring*>(nullptr);
     Ring* fresh = new Ring;
     fresh->tid = thread_tid();
-    g_rings[slot].store(fresh, std::memory_order_release);
+    g_rings[slot].store(fresh, std::memory_order_release);  // mo: publishes the constructed Ring to the dump walker's acquire load
     return fresh;
   }();
   return r;
 }
 
 // --- async-signal-safe text emission ---------------------------------------
+//
+// Everything between the signal-safe markers may run inside a SIGSEGV /
+// SIGABRT handler; wire_lint rule R7 restricts calls here to the
+// async-signal-safe allowlist (write(2), raw syscalls, local helpers).
+// wire-lint: signal-safe-begin
 
 void put_str(int fd, const char* s) {
   std::size_t n = 0;
@@ -98,11 +118,11 @@ std::size_t dump_to(int fd, const char* reason) {
 
   std::size_t total = 0;
   const std::uint32_t rings =
-      g_ring_count.load(std::memory_order_acquire);
+      g_ring_count.load(std::memory_order_acquire);  // mo: pairs with the claim fetch_add + release publish; bounds the slot walk
   for (std::uint32_t s = 0; s < rings && s < kMaxRings; ++s) {
-    Ring* r = g_rings[s].load(std::memory_order_acquire);
+    Ring* r = g_rings[s].load(std::memory_order_acquire);  // mo: pairs with ring()'s release store; nullptr means the claimer has not published yet
     if (r == nullptr) continue;
-    const std::uint64_t idx = r->idx.load(std::memory_order_acquire);
+    const std::uint64_t idx = r->idx.load(std::memory_order_acquire);  // mo: pairs with flight_record's release publish; events below idx are complete
     const std::uint64_t n =
         idx < kFlightRingEvents ? idx : kFlightRingEvents;
     put_str(fd, "ring tid=");
@@ -113,13 +133,13 @@ std::size_t dump_to(int fd, const char* reason) {
     for (std::uint64_t i = idx - n; i < idx; ++i) {
       const Ev& e = r->ev[i % kFlightRingEvents];
       put_str(fd, "e ");
-      put_u64(fd, e.ns);
+      put_u64(fd, e.ns.load(kRelaxed));
       put_str(fd, " ");
-      put_str(fd, flight_kind_name(static_cast<FlightKind>(e.kind)));
+      put_str(fd, flight_kind_name(static_cast<FlightKind>(e.kind.load(kRelaxed))));
       put_str(fd, " ");
-      put_u64(fd, e.a);
+      put_u64(fd, e.a.load(kRelaxed));
       put_str(fd, " ");
-      put_u64(fd, e.b);
+      put_u64(fd, e.b.load(kRelaxed));
       put_str(fd, "\n");
       ++total;
     }
@@ -130,7 +150,10 @@ std::size_t dump_to(int fd, const char* reason) {
   return total;
 }
 
-void on_fatal_signal(int sig) {
+// Reads g_prev_* without g_arm_mu: a handler only runs after flight_arm
+// installed it, and the install wrote g_prev_* first (program order on the
+// arming thread; the kernel's handler registration is the barrier).
+void on_fatal_signal(int sig) PBIO_NO_THREAD_SAFETY_ANALYSIS {
   flight_dump(sig == SIGSEGV ? "SIGSEGV" : "SIGABRT");
   // Restore the previous disposition and re-raise so the process still
   // dies (or the previous handler — a sanitizer's reporter — still runs).
@@ -140,6 +163,8 @@ void on_fatal_signal(int sig) {
 }
 
 void on_usr2(int) { flight_dump("SIGUSR2"); }
+
+// wire-lint: signal-safe-end
 
 }  // namespace
 
@@ -162,28 +187,28 @@ const char* flight_kind_name(FlightKind k) {
 void flight_record(FlightKind k, std::uint64_t a, std::uint64_t b) {
   Ring* r = ring();
   if (r == nullptr) return;  // past kMaxRings threads: drop, never block
-  const std::uint64_t i = r->idx.load(std::memory_order_relaxed);
+  const std::uint64_t i = r->idx.load(std::memory_order_relaxed);  // mo: single-writer ring; only this thread ever stores idx
   Ev& e = r->ev[i % kFlightRingEvents];
-  e.ns = wall_ns();
-  e.a = a;
-  e.b = b;
-  e.kind = static_cast<std::uint8_t>(k);
+  e.ns.store(wall_ns(), kRelaxed);
+  e.a.store(a, kRelaxed);
+  e.b.store(b, kRelaxed);
+  e.kind.store(static_cast<std::uint8_t>(k), kRelaxed);
   // Publish after the payload: a dump racing this write sees either the
   // old event or the complete new one (single-writer ring).
-  r->idx.store(i + 1, std::memory_order_release);
+  r->idx.store(i + 1, std::memory_order_release);  // mo: publishes the event payload to a concurrent dump's acquire load
 
   if ((k == FlightKind::kShedConn || k == FlightKind::kShedInflight) &&
-      g_armed.load(std::memory_order_relaxed)) {
+      g_armed.load(std::memory_order_relaxed)) {  // mo: hot-path hint; flight_dump re-checks with acquire
     // Shed-burst auto-dump: every 32nd shed, at most one dump per 2s —
     // the post-mortem survives even when nothing ever crashes.
     const std::uint64_t sheds =
-        g_sheds.fetch_add(1, std::memory_order_relaxed) + 1;
+        g_sheds.fetch_add(1, std::memory_order_relaxed) + 1;  // mo: statistic; only the modulus of the count matters
     if (sheds % 32 == 0) {
       const std::uint64_t now = wall_ns();
-      std::uint64_t last = g_last_burst_dump_ns.load(std::memory_order_relaxed);
+      std::uint64_t last = g_last_burst_dump_ns.load(std::memory_order_relaxed);  // mo: rate-limit timestamp; a stale read only delays a dump
       if (now - last > 2'000'000'000ull &&
           g_last_burst_dump_ns.compare_exchange_strong(
-              last, now, std::memory_order_relaxed)) {
+              last, now, std::memory_order_relaxed)) {  // mo: CAS elects one dumper; losers skip, no data is published through this word
         flight_dump("shed-burst");
       }
     }
@@ -191,10 +216,10 @@ void flight_record(FlightKind k, std::uint64_t a, std::uint64_t b) {
 }
 
 void flight_arm(const std::string& path) {
-  std::lock_guard<std::mutex> lock(g_arm_mu);
+  MutexLock lock(g_arm_mu);
   if (path.size() >= sizeof g_path) return;
   std::memcpy(g_path, path.c_str(), path.size() + 1);
-  if (!g_armed.exchange(true, std::memory_order_release)) {
+  if (!g_armed.exchange(true, std::memory_order_release)) {  // mo: publishes g_path bytes before any reader sees armed=true
     struct sigaction sa{};
     sa.sa_handler = on_fatal_signal;
     ::sigemptyset(&sa.sa_mask);
@@ -208,10 +233,13 @@ void flight_arm(const std::string& path) {
   }
 }
 
-bool flight_armed() { return g_armed.load(std::memory_order_acquire); }
+bool flight_armed() {
+  return g_armed.load(std::memory_order_acquire);  // mo: pairs with flight_arm's release exchange
+}
 
+// wire-lint: signal-safe-begin
 std::size_t flight_dump(const char* reason) {
-  if (!g_armed.load(std::memory_order_acquire)) return 0;
+  if (!g_armed.load(std::memory_order_acquire)) return 0;  // mo: pairs with flight_arm's release exchange so g_path is fully written
   const int fd =
       ::open(g_path, O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
   if (fd < 0) return 0;
@@ -219,6 +247,7 @@ std::size_t flight_dump(const char* reason) {
   ::close(fd);
   return n;
 }
+// wire-lint: signal-safe-end
 
 bool flight_parse(std::string_view text, std::vector<FlightEvent>* out) {
   out->clear();

@@ -42,17 +42,21 @@ const char* flight_kind_name(FlightKind k);
 
 /// Record one event into the calling thread's ring. Lock-free; safe from
 /// any thread at any time.
+// thread-domain: any
 void flight_record(FlightKind k, std::uint64_t a, std::uint64_t b = 0);
 
 /// Arm the recorder: install SIGSEGV/SIGABRT/SIGUSR2 handlers that dump
 /// every ring to `path` (fatal signals re-raise the previous disposition
 /// after dumping; SIGUSR2 returns, for live snapshots). Also enables the
 /// shed-burst auto-dump flight_record performs. Idempotent; last path wins.
+// thread-domain: any
 void flight_arm(const std::string& path);
+// thread-domain: any
 bool flight_armed();
 
 /// Write the dump now (async-signal-safe). Returns the number of events
 /// written, 0 when unarmed. `reason` lands in the dump header.
+// thread-domain: signal
 std::size_t flight_dump(const char* reason = "manual");
 
 /// Parsed form of one dump line, for tools and tests.

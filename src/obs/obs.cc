@@ -7,6 +7,8 @@
 #include <mutex>
 #include <unordered_map>
 
+#include "util/mutex.h"
+
 #if defined(__x86_64__) || defined(_M_X64)
 #include <x86intrin.h>
 #define PBIO_OBS_HAVE_RDTSC 1
@@ -40,16 +42,16 @@ struct ThreadSlab {
 // torn-free without perturbing the writer.
 inline void slot_add(std::uint64_t& slot, std::uint64_t v) {
   std::atomic_ref<std::uint64_t> ref(slot);
-  ref.store(ref.load(std::memory_order_relaxed) + v,
-            std::memory_order_relaxed);
+  ref.store(ref.load(std::memory_order_relaxed) + v,  // mo: single-writer slab; atomic_ref only prevents torn reads by the snapshot thread
+            std::memory_order_relaxed);  // mo: see load above — monotonic counter, snapshot tolerates in-flight increments
 }
 
 inline std::uint64_t slot_load(std::uint64_t& slot) {
-  return std::atomic_ref<std::uint64_t>(slot).load(std::memory_order_relaxed);
+  return std::atomic_ref<std::uint64_t>(slot).load(std::memory_order_relaxed);  // mo: snapshot-side torn-free read; exactness only promised after join
 }
 
 inline void slot_store(std::uint64_t& slot, std::uint64_t v) {
-  std::atomic_ref<std::uint64_t>(slot).store(v, std::memory_order_relaxed);
+  std::atomic_ref<std::uint64_t>(slot).store(v, std::memory_order_relaxed);  // mo: reset path; racing increments may win or lose by design
 }
 
 // Transparent hashing so id lookups by string_view never materialize a
@@ -66,15 +68,19 @@ using NameMap =
     std::unordered_map<std::string, MetricId, NameHash, std::equal_to<>>;
 
 struct Registry {
-  std::mutex mu;
-  std::vector<std::string> counter_names;
-  std::vector<std::string> hist_names;
-  NameMap counter_ids;
-  NameMap hist_ids;
-  std::vector<ThreadSlab*> live;
-  ThreadSlab retired;  // merged totals of exited threads
-  std::uint32_t next_tid = 1;
-  std::unordered_map<std::uint32_t, std::string> thread_names;
+  Mutex mu;
+  std::vector<std::string> counter_names PBIO_GUARDED_BY(mu);
+  std::vector<std::string> hist_names PBIO_GUARDED_BY(mu);
+  NameMap counter_ids PBIO_GUARDED_BY(mu);
+  NameMap hist_ids PBIO_GUARDED_BY(mu);
+  // The slab *pointers* are guarded; the slots they point at are updated
+  // lock-free by their owner threads (see slot_add) — hence no
+  // PT_GUARDED_BY, which would be a false claim.
+  std::vector<ThreadSlab*> live PBIO_GUARDED_BY(mu);
+  ThreadSlab retired PBIO_GUARDED_BY(mu);  // merged totals of exited threads
+  std::uint32_t next_tid PBIO_GUARDED_BY(mu) = 1;
+  std::unordered_map<std::uint32_t, std::string> thread_names
+      PBIO_GUARDED_BY(mu);
 };
 
 // Intentionally leaked: thread_local slab destructors (including ones on
@@ -89,13 +95,13 @@ struct SlabOwner {
   ThreadSlab* slab;
   SlabOwner() : slab(new ThreadSlab()) {
     Registry& r = reg();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     slab->tid = r.next_tid++;
     r.live.push_back(slab);
   }
   ~SlabOwner() {
     Registry& r = reg();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     for (std::uint32_t i = 0; i < kMaxCounters; ++i) {
       r.retired.counters[i] += slab->counters[i];
     }
@@ -116,11 +122,14 @@ ThreadSlab& slab() {
   return *owner.slab;
 }
 
-MetricId register_metric(std::vector<std::string>& names, NameMap& ids,
-                         std::uint32_t capacity, std::uint32_t sink,
-                         std::string_view name) {
-  Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+// Caller holds r.mu (expressed via REQUIRES so passing the guarded name
+// tables by reference is provably under the lock). `r` exists only for
+// that annotation — GCC erases the attribute, hence maybe_unused.
+MetricId register_metric([[maybe_unused]] Registry& r,
+                         std::vector<std::string>& names,
+                         NameMap& ids, std::uint32_t capacity,
+                         std::uint32_t sink, std::string_view name)
+    PBIO_REQUIRES(r.mu) {
   auto it = ids.find(name);
   if (it != ids.end()) return it->second;
   if (names.size() >= capacity) return sink;
@@ -134,14 +143,16 @@ MetricId register_metric(std::vector<std::string>& names, NameMap& ids,
 
 MetricId counter(std::string_view name) {
   Registry& r = reg();
-  return register_metric(r.counter_names, r.counter_ids, kMaxCounters,
+  MutexLock lock(r.mu);
+  return register_metric(r, r.counter_names, r.counter_ids, kMaxCounters,
                          kCounterSink, name);
 }
 
 MetricId histogram(std::string_view name) {
   Registry& r = reg();
-  return register_metric(r.hist_names, r.hist_ids, kMaxHistograms, kHistSink,
-                         name);
+  MutexLock lock(r.mu);
+  return register_metric(r, r.hist_names, r.hist_ids, kMaxHistograms,
+                         kHistSink, name);
 }
 
 void counter_add(MetricId id, std::uint64_t v) {
@@ -160,13 +171,13 @@ std::uint32_t thread_tid() { return slab().tid; }
 void set_thread_name(std::string_view name) {
   const std::uint32_t tid = thread_tid();
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   r.thread_names[tid] = std::string(name);
 }
 
 std::string thread_name(std::uint32_t tid) {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   auto it = r.thread_names.find(tid);
   return it == r.thread_names.end() ? std::string() : it->second;
 }
@@ -206,7 +217,7 @@ const HistogramSample* Snapshot::find_histogram(std::string_view name) const {
 
 Snapshot snapshot() {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   Snapshot s;
   s.counters.reserve(r.counter_names.size());
   for (std::size_t i = 0; i < r.counter_names.size(); ++i) {
@@ -242,7 +253,7 @@ Snapshot snapshot() {
 
 void reset() {
   Registry& r = reg();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   // Live slabs belong to running threads that update them with relaxed
   // atomic_ref stores outside the lock; zero them the same way so a
   // concurrent reset is torn-free (an increment racing the reset may win
@@ -488,18 +499,18 @@ void calibrate() {
     std::uint64_t mult =
         static_cast<std::uint64_t>(ns_per_tick * (1 << 20) + 0.5);
     if (mult == 0) mult = 1;
-    g_tick_mult.store(mult, std::memory_order_relaxed);
+    g_tick_mult.store(mult, std::memory_order_relaxed);  // mo: single word; any thread reading 0 just recalibrates (idempotent via once_flag)
   });
 #else
-  g_tick_mult.store(1 << 20, std::memory_order_relaxed);
+  g_tick_mult.store(1 << 20, std::memory_order_relaxed);  // mo: constant value; every store writes the same word
 #endif
 }
 
 std::uint64_t ticks_to_ns(std::uint64_t delta) {
-  std::uint64_t mult = g_tick_mult.load(std::memory_order_relaxed);
+  std::uint64_t mult = g_tick_mult.load(std::memory_order_relaxed);  // mo: lone word, no dependent data; 0 falls through to calibrate()
   if (mult == 0) {
     calibrate();
-    mult = g_tick_mult.load(std::memory_order_relaxed);
+    mult = g_tick_mult.load(std::memory_order_relaxed);  // mo: see above — call_once in calibrate() ordered the store
   }
   return static_cast<std::uint64_t>(
       (static_cast<unsigned __int128>(delta) * mult) >> 20);

@@ -5,12 +5,12 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
 #include <set>
 #include <vector>
 
 #include "obs/obs.h"
 #include "obs/tracectx.h"
+#include "util/mutex.h"
 
 namespace pbio::obs {
 
@@ -27,14 +27,14 @@ struct TraceEvent {
 };
 
 struct TraceSink {
-  std::mutex mu;
-  std::vector<TraceEvent> events;
-  std::string path;
-  bool running = false;
+  Mutex mu;
+  std::vector<TraceEvent> events PBIO_GUARDED_BY(mu);
+  std::string path PBIO_GUARDED_BY(mu);
+  bool running PBIO_GUARDED_BY(mu) = false;
   // Tick<->wall anchor captured at trace_start so tick-based span events
   // and absolute (epoch ns) wire events land on one timeline.
-  std::uint64_t anchor_ticks = 0;
-  std::uint64_t anchor_ns = 0;
+  std::uint64_t anchor_ticks PBIO_GUARDED_BY(mu) = 0;
+  std::uint64_t anchor_ns PBIO_GUARDED_BY(mu) = 0;
 };
 
 std::atomic<bool> g_trace_on{false};
@@ -53,6 +53,8 @@ TraceSink& sink() {
 struct TraceEnvInit {
   TraceEnvInit() {
     std::atexit([] { trace_stop(); });
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): one read before main();
+    // nothing in this process calls setenv/putenv.
     if (const char* p = std::getenv("PBIO_TRACE"); p != nullptr && *p != 0) {
       trace_start(p);
     }
@@ -75,11 +77,13 @@ std::string process_name() {
 
 }  // namespace
 
-bool trace_enabled() { return g_trace_on.load(std::memory_order_relaxed); }
+bool trace_enabled() {
+  return g_trace_on.load(std::memory_order_relaxed);  // mo: hint flag; emitters re-check s.running under s.mu before touching the sink
+}
 
 bool trace_start(const std::string& path) {
   TraceSink& s = sink();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   if (s.running) return false;
   s.path = path;
   s.events.clear();
@@ -88,7 +92,7 @@ bool trace_start(const std::string& path) {
   calibrate();
   s.anchor_ticks = ticks();
   s.anchor_ns = epoch_ns();
-  g_trace_on.store(true, std::memory_order_relaxed);
+  g_trace_on.store(true, std::memory_order_relaxed);  // mo: hint flag; s.mu carries the real ordering
   return true;
 }
 
@@ -96,7 +100,7 @@ void trace_emit(const char* name, std::uint64_t start_ticks,
                 std::uint64_t end_ticks, std::uint64_t arg) {
   TraceSink& s = sink();
   const std::uint32_t tid = thread_tid();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   if (!s.running) return;
   s.events.push_back({name, tid, start_ticks, end_ticks, arg, 0, false});
 }
@@ -105,16 +109,16 @@ void trace_emit_abs(const char* name, std::uint64_t start_ns,
                     std::uint64_t end_ns, std::uint64_t trace_id) {
   TraceSink& s = sink();
   const std::uint32_t tid = thread_tid();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   if (!s.running) return;
   s.events.push_back({name, tid, start_ns, end_ns, 0, trace_id, true});
 }
 
 std::size_t trace_stop() {
   TraceSink& s = sink();
-  std::lock_guard<std::mutex> lock(s.mu);
+  MutexLock lock(s.mu);
   if (!s.running) return 0;
-  g_trace_on.store(false, std::memory_order_relaxed);
+  g_trace_on.store(false, std::memory_order_relaxed);  // mo: hint flag; s.mu carries the real ordering
   s.running = false;
 
   std::FILE* f = std::fopen(s.path.c_str(), "w");

@@ -4,10 +4,10 @@
 
 #include <atomic>
 #include <cstdlib>
-#include <mutex>
 
 #include "obs/obs.h"
 #include "obs/trace.h"
+#include "util/mutex.h"
 
 namespace pbio::obs {
 
@@ -20,6 +20,8 @@ std::atomic<std::uint32_t> g_sample_pm{0};
 // environment without code changes.
 struct SampleEnvInit {
   SampleEnvInit() {
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): one read before main();
+    // nothing in this process calls setenv/putenv.
     if (const char* p = std::getenv("PBIO_TRACE_SAMPLE");
         p != nullptr && *p != 0) {
       set_trace_sampling(static_cast<std::uint32_t>(std::strtoul(p, nullptr, 10)));
@@ -28,9 +30,9 @@ struct SampleEnvInit {
 } g_sample_env_init;
 
 struct RecentRing {
-  std::mutex mu;
-  std::vector<TraceRecord> rows;
-  std::size_t next = 0;  // write cursor once full
+  Mutex mu;
+  std::vector<TraceRecord> rows PBIO_GUARDED_BY(mu);
+  std::size_t next PBIO_GUARDED_BY(mu) = 0;  // write cursor once full
   static constexpr std::size_t kCap = 512;
 };
 
@@ -45,15 +47,15 @@ RecentRing& ring() {
 
 void set_trace_sampling(std::uint32_t per_mille) {
   g_sample_pm.store(per_mille > 1000 ? 1000 : per_mille,
-                    std::memory_order_relaxed);
+                    std::memory_order_relaxed);  // mo: lone sampling knob; readers tolerate stale values for a few calls
 }
 
 std::uint32_t trace_sampling() {
-  return g_sample_pm.load(std::memory_order_relaxed);
+  return g_sample_pm.load(std::memory_order_relaxed);  // mo: see set_trace_sampling
 }
 
 bool trace_sample() {
-  const std::uint32_t pm = g_sample_pm.load(std::memory_order_relaxed);
+  const std::uint32_t pm = g_sample_pm.load(std::memory_order_relaxed);  // mo: see set_trace_sampling
   if (pm == 0) return false;
   if (pm >= 1000) return true;
   thread_local std::uint32_t acc = 0;
@@ -99,7 +101,7 @@ void trace_emit_ctx(const char* name, const TraceCtx& ctx,
   if (end_ns < start_ns) end_ns = start_ns;
   {
     RecentRing& r = ring();
-    std::lock_guard<std::mutex> lock(r.mu);
+    MutexLock lock(r.mu);
     TraceRecord row{ctx.trace_id, ctx.span_id, start_ns, end_ns - start_ns,
                     name};
     if (r.rows.size() < RecentRing::kCap) {
@@ -116,7 +118,7 @@ void trace_emit_ctx(const char* name, const TraceCtx& ctx,
 
 std::vector<TraceRecord> recent_traces(std::size_t max) {
   RecentRing& r = ring();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   std::vector<TraceRecord> out;
   const std::size_t n = r.rows.size();
   const std::size_t take = max < n ? max : n;
@@ -131,7 +133,7 @@ std::vector<TraceRecord> recent_traces(std::size_t max) {
 
 void clear_recent_traces() {
   RecentRing& r = ring();
-  std::lock_guard<std::mutex> lock(r.mu);
+  MutexLock lock(r.mu);
   r.rows.clear();
   r.next = 0;
 }

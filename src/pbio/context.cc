@@ -11,10 +11,10 @@ namespace pbio {
 Result<std::shared_ptr<const Conversion>> Context::try_conversion(
     FormatId wire, FormatId native) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = conversions_.find({wire, native});
     if (it != conversions_.end()) {
-      conversion_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+      conversion_cache_hits_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic, read by stats() only
       OBS_COUNT("pbio.conv.cache_hits", 1);
       return it->second;
     }
@@ -54,11 +54,11 @@ Result<std::shared_ptr<const Conversion>> Context::try_conversion(
   }
   plan.verified = true;
   auto conv = std::make_shared<const Conversion>(std::move(plan));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = conversions_.try_emplace({wire, native}, conv);
   if (inserted) {
-    conversions_compiled_.fetch_add(1, std::memory_order_relaxed);
-    jit_code_bytes_.fetch_add(conv->code_size(), std::memory_order_relaxed);
+    conversions_compiled_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic, read by stats() only
+    jit_code_bytes_.fetch_add(conv->code_size(), std::memory_order_relaxed);  // mo: independent statistic, read by stats() only
     OBS_COUNT("pbio.conv.compiled", 1);
     OBS_COUNT("pbio.conv.jit_code_bytes", conv->code_size());
   }
@@ -77,10 +77,10 @@ std::shared_ptr<const Conversion> Context::conversion(FormatId wire,
 Context::Stats Context::stats() const {
   Stats s;
   s.conversions_compiled =
-      conversions_compiled_.load(std::memory_order_relaxed);
+      conversions_compiled_.load(std::memory_order_relaxed);  // mo: monotonic statistics; cross-counter consistency not promised
   s.conversion_cache_hits =
-      conversion_cache_hits_.load(std::memory_order_relaxed);
-  s.jit_code_bytes = jit_code_bytes_.load(std::memory_order_relaxed);
+      conversion_cache_hits_.load(std::memory_order_relaxed);  // mo: see conversions_compiled
+  s.jit_code_bytes = jit_code_bytes_.load(std::memory_order_relaxed);  // mo: see conversions_compiled
   return s;
 }
 

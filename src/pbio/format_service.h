@@ -56,7 +56,7 @@ class FormatServiceServer {
   void serve_until_closed(transport::Channel& ch);
 
   std::uint64_t requests_served() const {
-    return requests_.load(std::memory_order_relaxed);
+    return requests_.load(std::memory_order_relaxed);  // mo: independent statistic
   }
 
  private:

@@ -20,7 +20,7 @@ make_loopback_pair() {
 }
 
 Status LoopbackChannel::enqueue(FrameBuf msg, std::size_t bytes) {
-  std::lock_guard<std::mutex> lock(out_->mu);
+  MutexLock lock(out_->mu);
   if (out_->closed) {
     return Status(Errc::kChannelClosed, "peer closed");
   }
@@ -61,8 +61,12 @@ Result<std::vector<std::uint8_t>> LoopbackChannel::recv() {
 }
 
 Result<FrameBuf> LoopbackChannel::recv_buf() {
-  std::unique_lock<std::mutex> lock(in_->mu);
-  in_->cv.wait(lock, [&] { return !in_->messages.empty() || in_->closed; });
+  MutexLock lock(in_->mu);
+  // The predicate runs with in_->mu held (CondVar::wait's contract), but
+  // the analysis cannot see through condition_variable_any's template.
+  in_->cv.wait(lock, [&]() PBIO_NO_THREAD_SAFETY_ANALYSIS {
+    return !in_->messages.empty() || in_->closed;
+  });
   if (in_->messages.empty()) {
     return Status(Errc::kChannelClosed, "loopback closed");
   }
@@ -74,7 +78,7 @@ Result<FrameBuf> LoopbackChannel::recv_buf() {
 }
 
 Result<FrameBuf> LoopbackChannel::poll_buf() {
-  std::lock_guard<std::mutex> lock(in_->mu);
+  MutexLock lock(in_->mu);
   if (in_->messages.empty()) {
     if (in_->closed) {
       return Status(Errc::kChannelClosed, "loopback closed");
@@ -92,14 +96,14 @@ Result<FrameBuf> LoopbackChannel::poll_buf() {
 
 void LoopbackChannel::close() {
   for (const auto& q : {in_, out_}) {
-    std::lock_guard<std::mutex> lock(q->mu);
+    MutexLock lock(q->mu);
     q->closed = true;
     q->cv.notify_all();
   }
 }
 
 std::size_t LoopbackChannel::pending() const {
-  std::lock_guard<std::mutex> lock(in_->mu);
+  MutexLock lock(in_->mu);
   return in_->messages.size();
 }
 

@@ -7,13 +7,12 @@
 // Reader::next_batch drain everything already enqueued without blocking.
 #pragma once
 
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <utility>
 
 #include "transport/channel.h"
+#include "util/mutex.h"
 
 namespace pbio::transport {
 
@@ -47,10 +46,10 @@ class LoopbackChannel final : public Channel {
   make_loopback_pair();
 
   struct Queue {
-    std::mutex mu;
-    std::condition_variable cv;
-    std::deque<FrameBuf> messages;
-    bool closed = false;
+    Mutex mu;
+    CondVar cv;
+    std::deque<FrameBuf> messages PBIO_GUARDED_BY(mu);
+    bool closed PBIO_GUARDED_BY(mu) = false;
   };
 
   Status enqueue(FrameBuf msg, std::size_t bytes);

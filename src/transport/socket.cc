@@ -20,7 +20,15 @@ namespace pbio::transport {
 namespace {
 
 Status errno_status(const char* what) {
-  return Status(Errc::kIo, std::string(what) + ": " + std::strerror(errno));
+  // strerror_r, not strerror: channels fail on many worker threads at
+  // once and glibc's strerror uses a shared static buffer.
+  char buf[128] = "unknown error";
+#if defined(__GLIBC__) && defined(_GNU_SOURCE)
+  const char* msg = ::strerror_r(errno, buf, sizeof buf);  // GNU: may return a static immutable string
+#else
+  const char* msg = ::strerror_r(errno, buf, sizeof buf) == 0 ? buf : "unknown error";
+#endif
+  return Status(Errc::kIo, std::string(what) + ": " + msg);
 }
 
 bool errno_would_block() { return errno == EAGAIN || errno == EWOULDBLOCK; }

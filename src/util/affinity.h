@@ -1,0 +1,88 @@
+// Runtime owner-thread asserts — the dynamic half of the shard-affinity
+// contract (tools/affinity_check.py is the static half).
+//
+// The broker's performance model hangs on one invariant: a connection's
+// whole life happens on one core. Conn, the per-worker BufferPool arena,
+// and the per-worker epoll state are all single-threaded by construction —
+// but nothing used to *check* it, and a refactor that quietly handed a
+// Conn across threads would corrupt freelists long before tsan noticed.
+//
+// ThreadOwner is that check. A domain owner binds it once from the owning
+// thread; every entry point of the guarded object calls assert_held(),
+// which aborts with both thread ids when some other thread wanders in.
+// Compiled in only when the PBIO_AFFINITY_CHECK CMake option is ON
+// (debug/sanitizer presets); release builds pay nothing — the class is
+// empty and every call inlines away.
+//
+// Binding is revocable (unbind) because ownership legitimately moves at
+// the edges: a Worker binds its arena when its event loop starts and
+// unbinds when the loop exits, so the Broker thread that tears down the
+// surviving Conns afterwards is not a violation.
+#pragma once
+
+#ifndef PBIO_AFFINITY_ENABLED
+#define PBIO_AFFINITY_ENABLED 0
+#endif
+
+#if PBIO_AFFINITY_ENABLED
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+
+namespace pbio {
+
+class ThreadOwner {
+ public:
+  /// Claim the calling thread as owner (idempotent; last bind wins).
+  void bind() noexcept {
+    owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);  // mo: owner handoff happens-before via the thread start/join that moves it
+  }
+
+  /// Release ownership — any thread may touch the object again.
+  void unbind() noexcept {
+    owner_.store(std::thread::id{}, std::memory_order_relaxed);  // mo: see bind(); epoll loop exit precedes cross-thread teardown via join
+  }
+
+  bool bound() const noexcept {
+    return owner_.load(std::memory_order_relaxed) != std::thread::id{};  // mo: diagnostic read, no ordering needed
+  }
+
+  /// Abort (with both thread ids) when bound to a different thread.
+  void assert_held(const char* what) const noexcept {
+    const std::thread::id own = owner_.load(std::memory_order_relaxed);  // mo: violations are programming errors, not races to order
+    if (own == std::thread::id{} || own == std::this_thread::get_id()) {
+      return;
+    }
+    std::fprintf(stderr,
+                 "pbio affinity violation: %s touched off its owner thread "
+                 "(owner=%zu caller=%zu)\n",
+                 what, std::hash<std::thread::id>{}(own),
+                 std::hash<std::thread::id>{}(std::this_thread::get_id()));
+    std::abort();
+  }
+
+ private:
+  std::atomic<std::thread::id> owner_{};
+};
+
+}  // namespace pbio
+
+#else  // !PBIO_AFFINITY_ENABLED
+
+namespace pbio {
+
+/// Release configuration: an empty shell every call site compiles against;
+/// the optimizer erases it entirely.
+class ThreadOwner {
+ public:
+  void bind() noexcept {}
+  void unbind() noexcept {}
+  bool bound() const noexcept { return false; }
+  void assert_held(const char*) const noexcept {}
+};
+
+}  // namespace pbio
+
+#endif  // PBIO_AFFINITY_ENABLED

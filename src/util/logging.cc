@@ -5,13 +5,16 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
-#include <mutex>
+
+#include "util/mutex.h"
 
 namespace pbio {
 
 namespace {
 
-std::mutex g_log_mutex;
+/// Serializes whole lines onto stderr — the only state it guards is the
+/// stream position, which lives in libc, hence no GUARDED_BY member.
+Mutex g_log_mutex;
 
 std::uint64_t now_ns() {
   return static_cast<std::uint64_t>(
@@ -30,7 +33,7 @@ std::uint64_t log_epoch_ns() {
 std::uint32_t log_thread_id() {
   static std::atomic<std::uint32_t> next{1};
   thread_local const std::uint32_t id =
-      next.fetch_add(1, std::memory_order_relaxed);
+      next.fetch_add(1, std::memory_order_relaxed);  // mo: unique-id allocation; only atomicity matters
   return id;
 }
 
@@ -46,6 +49,8 @@ LogLevel parse_log_level(const char* value) {
 
 LogLevel log_threshold() {
   // One getenv + parse per process, not per line.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe): one read at magic-static init;
+  // nothing in this process calls setenv/putenv.
   static const LogLevel level = parse_log_level(std::getenv("PBIO_LOG"));
   return level;
 }
@@ -60,7 +65,7 @@ void log_emit(LogLevel level, const std::string& msg) {
   const std::uint64_t epoch = log_epoch_ns();
   const double ms = static_cast<double>(now_ns() - epoch) / 1e6;
   const std::uint32_t tid = log_thread_id();
-  std::lock_guard<std::mutex> lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::fprintf(stderr, "[pbio:%s +%.3fms t%u] %s\n", tag, ms, tid,
                msg.c_str());
 }

@@ -17,7 +17,7 @@ Block* new_block(BufferPool* owner, std::size_t capacity,
   b->owner = owner;
   b->capacity = capacity;
   b->size_class = size_class;
-  b->refs.store(1, std::memory_order_relaxed);
+  b->refs.store(1, std::memory_order_relaxed);  // mo: block not yet published to another thread
   b->next_free = nullptr;
   return b;
 }
@@ -46,7 +46,7 @@ FrameBuf FrameBuf::slice(std::size_t off, std::size_t len) const {
   if (block_ == nullptr || off + len > capacity()) {
     throw PbioError("FrameBuf::slice out of range");
   }
-  block_->refs.fetch_add(1, std::memory_order_relaxed);
+  block_->refs.fetch_add(1, std::memory_order_relaxed);  // mo: refcount increment from a live lease; release() pairs acq_rel
   return FrameBuf(block_, data_ + off, len);
 }
 
@@ -56,6 +56,9 @@ void FrameBuf::release() {
   data_ = nullptr;
   size_ = 0;
   if (b == nullptr) return;
+  // mo: acq_rel — release orders this lease's writes before the recycle;
+  // acquire makes the last releaser see every other lease's writes before
+  // the block is reused or freed (the classic shared_ptr decrement pairing).
   if (b->refs.fetch_sub(1, std::memory_order_acq_rel) == 1) {
     if (b->owner != nullptr) {
       b->owner->recycle(b);
@@ -73,13 +76,15 @@ FrameBuf FrameBuf::heap(std::size_t size) {
 std::uint32_t BufferPool::class_for(std::size_t size) {
   std::uint32_t log = kMinClassLog;
   while ((std::size_t{1} << log) < size) ++log;
-  return log - kMinClassLog;  // callers ensure size <= 1 << kMaxClassLog
+  // callers ensure size <= 1 << kMaxClassLog
+  return static_cast<std::uint32_t>(log - kMinClassLog);
 }
 
 FrameBuf BufferPool::lease(std::size_t size) {
+  owner_.assert_held("BufferPool::lease");
   if (size > (std::size_t{1} << kMaxClassLog)) {
-    oversize_.fetch_add(1, std::memory_order_relaxed);
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    oversize_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic, read by stats() only
+    misses_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic, read by stats() only
     OBS_COUNT("pbio.pool.oversize", 1);
     OBS_COUNT("pbio.pool.misses", 1);
     pooldetail::Block* b = pooldetail::new_block(nullptr, size, 0);
@@ -87,19 +92,19 @@ FrameBuf BufferPool::lease(std::size_t size) {
   }
   const std::uint32_t cls = class_for(size);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     pooldetail::Block* b = free_[cls];
     if (b != nullptr) {
       free_[cls] = b->next_free;
       --free_count_[cls];
       b->next_free = nullptr;
-      b->refs.store(1, std::memory_order_relaxed);
-      hits_.fetch_add(1, std::memory_order_relaxed);
+      b->refs.store(1, std::memory_order_relaxed);  // mo: block is unpublished while on the freelist; mu_ ordered the previous owner's release
+      hits_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic, read by stats() only
       OBS_COUNT("pbio.pool.hits", 1);
       return FrameBuf(b, b->bytes(), size);
     }
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic, read by stats() only
   OBS_COUNT("pbio.pool.misses", 1);
   pooldetail::Block* b = pooldetail::new_block(
       this, std::size_t{1} << (cls + kMinClassLog), cls);
@@ -107,13 +112,14 @@ FrameBuf BufferPool::lease(std::size_t size) {
 }
 
 void BufferPool::recycle(pooldetail::Block* b) {
+  owner_.assert_held("BufferPool::recycle");
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (free_count_[b->size_class] < max_free_per_class_) {
       b->next_free = free_[b->size_class];
       free_[b->size_class] = b;
       ++free_count_[b->size_class];
-      recycled_.fetch_add(1, std::memory_order_relaxed);
+      recycled_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic, read by stats() only
       return;
     }
   }
@@ -133,10 +139,10 @@ BufferPool::~BufferPool() {
 
 BufferPool::Stats BufferPool::stats() const {
   Stats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.oversize = oversize_.load(std::memory_order_relaxed);
-  s.recycled = recycled_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);  // mo: monotonic statistics; cross-counter consistency not promised
+  s.misses = misses_.load(std::memory_order_relaxed);  // mo: see hits
+  s.oversize = oversize_.load(std::memory_order_relaxed);  // mo: see hits
+  s.recycled = recycled_.load(std::memory_order_relaxed);  // mo: see hits
   return s;
 }
 

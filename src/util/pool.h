@@ -18,8 +18,10 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <span>
+
+#include "util/affinity.h"
+#include "util/mutex.h"
 
 namespace pbio {
 
@@ -61,7 +63,7 @@ class FrameBuf {
 
   FrameBuf(const FrameBuf& o) : block_(o.block_), data_(o.data_), size_(o.size_) {
     if (block_ != nullptr) {
-      block_->refs.fetch_add(1, std::memory_order_relaxed);
+      block_->refs.fetch_add(1, std::memory_order_relaxed);  // mo: refcount increment from an existing lease; release() pairs acq_rel
     }
   }
   FrameBuf& operator=(const FrameBuf& o) {
@@ -100,7 +102,7 @@ class FrameBuf {
   /// True when this is the only lease on the block — the holder may move
   /// bytes around inside it (the stream compaction path).
   bool exclusive() const {
-    return block_ != nullptr && block_->refs.load(std::memory_order_acquire) == 1;
+    return block_ != nullptr && block_->refs.load(std::memory_order_acquire) == 1;  // mo: acquire pairs with release()'s acq_rel decrement so a sole owner sees the other lease's last writes
   }
 
   /// Set the logical length (must fit in capacity()).
@@ -131,6 +133,7 @@ class FrameBuf {
   std::size_t size_ = 0;
 };
 
+// thread-domain: any
 class BufferPool {
  public:
   /// Power-of-two size classes from 64 B to 1 MiB; larger requests get
@@ -160,8 +163,17 @@ class BufferPool {
   Stats stats() const;
 
   /// Process-wide pool used by the transports. Never destroyed, so leases
-  /// with arbitrary lifetimes can always release safely.
+  /// with arbitrary lifetimes can always release safely. Never owner-bound:
+  /// any thread may lease from it.
   static BufferPool& shared();
+
+  /// Pin this pool to the calling thread (PBIO_AFFINITY_CHECK builds):
+  /// subsequent lease/recycle traffic from any other thread aborts. The
+  /// broker workers bind their private arenas for the lifetime of their
+  /// event loop — the "whole connection life on one core" invariant —
+  /// and unbind before the loop exits so cross-thread teardown stays legal.
+  void bind_owner() { owner_.bind(); }
+  void unbind_owner() { owner_.unbind(); }
 
  private:
   friend class FrameBuf;
@@ -169,9 +181,10 @@ class BufferPool {
   void recycle(pooldetail::Block* b);
 
   std::size_t max_free_per_class_;
-  std::mutex mu_;
-  pooldetail::Block* free_[kClasses] = {};
-  std::size_t free_count_[kClasses] = {};
+  ThreadOwner owner_;
+  Mutex mu_;
+  pooldetail::Block* free_[kClasses] PBIO_GUARDED_BY(mu_) = {};
+  std::size_t free_count_[kClasses] PBIO_GUARDED_BY(mu_) = {};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> oversize_{0};

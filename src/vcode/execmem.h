@@ -13,6 +13,13 @@
 
 namespace pbio::vcode {
 
+/// Thread model: exclusively owned while writable (one thread emits and
+/// seals); after make_executable() the pages are immutable and entry() may
+/// be called from any thread — Context publishes sealed buffers inside
+/// shared_ptr<const Conversion>, and the release/acquire in that handoff
+/// orders the code bytes. make_writable() demands exclusive ownership
+/// again; nothing in the library calls it on a published buffer.
+// thread-domain: any
 class ExecBuffer {
  public:
   /// Reserve `capacity` bytes of page-aligned memory (rounded up to whole

@@ -1,0 +1,107 @@
+// Runtime shard-affinity checks: ThreadOwner semantics and the
+// BufferPool owner binding that enforces "a connection's whole life on
+// one core" (docs/static_analysis.md, layer 4).
+//
+// The death tests only exist when PBIO_AFFINITY_CHECK is ON (asan/tsan/
+// clang-strict presets); in release configs ThreadOwner is an empty
+// shell and this file just proves the no-op API stays callable.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "util/affinity.h"
+#include "util/pool.h"
+
+namespace pbio {
+namespace {
+
+TEST(ThreadOwner, UnboundAcceptsAnyThread) {
+  ThreadOwner owner;
+  EXPECT_FALSE(owner.bound());
+  owner.assert_held("unbound");  // must not abort
+  std::thread other([&] { owner.assert_held("unbound, foreign thread"); });
+  other.join();
+}
+
+TEST(ThreadOwner, OwnerThreadPasses) {
+  ThreadOwner owner;
+  owner.bind();
+  owner.assert_held("own thread");
+  owner.unbind();
+  // After unbind any thread is legal again — teardown handoff pattern.
+  std::thread other([&] { owner.assert_held("after unbind"); });
+  other.join();
+}
+
+#if PBIO_AFFINITY_ENABLED
+
+TEST(ThreadOwner, BoundReflectsBindState) {
+  ThreadOwner owner;
+  owner.bind();
+  EXPECT_TRUE(owner.bound());
+  owner.unbind();
+  EXPECT_FALSE(owner.bound());
+}
+
+TEST(ThreadOwnerDeathTest, ForeignThreadAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ThreadOwner owner;
+  owner.bind();
+  EXPECT_DEATH(
+      {
+        std::thread other([&] { owner.assert_held("guarded state"); });
+        other.join();
+      },
+      "affinity violation: guarded state");
+}
+
+TEST(ThreadOwnerDeathTest, RebindMovesOwnership) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  ThreadOwner owner;
+  std::thread other([&] { owner.bind(); });  // last bind wins
+  other.join();
+  EXPECT_DEATH(owner.assert_held("rebound state"),
+               "affinity violation: rebound state");
+}
+
+TEST(BufferPoolAffinityDeathTest, ForeignLeaseAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  BufferPool pool;
+  pool.bind_owner();
+  { FrameBuf ok = pool.lease(64); }  // owner thread: fine
+  EXPECT_DEATH(
+      {
+        std::thread other([&] { FrameBuf bad = pool.lease(64); });
+        other.join();
+      },
+      "affinity violation: BufferPool::lease");
+}
+
+TEST(BufferPoolAffinity, UnbindRestoresCrossThreadTeardown) {
+  // The broker's shutdown choreography: the worker unbinds its arena at
+  // loop exit, then the broker thread releases surviving frames.
+  BufferPool pool;
+  pool.bind_owner();
+  FrameBuf survivor = pool.lease(128);
+  pool.unbind_owner();
+  std::thread broker([frame = std::move(survivor)]() mutable {
+    frame = FrameBuf();  // release → recycle on a foreign thread, now legal
+  });
+  broker.join();
+}
+
+#else  // !PBIO_AFFINITY_ENABLED
+
+TEST(ThreadOwner, DisabledShellIsInert) {
+  ThreadOwner owner;
+  owner.bind();
+  EXPECT_FALSE(owner.bound());  // release shell never reports bound
+  std::thread other([&] { owner.assert_held("never aborts"); });
+  other.join();
+}
+
+#endif  // PBIO_AFFINITY_ENABLED
+
+}  // namespace
+}  // namespace pbio

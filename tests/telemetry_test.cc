@@ -15,6 +15,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -218,6 +219,82 @@ TEST(Flight, ParseRejectsGarbage) {
   EXPECT_FALSE(obs::flight_parse("not a flight dump\n", &events));
   EXPECT_FALSE(obs::flight_parse("pbio-flight v1 reason=x pid=1 now=2\n",
                                  &events));  // missing end trailer
+}
+
+TEST(Flight, RingWraparoundKeepsNewestEvents) {
+  // Overflow the calling thread's ring by 50 events: the dump must report
+  // exactly kFlightRingEvents for this thread — the newest ones, with the
+  // oldest 50 evicted. The sentinel b distinguishes this test's events
+  // from whatever earlier tests left in the shared per-thread ring.
+  const std::string path = testing::TempDir() + "flight_wrap.dump";
+  obs::flight_arm(path);
+  constexpr std::uint64_t kSentinel = 0x5174;
+  constexpr std::uint64_t kTotal = obs::kFlightRingEvents + 50;
+  for (std::uint64_t i = 0; i < kTotal; ++i) {
+    obs::flight_record(obs::FlightKind::kMark, i, kSentinel);
+  }
+  ASSERT_GT(obs::flight_dump("wrap"), 0u);
+
+  std::vector<obs::FlightEvent> events;
+  ASSERT_TRUE(obs::flight_parse(slurp(path), &events));
+  std::vector<std::uint64_t> mine;
+  std::size_t this_thread = 0;
+  for (const auto& e : events) {
+    if (e.tid == obs::thread_tid()) {
+      ++this_thread;
+      if (e.kind == obs::FlightKind::kMark && e.b == kSentinel) {
+        mine.push_back(e.a);
+      }
+    }
+  }
+  // The whole ring is this test's events (we wrote more than it holds)...
+  EXPECT_EQ(this_thread, obs::kFlightRingEvents);
+  ASSERT_EQ(mine.size(), obs::kFlightRingEvents);
+  // ...and they are exactly the newest kFlightRingEvents, in write order.
+  for (std::size_t i = 0; i < mine.size(); ++i) {
+    EXPECT_EQ(mine[i], kTotal - obs::kFlightRingEvents + i) << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Flight, DumpDuringConcurrentWriteStaysParseable) {
+  // The dump path races live writers by design (it runs in signal
+  // handlers): every dump taken while another thread hammers its ring
+  // must still parse — the release-store idx publish means a reader sees
+  // only complete events. A SIGUSR2 mid-write exercises the actual
+  // handler as one of the dumps.
+  const std::string path = testing::TempDir() + "flight_race.dump";
+  obs::flight_arm(path);
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      obs::flight_record(obs::FlightKind::kMark, i++, 0xace);
+    }
+  });
+  for (int round = 0; round < 20; ++round) {
+    if (round == 10) {
+      ASSERT_EQ(::raise(SIGUSR2), 0);  // handler dump racing the writer
+    } else {
+      obs::flight_dump("race");
+    }
+    std::vector<obs::FlightEvent> events;
+    ASSERT_TRUE(obs::flight_parse(slurp(path), &events)) << "round " << round;
+  }
+  stop.store(true, std::memory_order_relaxed);
+  writer.join();
+
+  // After the writer quiesces, its events are visible in a final dump.
+  ASSERT_GT(obs::flight_dump("final"), 0u);
+  std::vector<obs::FlightEvent> events;
+  ASSERT_TRUE(obs::flight_parse(slurp(path), &events));
+  bool saw_writer = false;
+  for (const auto& e : events) {
+    saw_writer = saw_writer ||
+                 (e.kind == obs::FlightKind::kMark && e.b == 0xace);
+  }
+  EXPECT_TRUE(saw_writer);
+  std::remove(path.c_str());
 }
 
 #ifndef PBIO_TEST_SANITIZED

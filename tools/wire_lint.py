@@ -3,7 +3,7 @@
 
 The conversion engines run (possibly JIT-generated) code over raw network
 buffers, so undisciplined pointer play in src/ is how wire bugs are born.
-This linter enforces three rules over src/**/*.{h,cc}:
+This linter enforces these rules over src/**/*.{h,cc}:
 
   R1 reinterpret-cast   every `reinterpret_cast` must be allowlisted (the
                         allowlist entry documents why the cast is sound) or
@@ -24,6 +24,20 @@ This linter enforces three rules over src/**/*.{h,cc}:
                         (function-pointer type, or cast-and-invoke) outside
                         src/vcode turns data into code; never allowlisted
                         and no inline marker can excuse it.
+  R6 atomics-audit      every non-seq_cst memory_order_* site must justify
+                        its ordering with a `// mo: <reason>` comment on
+                        the same line or within the three lines above it
+                        (or an allowlist entry). memory_order_consume is
+                        banned outright — no marker or allowlist entry can
+                        excuse it (its semantics were never implemented by
+                        any compiler; it silently promotes to acquire).
+  R7 signal-safety      inside a `// wire-lint: signal-safe-begin` ...
+                        `signal-safe-end` region (the flight recorder's
+                        dump path, which runs in SIGSEGV handlers), only
+                        calls on the async-signal-safe allowlist may
+                        appear: raw syscalls, atomic loads/stores, and the
+                        region's own helpers. No stdio, no malloc, no
+                        locks.
 
 Usage:
     tools/wire_lint.py [--root REPO_ROOT] [--allowlist FILE] [--self-test]
@@ -66,6 +80,34 @@ RE_CAST_INVOKE = re.compile(
     r"\breinterpret_cast<\w[\w:]*>\s*\((?:[^()]|\([^()]*\))*\)\s*\("
 )
 FNPTR_HOME = "src/vcode/"
+# R6: memory_order spellings; seq_cst is the safe default and needs no
+# justification. The `// mo:` marker may sit up to MO_MARKER_LOOKBACK raw
+# lines above the site (multi-line justifications and aliased constants).
+RE_MEMORY_ORDER = re.compile(r"\bmemory_order(?:::|_)"
+                             r"(relaxed|acquire|release|acq_rel|consume|seq_cst)\b")
+RE_MO_MARKER = re.compile(r"//\s*mo:\s*\S")
+MO_MARKER_LOOKBACK = 3
+# R7: signal-safe region markers (raw lines, like the ok-marker) and the
+# call allowlist. Everything async-signal-safe per signal-safety(7) that
+# the dump path legitimately needs, plus the region's own helpers and the
+# atomic member functions (lock-free loads/stores compile to plain
+# instructions).
+RE_SIGNAL_SAFE_BEGIN = re.compile(r"//\s*wire-lint:\s*signal-safe-begin\b")
+RE_SIGNAL_SAFE_END = re.compile(r"//\s*wire-lint:\s*signal-safe-end\b")
+RE_CALL_TOKEN = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+SIGNAL_SAFE_CALLS = {
+    # control flow / operators the call regex also catches
+    "if", "while", "for", "do", "switch", "return", "sizeof",
+    # async-signal-safe libc/syscalls (signal-safety(7))
+    "write", "open", "close", "getpid", "clock_gettime", "raise",
+    "sigaction", "sigemptyset", "memcpy", "memset", "strlen", "_exit",
+    # lock-free atomic member functions
+    "load", "store", "fetch_add", "fetch_sub", "exchange",
+    "compare_exchange_strong", "compare_exchange_weak",
+    # the flight recorder's own signal-safe helpers
+    "put_str", "put_u64", "dump_to", "wall_ns", "flight_kind_name",
+    "flight_dump", "on_fatal_signal", "on_usr2",
+}
 
 
 class AllowEntry:
@@ -140,8 +182,13 @@ def strip_comments_and_strings(line, in_block_comment):
 def scan_file(root, path, allowlist, findings):
     rel = path.relative_to(root).as_posix()
     in_block = False
-    for lineno, raw in enumerate(
-            path.read_text(errors="replace").splitlines(), 1):
+    in_signal_safe = False
+    raw_lines = path.read_text(errors="replace").splitlines()
+    for lineno, raw in enumerate(raw_lines, 1):
+        if RE_SIGNAL_SAFE_BEGIN.search(raw):
+            in_signal_safe = True
+        elif RE_SIGNAL_SAFE_END.search(raw):
+            in_signal_safe = False
         code, in_block = strip_comments_and_strings(raw, in_block)
         if not code.strip():
             continue
@@ -179,6 +226,34 @@ def scan_file(root, path, allowlist, findings):
                    "reinterpret_cast to a callable outside src/vcode turns "
                    "data into code — only the JIT module may do this",
                    allow_allowlist=False, allow_marker=False)
+        for mo in RE_MEMORY_ORDER.finditer(code):
+            order = mo.group(1)
+            if order == "seq_cst":
+                continue
+            if order == "consume":
+                report("atomics-audit",
+                       "memory_order_consume is banned (never implemented; "
+                       "silently promotes to acquire) — use acquire and "
+                       "say why",
+                       allow_allowlist=False, allow_marker=False)
+                continue
+            lookback = raw_lines[max(0, lineno - 1 - MO_MARKER_LOOKBACK):
+                                 lineno]
+            if any(RE_MO_MARKER.search(l) for l in lookback):
+                continue
+            report("atomics-audit",
+                   f"memory_order_{order} without a `// mo: <reason>` "
+                   "justification on this line or the three above it")
+        if in_signal_safe:
+            for call in RE_CALL_TOKEN.finditer(code):
+                name = call.group(1)
+                if name in SIGNAL_SAFE_CALLS:
+                    continue
+                report("signal-safety",
+                       f"call to '{name}' inside a signal-safe region — "
+                       "only async-signal-safe calls (write/open/close, "
+                       "atomics, the dump helpers) may run in a signal "
+                       "handler")
 
 
 # --- self-test -----------------------------------------------------------
@@ -224,6 +299,35 @@ SELF_TEST_CASES = [
     ("src/vcode/r5_home.cc",
      "auto fn = reinterpret_cast<int (*)(char)>(p);  // wire-lint: ok jit",
      set()),
+    # R6: non-seq_cst orderings need a `// mo:` justification; the marker
+    # may sit on the line itself or up to three lines above.
+    ("src/obs/r6_hit.cc", "x.load(std::memory_order_relaxed);",
+     {"atomics-audit"}),
+    ("src/obs/r6_marker.cc",
+     "x.load(std::memory_order_acquire);  // mo: pairs with the release",
+     set()),
+    ("src/obs/r6_above.cc", "// mo: counter, atomicity only", set()),
+    ("src/obs/r6_above.cc", "x.fetch_add(1, std::memory_order_relaxed);",
+     set()),
+    ("src/obs/r6_seqcst.cc", "x.store(1, std::memory_order_seq_cst);",
+     set()),
+    # memory_order_consume is banned outright; no marker can excuse it.
+    ("src/obs/r6_consume.cc",
+     "p = x.load(std::memory_order_consume);  // mo: no  // wire-lint: ok",
+     {"atomics-audit"}),
+    # R7: only allowlisted calls inside a signal-safe region. All lines of
+    # one synthetic file share its expected set, so each carries the
+    # file-level verdict.
+    ("src/obs/r7_hit.cc", "// wire-lint: signal-safe-begin",
+     {"signal-safety"}),
+    ("src/obs/r7_hit.cc", "std::snprintf(buf, n, fmt);",
+     {"signal-safety"}),
+    ("src/obs/r7_hit.cc", "// wire-lint: signal-safe-end",
+     {"signal-safety"}),
+    ("src/obs/r7_ok.cc", "// wire-lint: signal-safe-begin", set()),
+    ("src/obs/r7_ok.cc", "::write(fd, p, n); idx.load(o);", set()),
+    ("src/obs/r7_ok.cc", "// wire-lint: signal-safe-end", set()),
+    ("src/obs/r7_ok.cc", "std::printf(after); malloc(n);", set()),
     # Comment and string contents never trip rules.
     ("src/pbio/noise_comment.cc",
      "// reinterpret_cast<char*>(q); mprotect(p, n, PROT_EXEC);", set()),
