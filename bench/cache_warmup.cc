@@ -1,0 +1,235 @@
+// cache_warmup — the fleet-scale conversion-artifact cache's reason to
+// exist, measured: N "connections" (one Context resolution each) sharing
+// a handful of distinct format pairs.
+//
+//   private  — every connection owns a private artifact cache (the old
+//              world): compiles grow O(connections).
+//   shared   — every connection resolves through one process-wide cache:
+//              compiles are capped by the number of distinct pairs, no
+//              matter how many connections stampede in.
+//   restart  — a fresh shared cache over the persisted codegen directory
+//              the `shared` pass wrote: a warm restart performs ZERO JIT
+//              compiles; every artifact is re-proven (plan re-verify +
+//              relocation + translation validation) from disk.
+//
+// Writes BENCH_cache.json.
+//
+//   cache_warmup [--connections N] [--pairs N] [--no-json] [--dir PATH]
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "arch/layout.h"
+#include "bench_support/harness.h"
+#include "cache/artifact_cache.h"
+#include "pbio/context.h"
+#include "util/stopwatch.h"
+#include "vcode/jit_convert.h"
+
+namespace pbio {
+namespace {
+
+/// Eight structurally distinct wire/native pairs (field mix varies per
+/// pair), big-endian wire so every conversion carries real generated code.
+std::vector<std::pair<fmt::FormatDesc, fmt::FormatDesc>> make_pairs(
+    std::size_t n) {
+  using arch::CType;
+  std::vector<std::pair<fmt::FormatDesc, fmt::FormatDesc>> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    arch::StructSpec s;
+    s.name = "pair" + std::to_string(i);
+    s.fields = {
+        {.name = "seq", .type = CType::kInt},
+        {.name = "vals",
+         .type = CType::kDouble,
+         .array_elems = 16 + static_cast<std::uint32_t>(8 * i)},
+        {.name = "flags",
+         .type = CType::kUInt,
+         .array_elems = 4 + static_cast<std::uint32_t>(i)},
+        {.name = "tag", .type = CType::kUShort},
+    };
+    out.emplace_back(arch::layout_format(s, arch::abi_sparc_v8()),
+                     arch::layout_format(s, arch::abi_x86_64()));
+  }
+  return out;
+}
+
+struct RowResult {
+  std::string mode;
+  std::size_t connections = 0;
+  std::size_t pairs = 0;
+  std::uint64_t compiles = 0;
+  std::uint64_t persist_loads = 0;
+  std::uint64_t persist_rejects = 0;
+  double total_ms = 0.0;
+  double us_per_conn = 0.0;
+};
+
+/// One pass: every "connection" is a Context resolving its pair (round-
+/// robin over the pair set). `shared` is null for the private-cache world.
+RowResult run_pass(
+    const std::string& mode, std::size_t connections,
+    const std::vector<std::pair<fmt::FormatDesc, fmt::FormatDesc>>& pairs,
+    std::shared_ptr<cache::ArtifactCache> shared) {
+  RowResult row;
+  row.mode = mode;
+  row.connections = connections;
+  row.pairs = pairs.size();
+
+  std::uint64_t compiles = 0;
+  Stopwatch sw;
+  for (std::size_t c = 0; c < connections; ++c) {
+    Context ctx = shared ? Context(shared) : Context();
+    const auto& [wire, native] = pairs[c % pairs.size()];
+    const auto wid = ctx.register_format(wire);
+    const auto nid = ctx.register_format(native);
+    auto conv = ctx.try_conversion(wid, nid);
+    if (!conv.is_ok()) {
+      std::fprintf(stderr, "cache_warmup: %s\n",
+                   conv.status().to_string().c_str());
+      std::exit(1);
+    }
+    compiles += ctx.stats().conversions_compiled;
+    if (!shared) {
+      const auto cs = ctx.artifact_cache().stats();
+      row.persist_loads += cs.persist_loads;
+      row.persist_rejects += cs.persist_rejects;
+    }
+  }
+  row.total_ms = static_cast<double>(sw.elapsed_ns()) / 1e6;
+  row.compiles = compiles;
+  if (shared) {
+    const auto cs = shared->stats();
+    row.compiles = cs.compiles;  // fleet-wide truth, not per-context sums
+    row.persist_loads = cs.persist_loads;
+    row.persist_rejects = cs.persist_rejects;
+  }
+  row.us_per_conn =
+      connections > 0 ? row.total_ms * 1000.0 / static_cast<double>(connections)
+                      : 0.0;
+  return row;
+}
+
+int run(std::size_t connections, std::size_t npairs, bool write_json,
+        std::string dir) {
+  bench::print_header(
+      "Cache warmup",
+      "JIT compiles per fleet cold start: private vs shared vs persisted");
+  if (!vcode::tval_enabled()) {
+    std::printf("note: PBIO_TVAL=OFF build — persisted cache disabled, the "
+                "restart row degenerates to shared\n");
+  }
+  const auto pairs = make_pairs(npairs);
+
+  const bool own_dir = dir.empty();
+  if (own_dir) {
+    dir = (std::filesystem::temp_directory_path() / "pbio_cache_warmup")
+              .string();
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);  // cold start means a cold disk
+  }
+
+  std::vector<RowResult> rows;
+  rows.push_back(run_pass("private", connections, pairs, nullptr));
+
+  auto shared = std::make_shared<cache::ArtifactCache>();
+  shared->set_persist_dir(dir);
+  rows.push_back(run_pass("shared", connections, pairs, shared));
+
+  // "Restart": a fresh cache over the directory the shared pass persisted.
+  auto restarted = std::make_shared<cache::ArtifactCache>();
+  restarted->set_persist_dir(dir);
+  rows.push_back(run_pass("restart", connections, pairs, restarted));
+
+  bench::Table t("Fleet cold start (" + std::to_string(connections) +
+                     " connections, " + std::to_string(npairs) +
+                     " distinct pairs)",
+                 {"mode", "compiles", "persist_loads", "total_ms",
+                  "us/conn"});
+  for (const RowResult& r : rows) {
+    char total[32], per[32];
+    std::snprintf(total, sizeof total, "%.1f", r.total_ms);
+    std::snprintf(per, sizeof per, "%.1f", r.us_per_conn);
+    t.add_row({r.mode, std::to_string(r.compiles),
+               std::to_string(r.persist_loads), total, per});
+  }
+  t.print();
+
+  const RowResult& sh = rows[1];
+  const RowResult& re = rows[2];
+  const bool shared_ok = sh.compiles <= npairs;
+  const bool restart_ok =
+      !vcode::tval_enabled() || (re.compiles == 0 && re.persist_loads > 0);
+  std::printf("\nshared-cache target (compiles <= %zu pairs): %s\n", npairs,
+              shared_ok ? "met" : "MISSED");
+  std::printf("warm-restart target (0 JIT compiles): %s\n",
+              restart_ok ? "met" : "MISSED");
+
+  if (write_json) {
+    std::FILE* f = std::fopen("BENCH_cache.json", "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write BENCH_cache.json\n");
+      return 1;
+    }
+    std::fprintf(f,
+                 "{\n  \"bench\": \"cache_warmup\",\n"
+                 "  \"connections\": %zu,\n  \"pairs\": %zu,\n"
+                 "  \"tval\": %s,\n  \"rows\": [\n",
+                 connections, npairs,
+                 vcode::tval_enabled() ? "true" : "false");
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const RowResult& r = rows[i];
+      std::fprintf(
+          f,
+          "    {\"mode\": \"%s\", \"connections\": %zu, \"pairs\": %zu, "
+          "\"compiles\": %llu, \"persist_loads\": %llu, "
+          "\"persist_rejects\": %llu, \"total_ms\": %.2f, "
+          "\"us_per_conn\": %.2f}%s\n",
+          r.mode.c_str(), r.connections, r.pairs,
+          static_cast<unsigned long long>(r.compiles),
+          static_cast<unsigned long long>(r.persist_loads),
+          static_cast<unsigned long long>(r.persist_rejects), r.total_ms,
+          r.us_per_conn, i + 1 == rows.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_cache.json (%zu rows)\n", rows.size());
+  }
+
+  if (own_dir) {
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+  }
+  return (shared_ok && restart_ok) ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace pbio
+
+int main(int argc, char** argv) {
+  std::size_t connections = 10000;
+  std::size_t pairs = 8;
+  bool write_json = true;
+  std::string dir;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--connections") == 0 && i + 1 < argc) {
+      connections = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--pairs") == 0 && i + 1 < argc) {
+      pairs = std::strtoul(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--no-json") == 0) {
+      write_json = false;
+    } else if (std::strcmp(argv[i], "--dir") == 0 && i + 1 < argc) {
+      dir = argv[++i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: cache_warmup [--connections N] [--pairs N] "
+                   "[--no-json] [--dir PATH]\n");
+      return 2;
+    }
+  }
+  if (pairs == 0) pairs = 1;
+  return pbio::run(connections, pairs, write_json, dir);
+}

@@ -1,0 +1,251 @@
+#include "cache/artifact_cache.h"
+
+#include <cassert>
+#include <cstring>
+#include <utility>
+
+#include "convert/kernels/kernels.h"
+#include "convert/plan.h"
+#include "fmt/meta.h"
+#include "obs/obs.h"
+#include "obs/span.h"
+#include "verify/verify.h"
+
+namespace pbio::cache {
+
+ArtifactCache::ArtifactCache() = default;
+ArtifactCache::~ArtifactCache() = default;
+
+std::shared_ptr<const vcode::CompiledConvert> ArtifactCache::probe(
+    const Shard& shard, PairKey key) const {
+  // Pairs with the release store in publish(): a reader that sees the new
+  // map pointer also sees the fully constructed map behind it.
+  const Map* map = shard.live.load(std::memory_order_acquire);  // mo: acquire pairs with publish()'s release store
+  if (map == nullptr) return nullptr;
+  auto it = map->find(key);
+  if (it == map->end()) return nullptr;
+  return it->second;
+}
+
+std::shared_ptr<const vcode::CompiledConvert> ArtifactCache::lookup(
+    PairKey key) const {
+  return probe(shards_[shard_of(key)], key);
+}
+
+void ArtifactCache::publish(
+    Shard& shard, PairKey key,
+    std::shared_ptr<const vcode::CompiledConvert> artifact) {
+  const Map* old = shard.live.load(std::memory_order_relaxed);  // mo: mu held; only publishers (who hold mu) store this pointer
+  auto next = old != nullptr ? std::make_unique<Map>(*old)
+                             : std::make_unique<Map>();
+  (*next)[key] = std::move(artifact);
+  const Map* fresh = next.get();
+  shard.history.push_back(std::move(next));
+  shard.live.store(fresh, std::memory_order_release);  // mo: release pairs with probe()'s acquire load; publishes the map contents
+}
+
+Result<ArtifactCache::Got> ArtifactCache::get_or_build(
+    const fmt::FormatDesc& wire, const fmt::FormatDesc& native, PairKey key) {
+  Shard& shard = shards_[shard_of(key)];
+  if (auto hit = probe(shard, key)) {
+    hits_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic
+    OBS_COUNT("pbio.cache.hits", 1);
+    return Got{std::move(hit), Source::kCached};
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic
+  OBS_COUNT("pbio.cache.misses", 1);
+
+  // Single-flight: exactly one caller builds a given key; the rest park on
+  // the flight's condvar and share the result (or the failure).
+  std::shared_ptr<Flight> flight;
+  bool leader = false;
+  {
+    MutexLock lock(shard.mu);
+    // Re-probe under the lock: a build may have been published between the
+    // lock-free miss above and here.
+    if (auto hit = probe(shard, key)) {
+      return Got{std::move(hit), Source::kCached};
+    }
+    auto [it, inserted] =
+        shard.inflight.try_emplace(key, std::shared_ptr<Flight>());
+    if (inserted) {
+      it->second = std::make_shared<Flight>();
+      leader = true;
+    }
+    flight = it->second;
+  }
+
+  if (!leader) {
+    waits_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic
+    OBS_COUNT("pbio.cache.single_flight_waits", 1);
+    MutexLock lock(flight->mu);
+    // The predicate runs with flight->mu held (CondVar::wait's contract),
+    // but the analysis cannot see through condition_variable_any's template.
+    flight->cv.wait(lock, [&]() PBIO_NO_THREAD_SAFETY_ANALYSIS {
+      return flight->done;
+    });
+    if (!flight->error.is_ok()) return flight->error;
+    return Got{flight->artifact, Source::kWaited};
+  }
+
+  // Leader path: build with no locks held, then publish and wake waiters.
+  Result<Got> built = build(wire, native, key);
+  if (built.is_ok()) {
+    MutexLock lock(shard.mu);
+    publish(shard, key, built.value().artifact);
+    shard.inflight.erase(key);
+  } else {
+    MutexLock lock(shard.mu);
+    shard.inflight.erase(key);
+  }
+  {
+    MutexLock lock(flight->mu);
+    flight->done = true;
+    if (built.is_ok()) {
+      flight->artifact = built.value().artifact;
+    } else {
+      flight->error = built.status();
+    }
+  }
+  flight->cv.notify_all();
+  return built;
+}
+
+Result<ArtifactCache::Got> ArtifactCache::build(const fmt::FormatDesc& wire,
+                                                const fmt::FormatDesc& native,
+                                                PairKey key) {
+  convert::Plan plan;
+  {
+    OBS_SPAN("pbio.cache.plan");
+    try {
+      plan = convert::compile_plan(wire, native);
+    } catch (const convert::PlanBuildError& e) {
+      return Status(Errc::kMalformed, e.what());
+    }
+  }
+  {
+    OBS_SPAN("pbio.cache.verify");
+    Status vst = verify::verify_status(plan);
+    if (!vst.is_ok()) {
+      assert(false && "compile_plan produced an unverifiable plan");
+      return vst;
+    }
+  }
+  plan.verified = true;
+
+  const std::string dir = persist_dir();
+  const auto tier = static_cast<std::uint32_t>(convert::kernels::active_isa());
+
+  // Try the persisted code first: structural load, then adopt() re-proves
+  // the bytes (relocate from the plan, translation-validate, W^X seal).
+  if (!dir.empty() && vcode::tval_enabled()) {
+    persist::FileImage img;
+    std::string why;
+    const persist::LoadStatus st = persist::load(
+        dir, key, tier, vcode::kEmitterVersion, &img, &why);
+    if (st == persist::LoadStatus::kLoaded) {
+      convert::Plan adopted_plan = plan;
+      auto adopted = vcode::CompiledConvert::adopt(
+          std::move(adopted_plan), std::move(img.code), img.call_sites);
+      if (adopted.is_ok()) {
+        auto artifact = std::make_shared<const vcode::CompiledConvert>(
+            std::move(adopted).take());
+        persist_loads_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic
+        jit_code_bytes_.fetch_add(artifact->code_size(),
+                                  std::memory_order_relaxed);  // mo: independent statistic
+        OBS_COUNT("pbio.cache.persist_loads", 1);
+        return Got{std::move(artifact), Source::kPersisted};
+      }
+      persist_rejects_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic
+      OBS_COUNT("pbio.cache.persist_rejects", 1);
+      // Fall through to a fresh compile — persistence is an optimization,
+      // never a correctness dependency.
+    } else if (st == persist::LoadStatus::kRejected) {
+      persist_rejects_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic
+      OBS_COUNT("pbio.cache.persist_rejects", 1);
+    }
+  }
+
+  std::shared_ptr<const vcode::CompiledConvert> artifact;
+  {
+    OBS_SPAN("pbio.cache.compile");
+    artifact =
+        std::make_shared<const vcode::CompiledConvert>(std::move(plan));
+  }
+  compiles_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic
+  jit_code_bytes_.fetch_add(artifact->code_size(),
+                            std::memory_order_relaxed);  // mo: independent statistic
+  OBS_COUNT("pbio.cache.compiles", 1);
+
+  // Persist the sealed buffer with its call-target slots zeroed: the file
+  // carries offsets, never addresses (addresses are process-local and the
+  // loader must re-derive them from the plan anyway).
+  if (!dir.empty() && artifact->jitted() && vcode::tval_enabled() &&
+      artifact->tval_report().ok) {
+    persist::FileImage img;
+    img.emitter_version = vcode::kEmitterVersion;
+    img.isa_tier = tier;
+    img.key = key;
+    img.call_sites = artifact->call_sites();
+    img.wire_meta = fmt::encode_meta(wire);
+    img.native_meta = fmt::encode_meta(native);
+    const std::span<const std::uint8_t> code = artifact->code();
+    img.code.assign(code.begin(), code.end());
+    bool sites_ok = true;
+    for (std::uint32_t site : img.call_sites) {
+      if (static_cast<std::size_t>(site) + 8 > img.code.size()) {
+        sites_ok = false;  // defensive: never write a malformed image
+        break;
+      }
+      std::memset(img.code.data() + site, 0, 8);
+    }
+    if (sites_ok && persist::save(dir, img)) {
+      persist_saves_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic
+      OBS_COUNT("pbio.cache.persist_saves", 1);
+    }
+  }
+  return Got{std::move(artifact), Source::kCompiled};
+}
+
+void ArtifactCache::set_persist_dir(std::string dir) {
+  MutexLock lock(persist_mu_);
+  persist_dir_ = std::move(dir);
+}
+
+std::string ArtifactCache::persist_dir() const {
+  MutexLock lock(persist_mu_);
+  return persist_dir_;
+}
+
+ArtifactCache::Stats ArtifactCache::stats() const {
+  Stats s;
+  s.hits = hits_.load(std::memory_order_relaxed);  // mo: monotonic statistics; cross-counter consistency not promised
+  s.misses = misses_.load(std::memory_order_relaxed);  // mo: see hits
+  s.single_flight_waits = waits_.load(std::memory_order_relaxed);  // mo: see hits
+  s.compiles = compiles_.load(std::memory_order_relaxed);  // mo: see hits
+  s.jit_code_bytes = jit_code_bytes_.load(std::memory_order_relaxed);  // mo: see hits
+  s.persist_loads = persist_loads_.load(std::memory_order_relaxed);  // mo: see hits
+  s.persist_saves = persist_saves_.load(std::memory_order_relaxed);  // mo: see hits
+  s.persist_rejects = persist_rejects_.load(std::memory_order_relaxed);  // mo: see hits
+  return s;
+}
+
+std::size_t ArtifactCache::size() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    const Map* map = shard.live.load(std::memory_order_acquire);  // mo: acquire pairs with publish()'s release store
+    if (map != nullptr) n += map->size();
+  }
+  return n;
+}
+
+std::shared_ptr<ArtifactCache> process_cache() {
+  // Leaked intentionally: sealed code buffers may still be executing on
+  // detached threads during static destruction.
+  static ArtifactCache* const kCache = new ArtifactCache();
+  static const std::shared_ptr<ArtifactCache> kHandle(kCache,
+                                                      [](ArtifactCache*) {});
+  return kHandle;
+}
+
+}  // namespace pbio::cache

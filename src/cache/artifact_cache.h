@@ -1,0 +1,170 @@
+// Process-wide conversion-artifact cache: verified plans and sealed JIT
+// code buffers, shared across every Context/worker/connection that opts in.
+//
+// Motivation (ROADMAP item 1): a broker fleet holds thousands of
+// connections that share a handful of (wire, native) format pairs, yet
+// each Context used to pay plan build + static verify + JIT + translation
+// validation per pair — and a restarted server re-entered JIT warmup from
+// zero. This cache makes the artifact the unit of sharing:
+//
+//  * keys are canonical structural hashes (fmt::canonical_hash) of the
+//    format pair, so byte-order/field-order/arch-name presentation
+//    differences collapse onto one artifact;
+//  * the cache is N-way sharded; the hit path is lock-free: one acquire
+//    load of the shard's immutable snapshot map, a find, a shared_ptr
+//    refcount bump. Inserts copy-on-write the snapshot under the shard
+//    mutex and publish with a release store. Retired snapshots are kept
+//    until cache destruction (read-mostly: one small retired map per
+//    compiled pair, i.e. per handful-of-microseconds event);
+//  * a stampede of cold callers is collapsed by single-flight: the first
+//    caller compiles, everyone else blocks on that flight's condvar and
+//    shares the one sealed buffer — a 10k-connection cold start performs
+//    exactly one compile per distinct pair;
+//  * with a persist directory configured, sealed buffers are written to
+//    disk (cache/persist.h) and re-proven on load: the plan is recompiled
+//    from the registry's descriptions, re-verified, the loaded bytes are
+//    relocated from the plan and the translation validator must accept
+//    them before the W^X seal. A warm restart performs zero JIT compiles;
+//    a poisoned cache file can never execute.
+//
+// Metrics: pbio.cache.{hits,misses,single_flight_waits,compiles,
+// persist_loads,persist_saves,persist_rejects} via obs, mirrored in
+// Stats for mutex-free polling (Context::stats() forwards them).
+// thread-domain: any
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/persist.h"
+#include "fmt/format.h"
+#include "util/error.h"
+#include "util/mutex.h"
+#include "vcode/jit_convert.h"
+
+namespace pbio::cache {
+
+/// Where an artifact handed out by get_or_build() came from — callers
+/// (Context) use it to keep their own per-context accounting honest.
+enum class Source : std::uint8_t {
+  kCached,     // lock-free hit on the snapshot map
+  kWaited,     // another caller was already compiling; shared its result
+  kCompiled,   // this call ran the full plan+verify+JIT+tval pipeline
+  kPersisted,  // this call re-proved and sealed a persisted code buffer
+};
+
+// thread-domain: any
+class ArtifactCache {
+ public:
+  ArtifactCache();
+  ~ArtifactCache();
+
+  ArtifactCache(const ArtifactCache&) = delete;
+  ArtifactCache& operator=(const ArtifactCache&) = delete;
+
+  struct Got {
+    std::shared_ptr<const vcode::CompiledConvert> artifact;
+    Source source = Source::kCached;
+  };
+
+  /// Fetch (building on first use, stampede-collapsed) the conversion
+  /// artifact for `wire` -> `native`, keyed by the canonical hashes the
+  /// caller resolved alongside the descriptions. Failures (plan build or
+  /// verification errors) are returned to every waiter and are not cached.
+  Result<Got> get_or_build(const fmt::FormatDesc& wire,
+                           const fmt::FormatDesc& native, PairKey key);
+
+  /// Lock-free probe without build (tests, tools).
+  std::shared_ptr<const vcode::CompiledConvert> lookup(PairKey key) const;
+
+  /// Enable (non-empty) or disable (empty) the on-disk persisted codegen
+  /// cache. Cold-path setting; takes effect for subsequent builds.
+  void set_persist_dir(std::string dir);
+  std::string persist_dir() const;
+
+  /// Mutex-free counter snapshot (relaxed atomics; cross-counter
+  /// consistency not promised).
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t single_flight_waits = 0;
+    std::uint64_t compiles = 0;
+    std::uint64_t jit_code_bytes = 0;
+    std::uint64_t persist_loads = 0;
+    std::uint64_t persist_saves = 0;
+    std::uint64_t persist_rejects = 0;
+  };
+  Stats stats() const;
+
+  /// Number of distinct artifacts currently published.
+  std::size_t size() const;
+
+  static constexpr unsigned kShards = 8;
+
+ private:
+  using Map = std::unordered_map<
+      PairKey, std::shared_ptr<const vcode::CompiledConvert>, PairKeyHash>;
+
+  /// One in-progress build, shared by the leader and every waiter.
+  struct Flight {
+    Mutex mu;
+    CondVar cv;
+    bool done PBIO_GUARDED_BY(mu) = false;
+    std::shared_ptr<const vcode::CompiledConvert> artifact
+        PBIO_GUARDED_BY(mu);
+    Status error PBIO_GUARDED_BY(mu);
+  };
+
+  struct Shard {
+    /// The live snapshot. Readers load-acquire and never lock; the pointee
+    /// is immutable and owned by `history` below.
+    std::atomic<const Map*> live{nullptr};
+    mutable Mutex mu;
+    /// Every snapshot ever published (the last entry is `live`). Kept
+    /// until cache destruction so a reader can never observe a freed map.
+    std::vector<std::unique_ptr<const Map>> history PBIO_GUARDED_BY(mu);
+    std::unordered_map<PairKey, std::shared_ptr<Flight>, PairKeyHash>
+        inflight PBIO_GUARDED_BY(mu);
+  };
+
+  static std::size_t shard_of(PairKey key) {
+    return PairKeyHash{}(key) % kShards;
+  }
+
+  std::shared_ptr<const vcode::CompiledConvert> probe(const Shard& shard,
+                                                      PairKey key) const;
+  void publish(Shard& shard, PairKey key,
+               std::shared_ptr<const vcode::CompiledConvert> artifact)
+      PBIO_REQUIRES(shard.mu);
+
+  /// The full build pipeline (leader only, no locks held): plan build +
+  /// static verify, then persisted-load-and-re-prove or fresh JIT + tval,
+  /// then persist of freshly sealed code.
+  Result<Got> build(const fmt::FormatDesc& wire, const fmt::FormatDesc& native,
+                    PairKey key);
+
+  Shard shards_[kShards];
+
+  mutable Mutex persist_mu_;
+  std::string persist_dir_ PBIO_GUARDED_BY(persist_mu_);
+
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> waits_{0};
+  std::atomic<std::uint64_t> compiles_{0};
+  std::atomic<std::uint64_t> jit_code_bytes_{0};
+  std::atomic<std::uint64_t> persist_loads_{0};
+  std::atomic<std::uint64_t> persist_saves_{0};
+  std::atomic<std::uint64_t> persist_rejects_{0};
+};
+
+/// The process-wide cache: what a fleet of broker workers / tools shares
+/// by constructing their Context over it. Never destroyed (artifacts may
+/// be executing on any thread at process exit).
+std::shared_ptr<ArtifactCache> process_cache();
+
+}  // namespace pbio::cache

@@ -1,0 +1,222 @@
+#include "cache/persist.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <system_error>
+
+#include "util/buffer.h"
+#include "util/endian.h"
+#include "util/hash.h"
+#include "util/logging.h"
+
+namespace pbio::cache::persist {
+
+namespace {
+
+constexpr char kMagic[8] = {'P', 'B', 'I', 'O', 'C', 'C', '1', '\0'};
+constexpr ByteOrder kOrder = ByteOrder::kLittle;
+// Header: magic + 4 u32 + 2 u64 + 2 u32 + u64 + u64.
+constexpr std::size_t kHeaderSize = 8 + 4 * 4 + 2 * 8 + 2 * 4 + 8 + 8;
+// A conversion function is a few KiB at most; a cache file claiming more
+// code than this is garbage, not a bigger record format.
+constexpr std::uint64_t kMaxCodeSize = 16u << 20;
+constexpr std::uint64_t kMaxMetaSize = 1u << 20;
+constexpr std::uint64_t kMaxCallSites = 1u << 16;
+
+std::string hex16(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+bool fail(std::string* why, const char* reason) {
+  if (why != nullptr) *why = reason;
+  return false;
+}
+
+}  // namespace
+
+std::string file_name(PairKey key, std::uint32_t isa_tier,
+                      std::uint32_t emitter_version) {
+  return hex16(key.wire) + "-" + hex16(key.native) + "-t" +
+         std::to_string(isa_tier) + "-e" + std::to_string(emitter_version) +
+         ".pbcc";
+}
+
+std::uint64_t payload_checksum(const FileImage& img) {
+  std::uint64_t h = fnv1a("pbio.cache.payload.v1");
+  for (std::uint32_t site : img.call_sites) h = fnv1a_mix(h, site);
+  h = fnv1a(img.wire_meta.data(), img.wire_meta.size(), h);
+  h = fnv1a(img.native_meta.data(), img.native_meta.size(), h);
+  h = fnv1a(img.code.data(), img.code.size(), h);
+  return h;
+}
+
+std::vector<std::uint8_t> encode_file(const FileImage& img) {
+  ByteBuffer out(kHeaderSize + img.code.size() + img.wire_meta.size() +
+                 img.native_meta.size() + 4 * img.call_sites.size());
+  out.append(kMagic, sizeof(kMagic));
+  out.append_uint(img.file_version, 4, kOrder);
+  out.append_uint(img.emitter_version, 4, kOrder);
+  out.append_uint(img.isa_tier, 4, kOrder);
+  out.append_uint(img.call_sites.size(), 4, kOrder);
+  out.append_uint(img.key.wire, 8, kOrder);
+  out.append_uint(img.key.native, 8, kOrder);
+  out.append_uint(img.wire_meta.size(), 4, kOrder);
+  out.append_uint(img.native_meta.size(), 4, kOrder);
+  out.append_uint(img.code.size(), 8, kOrder);
+  out.append_uint(payload_checksum(img), 8, kOrder);
+  for (std::uint32_t site : img.call_sites) out.append_uint(site, 4, kOrder);
+  out.append(img.wire_meta.data(), img.wire_meta.size());
+  out.append(img.native_meta.data(), img.native_meta.size());
+  out.append(img.code.data(), img.code.size());
+  return {out.data(), out.data() + out.size()};
+}
+
+bool decode_file(std::span<const std::uint8_t> bytes, FileImage* out,
+                 std::string* why) {
+  ByteReader in(bytes);
+  char magic[8];
+  if (!in.read_bytes(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return fail(why, "bad magic");
+  }
+  std::uint64_t v = 0;
+  if (!in.read_uint(&v, 4, kOrder)) return fail(why, "truncated header");
+  out->file_version = static_cast<std::uint32_t>(v);
+  if (out->file_version != kFileVersion) return fail(why, "bad file version");
+  if (!in.read_uint(&v, 4, kOrder)) return fail(why, "truncated header");
+  out->emitter_version = static_cast<std::uint32_t>(v);
+  if (!in.read_uint(&v, 4, kOrder)) return fail(why, "truncated header");
+  out->isa_tier = static_cast<std::uint32_t>(v);
+  std::uint64_t nsites = 0;
+  if (!in.read_uint(&nsites, 4, kOrder) || nsites > kMaxCallSites) {
+    return fail(why, "bad call-site count");
+  }
+  if (!in.read_uint(&out->key.wire, 8, kOrder) ||
+      !in.read_uint(&out->key.native, 8, kOrder)) {
+    return fail(why, "truncated header");
+  }
+  std::uint64_t wire_meta_size = 0;
+  std::uint64_t native_meta_size = 0;
+  std::uint64_t code_size = 0;
+  std::uint64_t checksum = 0;
+  if (!in.read_uint(&wire_meta_size, 4, kOrder) ||
+      !in.read_uint(&native_meta_size, 4, kOrder) ||
+      !in.read_uint(&code_size, 8, kOrder) ||
+      !in.read_uint(&checksum, 8, kOrder)) {
+    return fail(why, "truncated header");
+  }
+  if (wire_meta_size > kMaxMetaSize || native_meta_size > kMaxMetaSize ||
+      code_size > kMaxCodeSize) {
+    return fail(why, "implausible section size");
+  }
+  const std::uint64_t payload =
+      4 * nsites + wire_meta_size + native_meta_size + code_size;
+  if (in.remaining() != payload) return fail(why, "payload size mismatch");
+  out->call_sites.resize(static_cast<std::size_t>(nsites));
+  for (std::uint32_t& site : out->call_sites) {
+    std::uint64_t s = 0;
+    if (!in.read_uint(&s, 4, kOrder)) return fail(why, "truncated payload");
+    site = static_cast<std::uint32_t>(s);
+  }
+  auto read_vec = [&in](std::vector<std::uint8_t>* dst, std::uint64_t n) {
+    dst->resize(static_cast<std::size_t>(n));
+    return n == 0 || in.read_bytes(dst->data(), dst->size());
+  };
+  if (!read_vec(&out->wire_meta, wire_meta_size) ||
+      !read_vec(&out->native_meta, native_meta_size) ||
+      !read_vec(&out->code, code_size)) {
+    return fail(why, "truncated payload");
+  }
+  if (payload_checksum(*out) != checksum) {
+    return fail(why, "payload checksum mismatch");
+  }
+  return true;
+}
+
+LoadStatus load(const std::string& dir, PairKey key, std::uint32_t isa_tier,
+                std::uint32_t emitter_version, FileImage* out,
+                std::string* why) {
+  namespace fs = std::filesystem;
+  const fs::path path =
+      fs::path(dir) / file_name(key, isa_tier, emitter_version);
+  std::error_code ec;
+  if (!fs::exists(path, ec) || ec) return LoadStatus::kMiss;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return LoadStatus::kMiss;
+  std::vector<std::uint8_t> bytes;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.insert(bytes.end(), buf, buf + n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    if (why != nullptr) *why = "read error";
+    return LoadStatus::kRejected;
+  }
+  if (!decode_file(bytes, out, why)) return LoadStatus::kRejected;
+  // The name encoded the identity, but names are just filesystem state —
+  // re-check the header against what the *caller* wants.
+  if (out->key != key) {
+    if (why != nullptr) *why = "key mismatch";
+    return LoadStatus::kRejected;
+  }
+  if (out->isa_tier != isa_tier) {
+    if (why != nullptr) *why = "ISA tier mismatch";
+    return LoadStatus::kRejected;
+  }
+  if (out->emitter_version != emitter_version) {
+    if (why != nullptr) *why = "emitter version mismatch";
+    return LoadStatus::kRejected;
+  }
+  return LoadStatus::kLoaded;
+}
+
+bool save(const std::string& dir, const FileImage& img) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return false;
+  const fs::path final_path =
+      fs::path(dir) /
+      file_name(img.key, img.isa_tier, img.emitter_version);
+  const fs::path tmp_path = fs::path(dir) / (".tmp." + hex16(img.key.wire) +
+                                             "." + hex16(img.key.native));
+  const std::vector<std::uint8_t> bytes = encode_file(img);
+  std::FILE* f = std::fopen(tmp_path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const bool wrote =
+      std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  if (!wrote || !flushed) {
+    fs::remove(tmp_path, ec);
+    return false;
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    fs::remove(tmp_path, ec);
+    return false;
+  }
+  return true;
+}
+
+std::vector<std::string> list(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  std::error_code ec;
+  for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+       it.increment(ec)) {
+    if (it->path().extension() == ".pbcc") out.push_back(it->path().string());
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace pbio::cache::persist

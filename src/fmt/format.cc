@@ -178,4 +178,34 @@ std::string describe(const FormatDesc& f) {
   return os.str();
 }
 
+namespace {
+
+void canonicalize_fields(FormatDesc* f) {
+  f->arch_name.clear();
+  std::sort(f->fields.begin(), f->fields.end(),
+            [](const FieldDesc& a, const FieldDesc& b) {
+              if (a.offset != b.offset) return a.offset < b.offset;
+              return a.name < b.name;
+            });
+}
+
+}  // namespace
+
+std::uint64_t canonical_hash(const FormatDesc& f) {
+  // Normalize a copy, then hash its meta encoding — the encoding already
+  // covers every wire-relevant attribute, so canonicalization only has to
+  // erase the non-semantic degrees of freedom.
+  FormatDesc canon = f;
+  canonicalize_fields(&canon);
+  std::sort(canon.subformats.begin(), canon.subformats.end(),
+            [](const FormatDesc& a, const FormatDesc& b) {
+              return a.name < b.name;
+            });
+  for (FormatDesc& sub : canon.subformats) canonicalize_fields(&sub);
+  const auto bytes = encode_meta(canon);
+  // Domain-separate from fingerprint() so the two id spaces cannot be
+  // confused even for formats whose canonical form is their announced form.
+  return fnv1a(bytes.data(), bytes.size(), fnv1a("pbio.canonical.v1"));
+}
+
 }  // namespace pbio::fmt

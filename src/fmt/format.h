@@ -91,4 +91,15 @@ struct FormatDesc {
 /// Human-readable dump (for reflection demos and error messages).
 std::string describe(const FormatDesc& f);
 
+/// Canonical structural hash: the conversion-artifact cache key half for
+/// one format. Unlike fingerprint() — which hashes the meta encoding
+/// verbatim, so it distinguishes announcements byte-for-byte — this hash
+/// normalizes everything that cannot change what a conversion does:
+/// `arch_name` is dropped (informational), fields are ordered by
+/// (offset, name) instead of declaration order, and subformats are ordered
+/// by name. Two formats with equal canonical hashes describe the same
+/// memory image, so any verified conversion artifact compiled for one is
+/// valid for the other.
+std::uint64_t canonical_hash(const FormatDesc& f);
+
 }  // namespace pbio::fmt

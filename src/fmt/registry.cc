@@ -5,23 +5,36 @@ namespace pbio::fmt {
 FormatId FormatRegistry::register_format(FormatDesc f) {
   f.validate();
   const FormatId id = f.fingerprint();
+  const std::uint64_t canonical = canonical_hash(f);
   MutexLock lock(mu_);
   auto it = formats_.find(id);
   if (it != formats_.end()) {
-    if (*it->second != f) {
+    if (*it->second.desc != f) {
       throw PbioError("format id collision for '" + f.name + "'");
     }
     return id;
   }
   by_name_[f.name] = id;
-  formats_.emplace(id, std::make_unique<FormatDesc>(std::move(f)));
+  formats_.emplace(
+      id, Entry{std::make_unique<FormatDesc>(std::move(f)), canonical});
+  // Publish to the negative cache last, while still holding mu_: a probe
+  // that misses the bloom filter can then never race ahead of the map
+  // insert for an id it could legitimately know about.
+  bloom_.insert(id);
   return id;
 }
 
 const FormatDesc* FormatRegistry::find(FormatId id) const {
   MutexLock lock(mu_);
   auto it = formats_.find(id);
-  return it == formats_.end() ? nullptr : it->second.get();
+  return it == formats_.end() ? nullptr : it->second.desc.get();
+}
+
+FormatRegistry::Resolved FormatRegistry::resolve(FormatId id) const {
+  MutexLock lock(mu_);
+  auto it = formats_.find(id);
+  if (it == formats_.end()) return {};
+  return {it->second.desc.get(), it->second.canonical};
 }
 
 const FormatDesc* FormatRegistry::find_by_name(std::string_view name) const {
@@ -29,7 +42,7 @@ const FormatDesc* FormatRegistry::find_by_name(std::string_view name) const {
   auto it = by_name_.find(std::string(name));
   if (it == by_name_.end()) return nullptr;
   auto fit = formats_.find(it->second);
-  return fit == formats_.end() ? nullptr : fit->second.get();
+  return fit == formats_.end() ? nullptr : fit->second.desc.get();
 }
 
 std::size_t FormatRegistry::size() const {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "fmt/format.h"
+#include "util/bloom.h"
 #include "util/mutex.h"
 
 namespace pbio::fmt {
@@ -36,6 +37,21 @@ class FormatRegistry {
 
   bool contains(FormatId id) const { return find(id) != nullptr; }
 
+  /// Bloom-filter negative cache in front of the locked maps: false means
+  /// `id` was definitely never registered, answered with a few relaxed
+  /// loads and no mutex — the cheap first gate for frames carrying unknown
+  /// wire ids. True means "probably registered, do the real lookup".
+  bool maybe_contains(FormatId id) const { return bloom_.maybe_contains(id); }
+
+  /// A registered format together with its cached canonical structural
+  /// hash (fmt::canonical_hash, computed once at registration) — the
+  /// conversion-artifact cache key half. desc == nullptr when unknown.
+  struct Resolved {
+    const FormatDesc* desc = nullptr;
+    std::uint64_t canonical = 0;
+  };
+  Resolved resolve(FormatId id) const;
+
   std::size_t size() const;
 
   /// Snapshot of all registered ids (test/diagnostic use).
@@ -43,11 +59,16 @@ class FormatRegistry {
 
  private:
   mutable Mutex mu_;
-  // unique_ptr values are guarded but the FormatDescs they point at are
+  struct Entry {
+    std::unique_ptr<FormatDesc> desc;
+    std::uint64_t canonical = 0;
+  };
+  // Entry values are guarded but the FormatDescs they point at are
   // immutable after insert — find() hands out raw pointers by design.
-  std::unordered_map<FormatId, std::unique_ptr<FormatDesc>> formats_
-      PBIO_GUARDED_BY(mu_);
+  std::unordered_map<FormatId, Entry> formats_ PBIO_GUARDED_BY(mu_);
   std::unordered_map<std::string, FormatId> by_name_ PBIO_GUARDED_BY(mu_);
+  // Grow-only mirror of formats_'s key set; see maybe_contains().
+  BloomFilter<> bloom_;
 };
 
 }  // namespace pbio::fmt

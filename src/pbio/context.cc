@@ -1,10 +1,8 @@
 #include "pbio/context.h"
 
-#include <cassert>
+#include <utility>
 
-#include "convert/plan.h"
 #include "obs/span.h"
-#include "verify/verify.h"
 
 namespace pbio {
 
@@ -19,49 +17,60 @@ Result<std::shared_ptr<const Conversion>> Context::try_conversion(
       return it->second;
     }
   }
-  const fmt::FormatDesc* src = registry_.find(wire);
-  const fmt::FormatDesc* dst = registry_.find(native);
-  if (src == nullptr || dst == nullptr) {
+  // Bloom-filter negative cache: an id the registry has definitely never
+  // seen is rejected with one lock-free probe — unknown-id storms (fuzzing
+  // peers, id typos) never touch the registry mutex.
+  if (!registry_.maybe_contains(wire) || !registry_.maybe_contains(native)) {
+    negative_cache_hits_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic, read by stats() only
+    OBS_COUNT("pbio.cache.negative_hits", 1);
     return Status(Errc::kUnknownFormat,
                   "Context::conversion: unknown format id");
   }
-  // Compile outside the lock: compilation can take microseconds-to-
-  // milliseconds and concurrent readers must not serialize on it. A racing
-  // duplicate compile is tolerated; first one in wins.
-  convert::Plan plan;
-  {
-    OBS_SPAN("pbio.conv.compile");
-    try {
-      plan = convert::compile_plan(*src, *dst);
-    } catch (const convert::PlanBuildError& e) {
-      OBS_COUNT("pbio.conv.verify_rejects", 1);
-      return Status(Errc::kMalformed, e.what());
-    }
+  const fmt::FormatRegistry::Resolved src = registry_.resolve(wire);
+  const fmt::FormatRegistry::Resolved dst = registry_.resolve(native);
+  if (src.desc == nullptr || dst.desc == nullptr) {
+    return Status(Errc::kUnknownFormat,
+                  "Context::conversion: unknown format id");
   }
-  // Static verification before the plan can ever execute: the wire format
-  // is untrusted input and the compiled plan is about to become (possibly
-  // generated) code running over raw buffers. A failure here means either
-  // a plan-compiler bug or a forged plan — hard-fail in debug builds,
-  // reject the format in release.
-  {
-    OBS_SPAN("pbio.conv.verify");
-    Status vst = verify::verify_status(plan);
-    if (!vst.is_ok()) {
-      OBS_COUNT("pbio.conv.verify_rejects", 1);
-      assert(false && "compile_plan produced an unverifiable plan");
-      return vst;
-    }
+  // Resolve through the artifact cache, keyed by the canonical structural
+  // hash of the pair. Plan build, static verification, JIT, translation
+  // validation, persistence and stampede collapse all live there; this
+  // context only keeps its own accounting straight from the Source tag.
+  auto got = cache_->get_or_build(*src.desc, *dst.desc,
+                                  {src.canonical, dst.canonical});
+  if (!got.is_ok()) {
+    OBS_COUNT("pbio.conv.verify_rejects", 1);
+    return got.status();
   }
-  plan.verified = true;
-  auto conv = std::make_shared<const Conversion>(std::move(plan));
+  cache::ArtifactCache::Got result = std::move(got).take();
+  switch (result.source) {
+    case cache::Source::kCached:
+      shared_cache_hits_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic, read by stats() only
+      break;
+    case cache::Source::kWaited:
+      shared_cache_misses_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic, read by stats() only
+      single_flight_waits_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic, read by stats() only
+      break;
+    case cache::Source::kCompiled:
+      shared_cache_misses_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic, read by stats() only
+      conversions_compiled_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic, read by stats() only
+      jit_code_bytes_.fetch_add(result.artifact->code_size(),
+                                std::memory_order_relaxed);  // mo: independent statistic, read by stats() only
+      OBS_COUNT("pbio.conv.compiled", 1);
+      OBS_COUNT("pbio.conv.jit_code_bytes", result.artifact->code_size());
+      break;
+    case cache::Source::kPersisted:
+      shared_cache_misses_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic, read by stats() only
+      persist_loads_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic, read by stats() only
+      jit_code_bytes_.fetch_add(result.artifact->code_size(),
+                                std::memory_order_relaxed);  // mo: independent statistic, read by stats() only
+      break;
+  }
+  auto conv = std::make_shared<const Conversion>(std::move(result.artifact));
   MutexLock lock(mu_);
   auto [it, inserted] = conversions_.try_emplace({wire, native}, conv);
-  if (inserted) {
-    conversions_compiled_.fetch_add(1, std::memory_order_relaxed);  // mo: independent statistic, read by stats() only
-    jit_code_bytes_.fetch_add(conv->code_size(), std::memory_order_relaxed);  // mo: independent statistic, read by stats() only
-    OBS_COUNT("pbio.conv.compiled", 1);
-    OBS_COUNT("pbio.conv.jit_code_bytes", conv->code_size());
-  }
+  // A racing L1 insert for the same pair loses harmlessly: both entries
+  // wrap the same shared artifact.
   return it->second;
 }
 
@@ -81,6 +90,15 @@ Context::Stats Context::stats() const {
   s.conversion_cache_hits =
       conversion_cache_hits_.load(std::memory_order_relaxed);  // mo: see conversions_compiled
   s.jit_code_bytes = jit_code_bytes_.load(std::memory_order_relaxed);  // mo: see conversions_compiled
+  s.shared_cache_hits =
+      shared_cache_hits_.load(std::memory_order_relaxed);  // mo: see conversions_compiled
+  s.shared_cache_misses =
+      shared_cache_misses_.load(std::memory_order_relaxed);  // mo: see conversions_compiled
+  s.single_flight_waits =
+      single_flight_waits_.load(std::memory_order_relaxed);  // mo: see conversions_compiled
+  s.negative_cache_hits =
+      negative_cache_hits_.load(std::memory_order_relaxed);  // mo: see conversions_compiled
+  s.persist_loads = persist_loads_.load(std::memory_order_relaxed);  // mo: see conversions_compiled
   return s;
 }
 

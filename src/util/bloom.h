@@ -1,0 +1,83 @@
+// Lock-free bloom filter for read-mostly negative caching.
+//
+// The registry sits behind a mutex; a frame carrying an unknown wire id
+// would otherwise pay that mutex just to learn "never heard of it". This
+// filter answers "definitely not registered" with a handful of relaxed
+// loads and no lock. Keys are only ever added (formats are never removed
+// from a registry), which is the one workload a bloom filter handles
+// without deletions or generations.
+//
+// Concurrency contract: insert() publishes bits with relaxed RMWs, so a
+// probe is guaranteed to see a key only when the *key itself* reached the
+// probing thread through a synchronizing edge (mutex, release/acquire
+// publish, thread start/join, a socket read). Every caller in this
+// codebase learns format ids exactly that way — from register_format()'s
+// return value on the same thread, or from bytes that arrived over a
+// channel — so a false negative cannot be observed. False positives are
+// benign: the caller falls through to the locked registry lookup.
+// thread-domain: any
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "util/hash.h"
+
+namespace pbio {
+
+/// `kBits` must be a power of two. Sizing: with k=4 probes, a 16384-bit
+/// (2 KiB) filter holding 500 keys has a false-positive rate under 0.1%,
+/// and a process registers at most a few hundred formats.
+template <std::size_t kBits = 16384>
+class BloomFilter {
+  static_assert((kBits & (kBits - 1)) == 0, "kBits must be a power of two");
+
+ public:
+  static constexpr unsigned kProbes = 4;
+
+  void insert(std::uint64_t key) {
+    std::uint64_t h1 = 0;
+    std::uint64_t h2 = 0;
+    seeds(key, &h1, &h2);
+    for (unsigned i = 0; i < kProbes; ++i) {
+      const std::uint64_t bit = (h1 + i * h2) & (kBits - 1);
+      words_[bit >> 6].fetch_or(
+          std::uint64_t{1} << (bit & 63),
+          std::memory_order_relaxed);  // mo: monotonic bit set; the key is
+                                       // published to probers via an
+                                       // external synchronizing edge (see
+                                       // file comment)
+    }
+  }
+
+  /// False means the key was definitely never insert()ed (modulo the
+  /// publication contract above); true means "ask the real store".
+  bool maybe_contains(std::uint64_t key) const {
+    std::uint64_t h1 = 0;
+    std::uint64_t h2 = 0;
+    seeds(key, &h1, &h2);
+    for (unsigned i = 0; i < kProbes; ++i) {
+      const std::uint64_t bit = (h1 + i * h2) & (kBits - 1);
+      const std::uint64_t word = words_[bit >> 6].load(
+          std::memory_order_relaxed);  // mo: see insert(); reading a stale 0
+                                       // is impossible once the key itself
+                                       // was received via synchronization
+      if ((word & (std::uint64_t{1} << (bit & 63))) == 0) return false;
+    }
+    return true;
+  }
+
+ private:
+  /// Double hashing: two independent 64-bit streams from one key. Format
+  /// ids are already content hashes, but remix anyway so adversarially
+  /// chosen ids cannot aim at shared bits.
+  static void seeds(std::uint64_t key, std::uint64_t* h1, std::uint64_t* h2) {
+    *h1 = fnv1a_mix(kFnvOffset, key);
+    *h2 = fnv1a_mix(*h1, key) | 1;  // odd stride visits distinct bits
+  }
+
+  std::atomic<std::uint64_t> words_[kBits / 64] = {};
+};
+
+}  // namespace pbio

@@ -48,6 +48,72 @@ extern "C" int pbio_jit_var_op(JitRt* rt, std::uint32_t op_index) {
 constexpr unsigned kUnrollLimit = 4;
 constexpr unsigned kInlineCopyLimit = 64;
 
+/// Whether the compiler will emit a batch-kernel call for this array op —
+/// the exact predicate of ConvertCompiler::try_emit_kernel_call, shared so
+/// the load-time relocation walk (call_targets) reproduces the emission
+/// decisions bit for bit.
+bool kernel_call_emitted(const Plan& plan, const Op& op, bool top,
+                         kernels::KernelFn fn) {
+  if (fn == nullptr || !top || op.count < kernels::kMinCount) return false;
+  if (plan.inplace_safe) {
+    const std::uint64_t sbeg = op.src_off;
+    const std::uint64_t send = sbeg + std::uint64_t{op.count} * op.width_src;
+    const std::uint64_t dbeg = op.dst_off;
+    const std::uint64_t dend = dbeg + std::uint64_t{op.count} * op.width_dst;
+    const bool identical = sbeg == dbeg && op.width_src == op.width_dst;
+    if (!identical && dend > sbeg && send > dbeg) return false;
+  }
+  return true;
+}
+
+/// Visit every call the compiler emits for `plan`, in emission order.
+/// `sink(addr, kind, width_src, width_dst)` fires once per call site.
+template <typename Sink>
+void walk_call_sites(const Plan& plan, Sink&& sink) {
+  auto visit = [&](const Op& op, bool top, auto&& self) -> void {
+    switch (op.code) {
+      case OpCode::kCopy:
+        if (op.byte_len > kInlineCopyLimit) {
+          sink(reinterpret_cast<std::uint64_t>(&std::memmove),
+               verify::tval::CalleeKind::kMemmove, 0, 0);
+        }
+        return;
+      case OpCode::kZero:
+        if (op.byte_len > kInlineCopyLimit) {
+          sink(reinterpret_cast<std::uint64_t>(&std::memset),
+               verify::tval::CalleeKind::kMemset, 0, 0);
+        }
+        return;
+      case OpCode::kSwap: {
+        kernels::KernelFn fn = kernels::swap_kernel(op.width_src);
+        if (kernel_call_emitted(plan, op, top, fn)) {
+          sink(reinterpret_cast<std::uint64_t>(fn),
+               verify::tval::CalleeKind::kKernel, op.width_src, op.width_src);
+        }
+        return;
+      }
+      case OpCode::kCvtNum: {
+        kernels::KernelFn fn = kernels::cvt_kernel(
+            kernels::cvt_key(op, plan.src_order, plan.dst_order));
+        if (kernel_call_emitted(plan, op, top, fn)) {
+          sink(reinterpret_cast<std::uint64_t>(fn),
+               verify::tval::CalleeKind::kKernel, op.width_src, op.width_dst);
+        }
+        return;
+      }
+      case OpCode::kSubLoop:
+        for (const Op& sub : op.sub) self(sub, /*top=*/false, self);
+        return;
+      case OpCode::kString:
+      case OpCode::kVarArray:
+        sink(reinterpret_cast<std::uint64_t>(&pbio_jit_var_op),
+             verify::tval::CalleeKind::kVarOp, 0, 0);
+        return;
+    }
+  };
+  for (const Op& op : plan.ops) visit(op, /*top=*/true, visit);
+}
+
 /// Emission context: which registers act as the record bases, and which
 /// loop-register set is free (the top level uses rbx/rbp/r15; loops nested
 /// inside a kSubLoop body use r8/r9/rdi).
@@ -180,20 +246,8 @@ class ConvertCompiler {
   /// per-record element runs are small anyway.
   bool try_emit_kernel_call(const Op& op, const EmitCtx& ctx,
                             kernels::KernelFn fn) {
-    if (fn == nullptr || ctx.loop_depth != 0 ||
-        op.count < kernels::kMinCount) {
+    if (!kernel_call_emitted(plan_, op, /*top=*/ctx.loop_depth == 0, fn)) {
       return false;
-    }
-    if (plan_.inplace_safe) {
-      const std::uint64_t sbeg = op.src_off;
-      const std::uint64_t send =
-          sbeg + std::uint64_t{op.count} * op.width_src;
-      const std::uint64_t dbeg = op.dst_off;
-      const std::uint64_t dend =
-          dbeg + std::uint64_t{op.count} * op.width_dst;
-      const bool identical =
-          sbeg == dbeg && op.width_src == op.width_dst;
-      if (!identical && dend > sbeg && send > dbeg) return false;
     }
     // void kernel(uint8_t* dst, const uint8_t* src, size_t count) — the
     // argument registers are scratch; loop registers are callee-saved.
@@ -343,10 +397,9 @@ class ConvertCompiler {
 verify::tval::Options make_tval_options(const Plan& plan) {
   namespace tval = verify::tval;
   tval::Options opts;
-  auto add = [&opts](const void* fn, tval::CalleeKind kind,
-                     std::uint8_t ws = 0, std::uint8_t wd = 0) {
-    if (fn == nullptr) return;
-    const auto addr = reinterpret_cast<std::uint64_t>(fn);
+  walk_call_sites(plan, [&opts](std::uint64_t addr, tval::CalleeKind kind,
+                                std::uint8_t ws, std::uint8_t wd) {
+    if (addr == 0) return;
     for (const tval::Callee& c : opts.callees) {
       if (c.addr == addr && c.kind == kind && c.width_src == ws &&
           c.width_dst == wd) {
@@ -354,47 +407,16 @@ verify::tval::Options make_tval_options(const Plan& plan) {
       }
     }
     opts.callees.push_back({addr, kind, ws, wd});
-  };
-  auto walk = [&](const Op& op, bool top, auto&& self) -> void {
-    switch (op.code) {
-      case OpCode::kCopy:
-        if (op.byte_len > kInlineCopyLimit) {
-          add(reinterpret_cast<const void*>(&std::memmove),
-              tval::CalleeKind::kMemmove);
-        }
-        return;
-      case OpCode::kZero:
-        if (op.byte_len > kInlineCopyLimit) {
-          add(reinterpret_cast<const void*>(&std::memset),
-              tval::CalleeKind::kMemset);
-        }
-        return;
-      case OpCode::kSwap:
-        if (top && op.count >= kernels::kMinCount) {
-          add(reinterpret_cast<const void*>(
-                  kernels::swap_kernel(op.width_src)),
-              tval::CalleeKind::kKernel, op.width_src, op.width_src);
-        }
-        return;
-      case OpCode::kCvtNum:
-        if (top && op.count >= kernels::kMinCount) {
-          add(reinterpret_cast<const void*>(kernels::cvt_kernel(
-                  kernels::cvt_key(op, plan.src_order, plan.dst_order))),
-              tval::CalleeKind::kKernel, op.width_src, op.width_dst);
-        }
-        return;
-      case OpCode::kSubLoop:
-        for (const Op& sub : op.sub) self(sub, /*top=*/false, self);
-        return;
-      case OpCode::kString:
-      case OpCode::kVarArray:
-        add(reinterpret_cast<const void*>(&pbio_jit_var_op),
-            tval::CalleeKind::kVarOp);
-        return;
-    }
-  };
-  for (const Op& op : plan.ops) walk(op, /*top=*/true, walk);
+  });
   return opts;
+}
+
+std::vector<std::uint64_t> call_targets(const Plan& plan) {
+  std::vector<std::uint64_t> out;
+  walk_call_sites(plan,
+                  [&out](std::uint64_t addr, verify::tval::CalleeKind,
+                         std::uint8_t, std::uint8_t) { out.push_back(addr); });
+  return out;
 }
 
 bool tval_enabled() { return PBIO_TVAL_ENABLED != 0; }
@@ -407,6 +429,7 @@ struct CompiledConvert::Impl {
   verify::tval::Report tval;
   std::vector<MacroNote> notes;
   std::vector<std::size_t> labels;
+  std::vector<std::uint32_t> call_sites;
 
   using Fn = int (*)(const std::uint8_t*, std::uint8_t*, JitRt*);
   Fn fn = nullptr;
@@ -434,6 +457,7 @@ CompiledConvert::CompiledConvert(Plan plan) : impl_(std::make_unique<Impl>()) {
   OBS_COUNT("vcode.jit.code_bytes", code.size());
   impl_->notes = compiler.builder().notes();
   impl_->labels = compiler.builder().labels();
+  impl_->call_sites = compiler.builder().call_sites();
 #if PBIO_TVAL_ENABLED
   // Translation-validate the fresh bytes before they can ever become
   // executable: decode + symbolic execution against the verified plan.
@@ -467,6 +491,74 @@ const verify::tval::Report& CompiledConvert::tval_report() const {
 
 const std::vector<MacroNote>& CompiledConvert::macro_notes() const {
   return impl_->notes;
+}
+
+const std::vector<std::uint32_t>& CompiledConvert::call_sites() const {
+  return impl_->call_sites;
+}
+
+CompiledConvert::CompiledConvert() : impl_(std::make_unique<Impl>()) {}
+
+Result<CompiledConvert> CompiledConvert::adopt(
+    Plan plan, std::vector<std::uint8_t> code,
+    std::span<const std::uint32_t> sites) {
+#if !PBIO_TVAL_ENABLED
+  (void)plan;
+  (void)code;
+  (void)sites;
+  return Status(Errc::kUnsupported,
+                "adopt: persisted code needs the translation validator "
+                "(PBIO_TVAL=OFF)");
+#else
+  if (!jit_supported()) {
+    return Status(Errc::kUnsupported, "adopt: no JIT on this host");
+  }
+  if (!plan.verified) {
+    Status vst = verify::verify_status(plan);
+    if (!vst.is_ok()) return vst;
+    plan.verified = true;
+  }
+  // Re-resolve every call target from the plan (the file never supplies
+  // addresses, only slot offsets) and patch the zeroed slots.
+  const std::vector<std::uint64_t> targets = call_targets(plan);
+  if (targets.size() != sites.size()) {
+    return Status(Errc::kMalformed, "adopt: call-site count mismatch");
+  }
+  std::uint64_t prev_end = 0;
+  for (std::size_t i = 0; i < sites.size(); ++i) {
+    const std::uint64_t off = sites[i];
+    if (off < prev_end || off + 8 > code.size()) {
+      return Status(Errc::kMalformed, "adopt: call-site offset out of range");
+    }
+    std::uint64_t zero = 0;
+    if (std::memcmp(code.data() + off, &zero, 8) != 0) {
+      return Status(Errc::kMalformed, "adopt: call-target slot not zeroed");
+    }
+    std::memcpy(code.data() + off, &targets[i], 8);
+    prev_end = off + 8;
+  }
+  // The trust anchor: decode + symbolically execute the patched buffer
+  // against the re-verified plan. Only an accepted buffer is ever sealed.
+  CompiledConvert cc;
+  cc.impl_->plan = std::move(plan);
+  {
+    OBS_SPAN("vcode.jit.tval");
+    cc.impl_->tval = verify::tval::validate(code, cc.impl_->plan,
+                                            make_tval_options(cc.impl_->plan));
+  }
+  if (!cc.impl_->tval.ok) {
+    return Status(Errc::kMalformed,
+                  "adopt: tval rejected persisted code: " +
+                      cc.impl_->tval.to_string());
+  }
+  cc.impl_->call_sites.assign(sites.begin(), sites.end());
+  cc.impl_->buf = std::make_unique<ExecBuffer>(code.size());
+  std::memcpy(cc.impl_->buf->data(), code.data(), code.size());
+  cc.impl_->buf->make_executable();
+  cc.impl_->code_size = code.size();
+  cc.impl_->fn = cc.impl_->buf->entry<Impl::Fn>();
+  return cc;
+#endif
 }
 
 const std::vector<std::size_t>& CompiledConvert::label_offsets() const {

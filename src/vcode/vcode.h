@@ -30,6 +30,14 @@ struct MacroNote {
   const char* macro = "";
 };
 
+/// Version of the emitter's code shapes. Persisted conversion artifacts
+/// (src/cache) record it and are rejected on mismatch: loaded bytes are
+/// re-proven by the translation validator anyway, but the validator and
+/// emitter evolve together, so code from another emitter generation is
+/// discarded up front instead of burning a doomed validation pass. Bump on
+/// any change to emitted code or to the call()/relocation scheme.
+inline constexpr std::uint32_t kEmitterVersion = 1;
+
 /// Well-known registers of the generated-function convention.
 struct Regs {
   static constexpr Gp src_base = Gp::r12;
@@ -121,6 +129,13 @@ class Builder {
   /// notes()[i+1].off). Diagnostics only, never trusted by validation.
   const std::vector<MacroNote>& notes() const { return notes_; }
 
+  /// Byte offset of each call()'s 64-bit target immediate (inside the
+  /// `mov rax, imm64`), in emission order. These are the only absolute
+  /// addresses in generated code — everything else is RIP-relative — so
+  /// they are exactly the relocations a persisted code buffer needs: zero
+  /// the slots on save, re-resolve the targets from the plan on load.
+  const std::vector<std::uint32_t>& call_sites() const { return call_sites_; }
+
   /// Label-bind offsets from the underlying emitter.
   const std::vector<std::size_t>& labels() const { return e_.label_table(); }
 
@@ -133,6 +148,7 @@ class Builder {
   X64Emitter e_;
   Label out_;
   std::vector<MacroNote> notes_;
+  std::vector<std::uint32_t> call_sites_;
   std::size_t epilogue_off_ = 0;
   bool prologue_done_ = false;
   bool finished_ = false;

@@ -215,5 +215,47 @@ TEST(AllocInvariant, SteadyStateBatchAllocatesNothing) {
   sender.join();
 }
 
+// The artifact cache rides the same invariant: once a conversion is
+// resolved, a warm try_conversion (L1 hit) and a warm shared-cache lookup
+// (lock-free snapshot probe) allocate nothing — 10k connections re-
+// resolving the same pair must not churn the heap.
+TEST(AllocInvariant, WarmConversionLookupAllocatesNothing) {
+  Context ctx;
+  const auto id = register_sample(ctx);
+  ASSERT_TRUE(ctx.try_conversion(id, id).is_ok());  // compile + insert
+  // One warm *hit* before counting: the hit path's obs counter registers
+  // its metric name on first use, which is a one-time allocation.
+  ASSERT_TRUE(ctx.try_conversion(id, id).is_ok());
+
+  g_allocs = 0;
+  g_counting = true;
+  for (int i = 0; i < kMeasured; ++i) {
+    auto c = ctx.try_conversion(id, id);
+    if (!c.is_ok()) break;
+  }
+  g_counting = false;
+  const std::uint64_t l1_allocs = g_allocs;
+  EXPECT_EQ(l1_allocs, 0u)
+      << "warm try_conversion allocated " << l1_allocs << " times";
+
+  // The shared layer's own hit path, as a second context over the same
+  // cache would exercise it.
+  auto& cache = ctx.artifact_cache();
+  const auto* desc = ctx.find(id);
+  ASSERT_NE(desc, nullptr);
+  const auto h = fmt::canonical_hash(*desc);
+  ASSERT_TRUE(cache.get_or_build(*desc, *desc, {h, h}).is_ok());
+  g_allocs = 0;
+  g_counting = true;
+  for (int i = 0; i < kMeasured; ++i) {
+    auto got = cache.get_or_build(*desc, *desc, {h, h});
+    if (!got.is_ok()) break;
+  }
+  g_counting = false;
+  const std::uint64_t l2_allocs = g_allocs;
+  EXPECT_EQ(l2_allocs, 0u)
+      << "warm ArtifactCache hit allocated " << l2_allocs << " times";
+}
+
 }  // namespace
 }  // namespace pbio

@@ -55,6 +55,7 @@ REQUIRED_DECLS = {
     "Conn", "SendQueue", "Worker", "Shared", "Broker",  # broker core
     "BufferPool",                                       # per-worker arena
     "flight_record", "flight_arm", "flight_armed", "flight_dump",
+    "ArtifactCache",                    # process-wide conversion cache
 }
 
 RE_TAG = re.compile(r"//\s*thread-domain:\s*(\S+)")
