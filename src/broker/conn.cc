@@ -122,6 +122,13 @@ Status Conn::flush() {
 }
 
 Status Conn::decode_frame(const FrameBuf& frame) {
+  // on_data_frame already rejects short frames, but this function sizes
+  // `frame.size() - kDataHeaderSize` below — a guard living only in the
+  // caller would let any new call site wrap that subtraction. Check
+  // locally; wire-length trust is never inherited across functions.
+  if (frame.size() < kDataHeaderSize) {
+    return Status(Errc::kTruncated, "short data frame");
+  }
   const Context::FormatId wire_id = load_uint(
       frame.data() + kDataHeaderIdOffset, 8, ByteOrder::kLittle);
 

@@ -29,6 +29,7 @@
 #include "transport/socket.h"
 #include "util/affinity.h"
 #include "util/buffer.h"
+#include "util/wire_taint.h"
 
 namespace pbio::broker {
 
@@ -154,9 +155,9 @@ class Conn {
   bool read_paused() const { return read_paused_; }
 
  private:
-  Status dispatch(FrameBuf frame);
-  Status on_data_frame(FrameBuf frame);
-  Status decode_frame(const FrameBuf& frame);
+  WIRE_TAINTED Status dispatch(FrameBuf frame);
+  WIRE_TAINTED Status on_data_frame(FrameBuf frame);
+  WIRE_TAINTED Status decode_frame(const FrameBuf& frame);
   Status enqueue(FrameBuf frame, const obs::TraceCtx* trace = nullptr);
   // Forward the pending trace sidecar ahead of the traced response frame.
   Status forward_trace(FrameBuf response);

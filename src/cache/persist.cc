@@ -25,6 +25,15 @@ constexpr std::uint64_t kMaxCodeSize = 16u << 20;
 constexpr std::uint64_t kMaxMetaSize = 1u << 20;
 constexpr std::uint64_t kMaxCallSites = 1u << 16;
 
+// decode_file computes `4 * nsites + wire_meta + native_meta + code` from
+// header fields it has individually capped; this pins the proof that the
+// sum itself cannot wrap u64 (so the exact payload-vs-remaining compare
+// below cannot be defeated by overflow even if a cap is ever raised).
+static_assert(4 * kMaxCallSites + 2 * kMaxMetaSize + kMaxCodeSize <
+                  (std::uint64_t{1} << 32),
+              "persist section caps must keep payload arithmetic far from "
+              "u64 wrap");
+
 std::string hex16(std::uint64_t v) {
   char buf[17];
   std::snprintf(buf, sizeof(buf), "%016llx",

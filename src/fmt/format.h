@@ -17,6 +17,7 @@
 
 #include "util/endian.h"
 #include "util/error.h"
+#include "util/wire_taint.h"
 
 namespace pbio::fmt {
 
@@ -83,7 +84,10 @@ struct FormatDesc {
 
   /// Throws PbioError on structural problems (out-of-range offsets, dangling
   /// subformat / var-dim references, variable fields inside subformats...).
-  void validate() const;
+  /// The taint layer's trust anchor for descriptor geometry: a FormatDesc
+  /// that has passed validate() (decode_meta enforces this) may size
+  /// pointer arithmetic without further per-use checks.
+  WIRE_SANITIZER void validate() const;
 
   bool operator==(const FormatDesc&) const = default;
 };

@@ -16,7 +16,7 @@ void put_str(ByteBuffer& out, const std::string& s) {
   out.append(s.data(), s.size());
 }
 
-bool get_str(ByteReader& in, std::string* out) {
+WIRE_TAINTED bool get_str(ByteReader& in, std::string* out) {
   std::uint64_t n = 0;
   if (!in.read_uint(&n, 2, kMetaOrder)) return false;
   if (n > kMaxName || in.remaining() < n) return false;
@@ -44,7 +44,7 @@ void encode_one(ByteBuffer& out, const FormatDesc& f) {
   }
 }
 
-bool decode_one(ByteReader& in, FormatDesc* f) {
+WIRE_TAINTED bool decode_one(ByteReader& in, FormatDesc* f) {
   if (!get_str(in, &f->name)) return false;
   std::uint64_t v = 0;
   if (!in.read_uint(&v, 1, kMetaOrder) || v > 1) return false;

@@ -13,6 +13,7 @@
 
 #include "fmt/format.h"
 #include "util/error.h"
+#include "util/wire_taint.h"
 
 namespace pbio::fmt {
 
@@ -20,6 +21,10 @@ namespace pbio::fmt {
 std::vector<std::uint8_t> encode_meta(const FormatDesc& f);
 
 /// Decode a format description. Fails (never throws) on malformed input.
+/// Tainted AND a sanitizer: it ingests announcement bytes, but every
+/// descriptor it returns has passed FormatDesc::validate() — callers may
+/// treat the result as trusted geometry.
+WIRE_TAINTED WIRE_SANITIZER
 Result<FormatDesc> decode_meta(std::span<const std::uint8_t> bytes);
 
 }  // namespace pbio::fmt

@@ -21,6 +21,7 @@
 #include "pbio/context.h"
 #include "transport/channel.h"
 #include "util/buffer.h"
+#include "util/wire_taint.h"
 
 namespace pbio {
 
@@ -47,7 +48,8 @@ class FormatServiceServer {
   /// frame to send back (cleared and refilled — reuse one buffer per
   /// connection to keep the steady state allocation-free). Errors produce
   /// no reply (the transport layer decides whether to drop the client).
-  Status handle(std::span<const std::uint8_t> request, ByteBuffer& reply);
+  WIRE_TAINTED Status handle(std::span<const std::uint8_t> request,
+                             ByteBuffer& reply);
 
   /// Handle exactly one request. kChannelClosed when the peer is gone.
   Status serve_one(transport::Channel& ch);
@@ -69,11 +71,12 @@ class FormatServiceClient {
  public:
   explicit FormatServiceClient(transport::Channel& ch) : ch_(ch) {}
 
-  /// Fetch the format description for a wire id.
-  Result<fmt::FormatDesc> lookup(Context::FormatId id);
+  /// Fetch the format description for a wire id. The service reply is
+  /// untrusted wire input like any other frame.
+  WIRE_TAINTED Result<fmt::FormatDesc> lookup(Context::FormatId id);
 
-  /// Publish a format; returns its id.
-  Result<Context::FormatId> publish(const fmt::FormatDesc& f);
+  /// Publish a format; returns its id (parsed from the untrusted reply).
+  WIRE_TAINTED Result<Context::FormatId> publish(const fmt::FormatDesc& f);
 
   /// A resolver suitable for Reader::set_format_resolver.
   std::function<Result<fmt::FormatDesc>(Context::FormatId)> resolver() {

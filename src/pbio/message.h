@@ -21,6 +21,7 @@
 #include "obs/tracectx.h"
 #include "pbio/context.h"
 #include "util/pool.h"
+#include "util/wire_taint.h"
 #include "value/value.h"
 
 namespace pbio {
@@ -48,8 +49,10 @@ class Message {
   /// Decode into caller storage of `size` bytes (>= native fixed size).
   /// String/array pointers aim into this message's buffer or arena — they
   /// stay valid for the Message's lifetime.
-  Status decode_into(void* out, std::size_t size,
-                     Engine engine = Engine::kDcg);
+  /// WIRE_TAINTED: decode paths size their copies from the received
+  /// payload, so every length they compute is wire-derived until compared.
+  WIRE_TAINTED Status decode_into(void* out, std::size_t size,
+                                  Engine engine = Engine::kDcg);
 
   /// Typed view: zero-copy reinterpretation when layouts match, otherwise
   /// a decode into message-owned storage. The pointer is valid for the
@@ -81,7 +84,10 @@ class Message {
   /// Number of records in this message (fixed-layout formats can carry
   /// whole arrays, see Writer::write_array). 1-record messages are the
   /// common case; variable-layout messages always hold exactly one.
-  std::size_t count() const {
+  /// WIRE_TAINTED: the count is payload-length-derived — a peer chooses it
+  /// by sizing the frame, so callers must bound loops/allocations on it
+  /// only after comparing (wire_taint rule T2).
+  WIRE_TAINTED std::size_t count() const {
     if (!wire_->is_fixed_layout() || wire_->fixed_size == 0) return 1;
     return payload_.size() / wire_->fixed_size;
   }
@@ -107,8 +113,9 @@ class Message {
   }
 
   /// Decode record `index` into caller storage (any layout pair).
-  Status decode_at(std::size_t index, void* out, std::size_t size,
-                   Engine engine = Engine::kDcg);
+  WIRE_TAINTED Status decode_at(std::size_t index, void* out,
+                                std::size_t size,
+                                Engine engine = Engine::kDcg);
 
   /// Decode every record into caller storage: record `i` lands at
   /// `out + i * stride` (`stride` >= native fixed size, `capacity` >=
@@ -117,8 +124,9 @@ class Message {
   /// records — the SIMD batch kernels (convert/kernels) then process the
   /// entire message per dispatch instead of per record. Other plans fall
   /// back to per-record conversion; results are bit-identical either way.
-  Status decode_all(void* out, std::size_t stride, std::size_t capacity,
-                    Engine engine = Engine::kDcg);
+  WIRE_TAINTED Status decode_all(void* out, std::size_t stride,
+                                 std::size_t capacity,
+                                 Engine engine = Engine::kDcg);
 
   /// True when the conversion can run *inside* the receive buffer (every
   /// field written at or before where it was read) — PBIO's receive-buffer

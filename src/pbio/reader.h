@@ -19,6 +19,7 @@
 #include "pbio/context.h"
 #include "pbio/message.h"
 #include "transport/channel.h"
+#include "util/wire_taint.h"
 
 namespace pbio {
 
@@ -59,7 +60,7 @@ class Reader {
  private:
   /// Process one frame. Returns true when `m` was filled with a data
   /// message, false when the frame was a format announcement (consumed).
-  Result<bool> consume_frame(FrameBuf frame, Message* m);
+  WIRE_TAINTED Result<bool> consume_frame(FrameBuf frame, Message* m);
 
   Context& ctx_;
   transport::Channel& channel_;

@@ -23,6 +23,7 @@
 
 #include "util/error.h"
 #include "util/pool.h"
+#include "util/wire_taint.h"
 
 namespace pbio::transport {
 
@@ -45,15 +46,17 @@ class FrameStream {
     kBad,       // malformed stream; *err says why
   };
 
-  /// Extract the next complete frame from the buffered bytes.
-  Pull next_frame(FrameBuf* out, Status* err);
+  /// Extract the next complete frame from the buffered bytes. The length
+  /// prefix is attacker data: everything derived from it is checked
+  /// against the buffered byte count before a slice is handed out.
+  WIRE_TAINTED Pull next_frame(FrameBuf* out, Status* err);
 
-  bool has_complete_frame() const;
+  WIRE_TAINTED bool has_complete_frame() const;
   std::size_t buffered_bytes() const { return wr_ - rd_; }
 
   /// Bytes still missing for the next complete frame (1 when the length
   /// prefix itself is incomplete) — the minimum a fill must deliver.
-  std::size_t fill_hint() const;
+  WIRE_TAINTED std::size_t fill_hint() const;
 
   /// A writable window with at least `min_free` bytes (and in practice a
   /// full chunk): compacts or swaps the stream buffer, carrying any
@@ -61,8 +64,15 @@ class FrameStream {
   /// block; the stream moves on to a fresh one.
   std::span<std::uint8_t> write_window(std::size_t min_free);
 
-  /// Record that `n` bytes were read into the last write_window().
-  void commit(std::size_t n) { wr_ += n; }
+  /// Record that `n` bytes were read into the last write_window(). A
+  /// commit larger than the window handed out would seat wr_ past the
+  /// block and poison every later carryover computation (tail = wr_ - rd_
+  /// would copy from beyond the buffer); clamp so rd_ <= wr_ <= capacity
+  /// holds even against a buggy caller.
+  void commit(std::size_t n) {
+    const std::size_t free = buf_.capacity() - wr_;
+    wr_ += n < free ? n : free;
+  }
 
  private:
   // Frames are seated so a post-compaction frame body starts 16-aligned:

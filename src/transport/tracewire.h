@@ -18,6 +18,7 @@
 
 #include "obs/tracectx.h"
 #include "util/endian.h"
+#include "util/wire_taint.h"
 
 namespace pbio::transport {
 
@@ -39,8 +40,8 @@ inline void encode_trace_frame(std::uint8_t (&out)[kTraceFrameLen],
 /// Returns false (leaving *ctx untouched) unless `frame` is a well-formed
 /// trace sidecar. Wire input is untrusted: a short or oversized frame with
 /// the right kind byte is a protocol error the caller surfaces, not UB.
-inline bool decode_trace_frame(std::span<const std::uint8_t> frame,
-                               obs::TraceCtx* ctx) {
+WIRE_TAINTED inline bool decode_trace_frame(std::span<const std::uint8_t> frame,
+                                            obs::TraceCtx* ctx) {
   if (frame.size() != kTraceFrameLen || frame[0] != kFrameTrace) return false;
   ctx->trace_id = load_uint(frame.data() + 8, 8, ByteOrder::kLittle);
   ctx->span_id = load_uint(frame.data() + 16, 8, ByteOrder::kLittle);

@@ -29,8 +29,12 @@ class ImageReader {
   }
 
  private:
-  Status read_struct(const std::uint8_t* base, const FormatDesc& f,
-                     Record* out) {
+  // Per-parameter taint on every raw byte pointer below: the FormatDesc /
+  // FieldDesc arguments are post-validate() trusted structure, so a
+  // function-level WIRE_TAINTED would drown the analysis in false
+  // positives on `base + fd.offset`. Only the image bytes are hostile.
+  Status read_struct(WIRE_TAINTED const std::uint8_t* base,
+                     const FormatDesc& f, Record* out) {
     // First pass: scalars (so var-dim integer fields are available even when
     // they are declared after the arrays they size).
     for (const FieldDesc& fd : f.fields) {
@@ -50,8 +54,9 @@ class ImageReader {
     return Status::ok();
   }
 
-  Status read_fixed_field(const std::uint8_t* base, const FormatDesc& f,
-                          const FieldDesc& fd, Value* out) {
+  Status read_fixed_field(WIRE_TAINTED const std::uint8_t* base,
+                          const FormatDesc& f, const FieldDesc& fd,
+                          Value* out) {
     (void)f;
     const std::uint8_t* slot = base + fd.offset;
     if (fd.base == BaseType::kChar && fd.static_elems > 1) {
@@ -76,7 +81,7 @@ class ImageReader {
     return Status::ok();
   }
 
-  Status read_element(const std::uint8_t* at, const FieldDesc& fd,
+  Status read_element(WIRE_TAINTED const std::uint8_t* at, const FieldDesc& fd,
                       Value* out) {
     const ByteOrder order = root_.byte_order;
     switch (fd.base) {
@@ -110,8 +115,9 @@ class ImageReader {
     return Status(Errc::kMalformed, "unreachable element type");
   }
 
-  Status read_variable_field(const std::uint8_t* base, const FieldDesc& fd,
-                             const Record& so_far, Value* out) {
+  Status read_variable_field(WIRE_TAINTED const std::uint8_t* base,
+                             const FieldDesc& fd, const Record& so_far,
+                             Value* out) {
     const ByteOrder order = root_.byte_order;
     const std::uint64_t off =
         load_uint(base + fd.offset, root_.pointer_size, order);
@@ -146,7 +152,12 @@ class ImageReader {
       *out = Value::List{};
       return Status::ok();
     }
-    if (off == 0 || off + count * fd.elem_size > bytes_.size()) {
+    // Division idiom, not `off + count * elem_size > size`: count is an
+    // attacker-chosen u64 (read from an up-to-8-byte var-dim field), so
+    // the product can wrap and a wrapped sum would sail past the check —
+    // then reserve(count) and the element loop walk out of the image.
+    if (off == 0 || off > bytes_.size() || fd.elem_size == 0 ||
+        count > (bytes_.size() - off) / fd.elem_size) {
       return Status(Errc::kMalformed,
                     "variable array out of range in '" + fd.name + "'");
     }
@@ -169,7 +180,7 @@ class ImageReader {
 }  // namespace
 
 Result<Record> read_record(const FormatDesc& f,
-                           std::span<const std::uint8_t> bytes) {
+                           WIRE_TAINTED std::span<const std::uint8_t> bytes) {
   return ImageReader(f, bytes).run();
 }
 

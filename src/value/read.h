@@ -8,13 +8,16 @@
 
 #include "fmt/format.h"
 #include "util/error.h"
+#include "util/wire_taint.h"
 #include "value/value.h"
 
 namespace pbio::value {
 
 /// Decode `bytes` as a record of format `f`. Bounds-checked: returns an
 /// error Status on truncated images or out-of-range variable-data offsets.
+/// Only `bytes` is wire-tainted: `f` has been through fmt validation and is
+/// trusted structure, so the annotation is per-parameter, not per-function.
 Result<Record> read_record(const fmt::FormatDesc& f,
-                           std::span<const std::uint8_t> bytes);
+                           WIRE_TAINTED std::span<const std::uint8_t> bytes);
 
 }  // namespace pbio::value

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "util/error.h"
+#include "util/wire_taint.h"
 
 namespace pbio::value {
 
@@ -67,7 +68,12 @@ class Value {
 
   /// Numeric access with widening; throws PbioError on non-numeric values.
   std::int64_t as_int() const;
-  std::uint64_t as_uint() const;
+  /// WIRE_TAINTED: records are routinely decoded from wire images, so a
+  /// numeric Value is an attacker-chosen integer until range-checked. The
+  /// taint makes `reserve(v.as_uint())`-style sinks visible to wire_taint
+  /// inside annotated decode paths (value/read.cc's var-dim count is the
+  /// canonical case).
+  WIRE_TAINTED std::uint64_t as_uint() const;
   double as_double() const;
 
   const std::string& as_string() const;

@@ -18,6 +18,7 @@
 #include "cache/persist.h"
 #include "fmt/format.h"
 #include "pbio/context.h"
+#include "util/endian.h"
 #include "convert/kernels/kernels.h"
 #include "value/materialize.h"
 #include "value/random.h"
@@ -414,6 +415,40 @@ TEST_F(PoisonTest, TruncatedFileRejected) {
       .write(reinterpret_cast<const char*>(bytes_.data()),
              static_cast<std::streamsize>(bytes_.size()));
   expect_rejected_and_recovered();
+}
+
+TEST_F(PoisonTest, TruncatedCallSiteTableRejected) {
+  // Inflate the header's call-site count without growing the payload: the
+  // claimed table now extends past the file, overlapping the meta/code
+  // sections. decode_file sums the capped section sizes and compares the
+  // total against the remaining bytes exactly, so the lie is structural —
+  // it must die in the loader, before any site offset is dereferenced.
+  constexpr std::size_t kCallSiteCountOffset = 8 + 4 + 4 + 4;  // after magic,
+  // file_version, emitter_version, isa_tier (see persist.cc kHeaderSize).
+  const std::uint64_t claimed = img_.call_sites.size() + 9;
+  store_uint(bytes_.data() + kCallSiteCountOffset, claimed, 4,
+             ByteOrder::kLittle);
+  cache::persist::FileImage out;
+  std::string why;
+  ASSERT_FALSE(cache::persist::decode_file(bytes_, &out, &why));
+  EXPECT_EQ(why, "payload size mismatch");
+  std::ofstream(path_, std::ios::binary | std::ios::trunc)
+      .write(reinterpret_cast<const char*>(bytes_.data()),
+             static_cast<std::streamsize>(bytes_.size()));
+  expect_rejected_and_recovered();
+}
+
+TEST_F(PoisonTest, CallSiteCountAboveCapRejected) {
+  // A count above kMaxCallSites must be rejected by the cap itself — the
+  // static_assert in persist.cc pins caps low enough that the payload sum
+  // can never wrap, but the cap check is the first line of that defense.
+  constexpr std::size_t kCallSiteCountOffset = 8 + 4 + 4 + 4;
+  store_uint(bytes_.data() + kCallSiteCountOffset, (1u << 16) + 1, 4,
+             ByteOrder::kLittle);
+  cache::persist::FileImage out;
+  std::string why;
+  ASSERT_FALSE(cache::persist::decode_file(bytes_, &out, &why));
+  EXPECT_EQ(why, "bad call-site count");
 }
 
 TEST_F(PoisonTest, WrongIsaTierInHeaderRejected) {

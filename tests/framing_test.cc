@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "util/endian.h"
@@ -173,6 +174,38 @@ TEST(FrameStream, FillHintAsksForExactlyWhatIsMissing) {
   fs.commit(2);
   EXPECT_EQ(fs.fill_hint(), 100u);
   EXPECT_FALSE(fs.has_complete_frame());
+}
+
+TEST(FrameStream, OversizedCommitIsClampedToTheWindow) {
+  // A commit larger than the handed-out window (a buggy or lying caller —
+  // e.g. a recv() return value taken at face value) must not seat wr_ past
+  // the buffer: an unclamped `wr_ += n` poisons buffered_bytes() and every
+  // later carryover copy. Write one real frame, then over-commit.
+  FrameStream fs;
+  std::vector<std::uint8_t> stream;
+  put_frame(stream, {5, 6, 7});
+  auto window = fs.write_window(stream.size());
+  std::fill(window.begin(), window.end(), std::uint8_t{0});
+  std::memcpy(window.data(), stream.data(), stream.size());
+  fs.commit(std::numeric_limits<std::size_t>::max());
+  // wr_ is clamped to the block, so the byte count stays physical.
+  EXPECT_LE(fs.buffered_bytes(), 16u * 1024u * 1024u);
+  // The genuine frame still parses; the zero padding behind it decodes as
+  // empty frames, never as an out-of-bounds slice (ASan run enforces).
+  FrameBuf frame;
+  Status err;
+  ASSERT_EQ(fs.next_frame(&frame, &err), FrameStream::Pull::kFrame);
+  EXPECT_EQ(std::vector<std::uint8_t>(frame.data(),
+                                      frame.data() + frame.size()),
+            (std::vector<std::uint8_t>{5, 6, 7}));
+  for (int i = 0; i < 100000; ++i) {
+    const auto pull = fs.next_frame(&frame, &err);
+    if (pull != FrameStream::Pull::kFrame) break;
+    EXPECT_TRUE(frame.empty());
+  }
+  // Fully drained: at most a partial zero header remains — the clamp kept
+  // every slice inside the physical block.
+  EXPECT_LT(fs.buffered_bytes(), kFrameHeaderLen);
 }
 
 }  // namespace

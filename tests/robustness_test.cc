@@ -10,6 +10,7 @@
 #include "baselines/xmlwire/sax.h"
 #include "fmt/meta.h"
 #include "pbio/pbio.h"
+#include "util/endian.h"
 #include "value/read.h"
 
 namespace pbio {
@@ -161,6 +162,70 @@ TEST(Robustness, ReadRecordOnRandomImages) {
     const auto bytes = random_bytes(rng, f.fixed_size + rng() % 64);
     (void)value::read_record(f, bytes);  // must not crash
   }
+}
+
+/// Variable-array format with an 8-byte dim field — wide enough that a
+/// hostile image can pick a count whose byte size wraps std::uint64_t.
+struct VarArrayImage {
+  fmt::FormatDesc f;
+  const fmt::FieldDesc* count_field = nullptr;
+  const fmt::FieldDesc* array_field = nullptr;
+  std::vector<std::uint8_t> bytes;
+
+  VarArrayImage() {
+    arch::StructSpec spec;
+    spec.name = "v";
+    spec.fields = {{.name = "n", .type = arch::CType::kULongLong},
+                   {.name = "vals", .type = arch::CType::kDouble,
+                    .var_dim_field = "n"}};
+    f = arch::layout_format(spec, arch::abi_x86_64());
+    for (const fmt::FieldDesc& fd : f.fields) {
+      if (fd.name == "n") count_field = &fd;
+      if (fd.name == "vals") array_field = &fd;
+    }
+    bytes.assign(f.fixed_size + 64, 0);
+  }
+
+  void set_count(std::uint64_t count) {
+    store_uint(bytes.data() + count_field->offset, count, 8, f.byte_order);
+  }
+  void set_array_offset(std::uint64_t off) {
+    store_uint(bytes.data() + array_field->offset, off, f.pointer_size,
+               f.byte_order);
+  }
+};
+
+TEST(Robustness, VarArrayCountWrapRejected) {
+  // count * elem_size == 2^61 * 8 wraps std::uint64_t to exactly 0, so the
+  // naive `off + count * elem_size > size` bound would pass and the reader
+  // would then reserve() and walk 2^61 elements. The division-idiom guard
+  // in value/read.cc must reject it instead.
+  VarArrayImage img;
+  img.set_count(std::uint64_t{1} << 61);
+  img.set_array_offset(img.f.fixed_size);  // in bounds: only count is evil
+  const auto r = value::read_record(img.f, img.bytes);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), Errc::kMalformed);
+}
+
+TEST(Robustness, VarArrayOffsetPastImageRejected) {
+  // A plausible count but a var-data offset beyond the image: every element
+  // read would start out of bounds.
+  VarArrayImage img;
+  img.set_count(1);
+  img.set_array_offset(img.bytes.size() + 1);
+  const auto r = value::read_record(img.f, img.bytes);
+  ASSERT_FALSE(r.is_ok());
+  EXPECT_EQ(r.status().code(), Errc::kMalformed);
+}
+
+TEST(Robustness, VarArrayZeroOffsetWithNonZeroCountRejected) {
+  // Offset 0 is the null encoding; pairing it with a non-zero count must
+  // not read the fixed part as array data.
+  VarArrayImage img;
+  img.set_count(4);
+  img.set_array_offset(0);
+  EXPECT_FALSE(value::read_record(img.f, img.bytes).is_ok());
 }
 
 }  // namespace

@@ -38,6 +38,21 @@ This linter enforces these rules over src/**/*.{h,cc}:
                         appear: raw syscalls, atomic loads/stores, and the
                         region's own helpers. No stdio, no malloc, no
                         locks.
+  R8 taint-region       inside the body of a WIRE_TAINTED function (see
+                        src/util/wire_taint.h and tools/wire_taint.py),
+                        a `reinterpret_cast` or a pointer bump (`p += n`,
+                        `++p`, `p = p + n` on a declared pointer) must be
+                        allowlisted or sit behind a bounds guard — an
+                        `if`/`while`/`for` comparison within the four
+                        lines above. These are the exact sites where a
+                        wire length walks a pointer out of the frame, so
+                        the inline `// wire-lint: ok` marker that excuses
+                        R1 is deliberately NOT honored here: the guard or
+                        the reviewed allowlist entry is the excuse.
+                        Structural cousin of wire_taint's dataflow rules:
+                        wire_taint proves values, R8 pins the casts and
+                        cursor mutations even when dataflow can't see
+                        them.
 
 Usage:
     tools/wire_lint.py [--root REPO_ROOT] [--allowlist FILE] [--self-test]
@@ -92,6 +107,18 @@ MO_MARKER_LOOKBACK = 3
 # the dump path legitimately needs, plus the region's own helpers and the
 # atomic member functions (lock-free loads/stores compile to plain
 # instructions).
+# R8: WIRE_TAINTED function-body regions. The annotation token starts a
+# pending signature; a `;` before any `{` means declaration (no region),
+# a `{` opens the region until its matching brace. Pointer names are
+# harvested from `* name` in the signature and from local declarations.
+RE_WT_TOKEN = re.compile(r"\bWIRE_TAINTED\b")
+RE_PTR_NAME = re.compile(r"\*\s*(?:const\s+)?([A-Za-z_]\w*)\s*(?=[,)=;[])")
+RE_PTR_BUMP = re.compile(
+    r"\+\+\s*([A-Za-z_]\w*)|([A-Za-z_]\w*)\s*\+\+|([A-Za-z_]\w*)\s*\+="
+)
+RE_SELF_ADD = re.compile(r"([A-Za-z_]\w*)\s*=\s*\1\s*\+")
+RE_BOUNDS_GUARD = re.compile(r"\b(?:if|while|for)\s*\(.*[<>]")
+R8_GUARD_LOOKBACK = 4
 RE_SIGNAL_SAFE_BEGIN = re.compile(r"//\s*wire-lint:\s*signal-safe-begin\b")
 RE_SIGNAL_SAFE_END = re.compile(r"//\s*wire-lint:\s*signal-safe-end\b")
 RE_CALL_TOKEN = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
@@ -183,6 +210,10 @@ def scan_file(root, path, allowlist, findings):
     rel = path.relative_to(root).as_posix()
     in_block = False
     in_signal_safe = False
+    wt_pending = False   # saw WIRE_TAINTED, waiting for `{` or `;`
+    wt_sig = []          # signature lines accumulated while pending
+    wt_depth = 0         # >0 while inside a WIRE_TAINTED body
+    wt_ptrs = set()      # pointer names visible in the current body
     raw_lines = path.read_text(errors="replace").splitlines()
     for lineno, raw in enumerate(raw_lines, 1):
         if RE_SIGNAL_SAFE_BEGIN.search(raw):
@@ -192,6 +223,40 @@ def scan_file(root, path, allowlist, findings):
         code, in_block = strip_comments_and_strings(raw, in_block)
         if not code.strip():
             continue
+
+        # --- R8 region bookkeeping (macro definitions don't open regions)
+        line_in_wt = wt_depth > 0
+        if wt_depth > 0:
+            for pm in RE_PTR_NAME.finditer(code):
+                wt_ptrs.add(pm.group(1))
+            wt_depth += code.count("{") - code.count("}")
+            if wt_depth <= 0:
+                wt_depth = 0
+        elif code.lstrip().startswith("#"):
+            wt_pending = False
+            wt_sig = []
+        else:
+            if RE_WT_TOKEN.search(code) and not wt_pending:
+                wt_pending = True
+                wt_sig = []
+            if wt_pending:
+                wt_sig.append(code)
+                brace = code.find("{")
+                semi = code.find(";")
+                if semi != -1 and (brace == -1 or semi < brace):
+                    wt_pending = False  # declaration: no body follows
+                    wt_sig = []
+                elif brace != -1:
+                    wt_pending = False
+                    line_in_wt = True
+                    wt_ptrs = set()
+                    for sig in wt_sig:
+                        for pm in RE_PTR_NAME.finditer(sig):
+                            wt_ptrs.add(pm.group(1))
+                    wt_sig = []
+                    wt_depth = code.count("{") - code.count("}")
+                    if wt_depth < 0:
+                        wt_depth = 0
 
         def report(rule, message, allow_allowlist=True, allow_marker=True):
             if allow_marker and RE_OK_MARKER.search(raw):
@@ -207,6 +272,37 @@ def scan_file(root, path, allowlist, findings):
             report("reinterpret-cast",
                    "reinterpret_cast outside the allowlist — add an "
                    "allowlist entry explaining why the cast is sound")
+        if line_in_wt:
+            r8_guarded = any(
+                RE_BOUNDS_GUARD.search(l) for l in
+                raw_lines[max(0, lineno - 1 - R8_GUARD_LOOKBACK):lineno])
+            if not r8_guarded:
+                if RE_REINTERPRET.search(code):
+                    report("taint-region-cast",
+                           "reinterpret_cast inside a WIRE_TAINTED function "
+                           "with no bounds guard in sight — guard the length "
+                           "first or allowlist with a taint-aware reason "
+                           "(the `// wire-lint: ok` marker does not excuse "
+                           "R8)",
+                           allow_marker=False)
+                bumped = None
+                for bm in RE_PTR_BUMP.finditer(code):
+                    name = bm.group(1) or bm.group(2) or bm.group(3)
+                    if name in wt_ptrs:
+                        bumped = name
+                        break
+                if bumped is None:
+                    sm = RE_SELF_ADD.search(code)
+                    if sm is not None and sm.group(1) in wt_ptrs:
+                        bumped = sm.group(1)
+                if bumped is not None:
+                    report("taint-region-bump",
+                           f"pointer '{bumped}' advanced inside a "
+                           "WIRE_TAINTED function with no bounds guard in "
+                           "sight — a wire length can walk it out of the "
+                           "frame; compare against the remaining bytes "
+                           "first or allowlist the site",
+                           allow_marker=False)
         if RE_C_CAST_DEREF.search(code):
             report("c-cast-deref",
                    "C-style pointer-deref cast reads raw memory — use "
@@ -328,6 +424,49 @@ SELF_TEST_CASES = [
     ("src/obs/r7_ok.cc", "::write(fd, p, n); idx.load(o);", set()),
     ("src/obs/r7_ok.cc", "// wire-lint: signal-safe-end", set()),
     ("src/obs/r7_ok.cc", "std::printf(after); malloc(n);", set()),
+    # R8: inside a WIRE_TAINTED body, a reinterpret_cast with only an
+    # inline marker (which excuses R1 but never R8) still fires; a bounds
+    # guard within four lines excuses it. All lines of one synthetic file
+    # share its expected set (as with R7).
+    ("src/pbio/r8_cast.cc",
+     "WIRE_TAINTED void f(const uint8_t* p) {", {"taint-region-cast"}),
+    ("src/pbio/r8_cast.cc",
+     "  auto* q = reinterpret_cast<const char*>(p);  // wire-lint: ok view",
+     {"taint-region-cast"}),
+    ("src/pbio/r8_cast.cc", "}", {"taint-region-cast"}),
+    ("src/pbio/r8_cast_ok.cc",
+     "WIRE_TAINTED void g(const uint8_t* p, size_t n) {", set()),
+    ("src/pbio/r8_cast_ok.cc", "  if (n < kMax) {", set()),
+    ("src/pbio/r8_cast_ok.cc",
+     "    auto* q = reinterpret_cast<const char*>(p);  "
+     "// wire-lint: ok char view", set()),
+    ("src/pbio/r8_cast_ok.cc", "  }", set()),
+    ("src/pbio/r8_cast_ok.cc", "}", set()),
+    # R8: unguarded pointer bump on a signature pointer; guarded twin ok.
+    ("src/pbio/r8_bump.cc",
+     "WIRE_TAINTED void h(const uint8_t* p, size_t n) {",
+     {"taint-region-bump"}),
+    ("src/pbio/r8_bump.cc", "  p += n;", {"taint-region-bump"}),
+    ("src/pbio/r8_bump.cc", "}", {"taint-region-bump"}),
+    ("src/pbio/r8_bump_ok.cc",
+     "WIRE_TAINTED void k(const uint8_t* p, size_t n, size_t avail) {",
+     set()),
+    ("src/pbio/r8_bump_ok.cc", "  if (n <= avail) {", set()),
+    ("src/pbio/r8_bump_ok.cc", "    p += n;", set()),
+    ("src/pbio/r8_bump_ok.cc", "  }", set()),
+    ("src/pbio/r8_bump_ok.cc", "}", set()),
+    # R8 scope: unannotated functions and annotated declarations open no
+    # region; a counter bump (non-pointer) inside a region is free.
+    ("src/pbio/r8_scope.cc",
+     "void plain(const uint8_t* p, size_t n) { p += n; }", set()),
+    ("src/pbio/r8_scope.cc",
+     "WIRE_TAINTED void decl_only(const uint8_t* p, size_t n);", set()),
+    ("src/pbio/r8_scope.cc",
+     "void after_decl(uint8_t* q, size_t n) { q += n; }", set()),
+    ("src/pbio/r8_counter.cc",
+     "WIRE_TAINTED void c(const uint8_t* p, size_t n) {", set()),
+    ("src/pbio/r8_counter.cc", "  size_t used = 0; ++used;", set()),
+    ("src/pbio/r8_counter.cc", "}", set()),
     # Comment and string contents never trip rules.
     ("src/pbio/noise_comment.cc",
      "// reinterpret_cast<char*>(q); mprotect(p, n, PROT_EXEC);", set()),
